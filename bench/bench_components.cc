@@ -1,0 +1,190 @@
+// Component microbenchmarks (google-benchmark): the primitive costs the
+// platform models are built from — hashing, Merkle structures, the KV
+// stores, VM dispatch, and the discrete-event core.
+
+#include <benchmark/benchmark.h>
+
+#include "sim/network.h"
+#include "sim/node.h"
+#include "storage/bucket_tree.h"
+#include "storage/diskkv.h"
+#include "storage/memkv.h"
+#include "storage/merkle_tree.h"
+#include "storage/patricia_trie.h"
+#include "util/random.h"
+#include "util/sha256.h"
+#include "vm/assembler.h"
+#include "vm/interpreter.h"
+#include "workloads/contracts.h"
+
+namespace bb {
+namespace {
+
+void BM_Sha256(benchmark::State& state) {
+  std::string data(size_t(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Digest(data));
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_MerkleTreeBuild(benchmark::State& state) {
+  std::vector<Hash256> leaves;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    leaves.push_back(Sha256::Digest("leaf" + std::to_string(i)));
+  }
+  for (auto _ : state) {
+    storage::MerkleTree t(leaves);
+    benchmark::DoNotOptimize(t.root());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_MerkleTreeBuild)->Arg(100)->Arg(500)->Arg(2000);
+
+void BM_TriePut(benchmark::State& state) {
+  storage::MemKv kv;
+  storage::MerklePatriciaTrie trie(&kv, 1 << 18);
+  Hash256 root = storage::MerklePatriciaTrie::EmptyRoot();
+  Rng rng(1);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    auto r = trie.Put(root, "key" + std::to_string(i++ % 100000),
+                      "value-payload-100b");
+    root = *r;
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_TriePut);
+
+void BM_TrieGet(benchmark::State& state) {
+  storage::MemKv kv;
+  storage::MerklePatriciaTrie trie(&kv, 1 << 18);
+  Hash256 root = storage::MerklePatriciaTrie::EmptyRoot();
+  for (uint64_t i = 0; i < 50000; ++i) {
+    root = *trie.Put(root, "key" + std::to_string(i), "value");
+  }
+  Rng rng(2);
+  std::string out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        trie.Get(root, "key" + std::to_string(rng.Uniform(50000)), &out));
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_TrieGet);
+
+void BM_BucketTreePut(benchmark::State& state) {
+  storage::MemKv kv;
+  storage::BucketMerkleTree tree(&kv, 1024);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    tree.Put("key" + std::to_string(i++ % 100000), "value-payload-100b");
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_BucketTreePut);
+
+void BM_MemKvPut(benchmark::State& state) {
+  storage::MemKv kv;
+  uint64_t i = 0;
+  for (auto _ : state) {
+    kv.Put("key" + std::to_string(i++ % 100000), "value-payload-100b");
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_MemKvPut);
+
+void BM_DiskKvPut(benchmark::State& state) {
+  auto kv = storage::DiskKv::Open("/tmp/bb_bench_diskkv.log");
+  uint64_t i = 0;
+  for (auto _ : state) {
+    (*kv)->Put("key" + std::to_string(i++ % 100000), "value-payload-100b");
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()));
+  std::remove("/tmp/bb_bench_diskkv.log");
+}
+BENCHMARK(BM_DiskKvPut);
+
+void BM_VmDispatch(benchmark::State& state) {
+  // Tight arithmetic loop: measures raw interpreter dispatch speed at a
+  // given dispatch_overhead (0 = Parity-class, 60 = geth-class).
+  auto program = vm::Assemble(R"(
+  PUSH 0
+loop:
+  PUSH 1
+  ADD
+  DUP 0
+  PUSH 100000
+  LT
+  JUMPI loop
+  RETURN
+)");
+  vm::VmOptions opts;
+  opts.dispatch_overhead = uint32_t(state.range(0));
+  vm::Interpreter interp(opts);
+  vm::MapHost host;
+  vm::TxContext ctx;
+  ctx.function = "main";
+  for (auto _ : state) {
+    auto r = interp.Execute(*program, ctx, &host);
+    benchmark::DoNotOptimize(r.return_value);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * 100000 * 6);
+}
+BENCHMARK(BM_VmDispatch)->Arg(0)->Arg(12)->Arg(60);
+
+void BM_ContractYcsbWrite(benchmark::State& state) {
+  auto program = vm::Assemble(workloads::KvStoreCasm());
+  vm::Interpreter interp;
+  vm::MapHost host;
+  vm::TxContext ctx;
+  ctx.function = "write";
+  ctx.args = {vm::Value("user123"), vm::Value(std::string(100, 'v'))};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interp.Execute(*program, ctx, &host));
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_ContractYcsbWrite);
+
+void BM_SimulationEventLoop(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    int count = 0;
+    for (int i = 0; i < 10000; ++i) {
+      sim.At(double(i) * 0.001, [&count] { ++count; });
+    }
+    sim.RunToCompletion();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * 10000);
+}
+BENCHMARK(BM_SimulationEventLoop);
+
+void BM_NetworkMessageRoundtrip(benchmark::State& state) {
+  class Sink : public sim::Node {
+   public:
+    using sim::Node::Node;
+    double HandleMessage(const sim::Message&) override { return 0; }
+  };
+  sim::Simulation sim;
+  sim::Network net(&sim, {});
+  Sink a(0, &net), b(1, &net);
+  for (auto _ : state) {
+    sim::Message m;
+    m.from = 0;
+    m.to = 1;
+    m.type = "bench";
+    m.size_bytes = 100;
+    net.Send(std::move(m));
+    sim.RunUntil(sim.Now() + 0.01);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_NetworkMessageRoundtrip);
+
+}  // namespace
+}  // namespace bb
+
+BENCHMARK_MAIN();

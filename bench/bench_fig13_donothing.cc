@@ -1,0 +1,40 @@
+// Figure 13(c): DoNothing vs YCSB vs Smallbank throughput (8 clients,
+// 8 servers) — isolates the consensus layer's share of the cost.
+//
+// Paper: Ethereum gains ~10% on DoNothing over YCSB (execution is ~10%
+// overhead); Parity shows NO difference (its bottleneck is transaction
+// signing, not consensus or execution); Hyperledger gains slightly.
+
+#include "common.h"
+
+using namespace bb;
+using namespace bb::bench;
+
+int main(int argc, char** argv) {
+  bool full = HasFlag(argc, argv, "--full");
+  double duration = full ? 300 : 90;
+  // Saturating rates per platform (found by the Fig 5 sweep).
+  double sat_rate[3] = {256, 64, 384};
+
+  PrintHeader("Figure 13(c): transaction throughput by workload "
+              "(paper: Eth 256/284/328, Parity 45/45/46, HL 1122/1273/1285)");
+  std::printf("%-12s | %12s %12s %12s\n", "platform", "Smallbank", "YCSB",
+              "DoNothing");
+  for (int pi = 0; pi < 3; ++pi) {
+    double tput[3];
+    WorkloadKind kinds[3] = {WorkloadKind::kSmallbank, WorkloadKind::kYcsb,
+                             WorkloadKind::kDoNothing};
+    for (int wi = 0; wi < 3; ++wi) {
+      MacroConfig cfg;
+      cfg.options = OptionsFor(kPlatforms[pi]);
+      cfg.rate = sat_rate[pi];
+      cfg.duration = duration;
+      cfg.workload = kinds[wi];
+      MacroRun run(cfg);
+      tput[wi] = run.Run().throughput;
+    }
+    std::printf("%-12s | %12.1f %12.1f %12.1f\n", kPlatforms[pi], tput[0],
+                tput[1], tput[2]);
+  }
+  return 0;
+}

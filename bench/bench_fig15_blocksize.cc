@@ -1,0 +1,55 @@
+// Figure 15 (Appendix B): block generation rate for small / medium /
+// large block sizes, measured at saturation (8 clients, 8 servers, YCSB).
+//   Ethereum:   gasLimit scaled 0.5x / 1x / 2x. Bigger blocks require a
+//               matching difficulty increase to keep the uncle rate down,
+//               so the effective block interval scales with the size.
+//   Parity:     stepDuration 1 / 2 / 4 (the paper's knob for block size).
+//   Hyperledger: batchSize 250 / 500 / 1000.
+//
+// Paper: Eth 0.34/0.22/0.12, Parity 1.0/0.56/0.28, HL 5.2/3.1/1.75
+// blocks/s — rate drops roughly in proportion, so overall throughput
+// does NOT improve with bigger blocks.
+
+#include "common.h"
+
+using namespace bb;
+using namespace bb::bench;
+
+int main(int argc, char** argv) {
+  bool full = HasFlag(argc, argv, "--full");
+  double duration = full ? 240 : 90;
+  const char* size_names[3] = {"small", "medium", "large"};
+
+  PrintHeader("Figure 15: block generation rate vs block size");
+  std::printf("%-12s %-8s | %14s %14s\n", "platform", "size", "blocks/s",
+              "tput tx/s");
+  for (int pi = 0; pi < 3; ++pi) {
+    for (int si = 0; si < 3; ++si) {
+      double factor = si == 0 ? 0.5 : (si == 1 ? 1.0 : 2.0);
+      MacroConfig cfg;
+      cfg.options = OptionsFor(kPlatforms[pi]);
+      cfg.rate = 384;
+      cfg.duration = duration;
+      cfg.drain = 10;
+      if (std::string(kPlatforms[pi]) == "ethereum") {
+        cfg.options.block_tx_limit =
+            size_t(double(cfg.options.block_tx_limit) * factor);
+        // Difficulty response to the heavier blocks.
+        cfg.options.pow.base_block_interval *= factor;
+      } else if (std::string(kPlatforms[pi]) == "parity") {
+        cfg.options.poa.step_duration *= 2.0 * factor;  // 1 / 2 / 4 s
+      } else {
+        cfg.options.pbft.batch_size =
+            size_t(double(cfg.options.pbft.batch_size) * factor);
+        cfg.options.block_tx_limit = cfg.options.pbft.batch_size;
+      }
+      MacroRun run(cfg);
+      auto r = run.Run();
+      double blocks =
+          double(run.rplatform().node(0).chain().main_chain_blocks());
+      std::printf("%-12s %-8s | %14.2f %14.1f\n", kPlatforms[pi],
+                  size_names[si], blocks / (duration + 10), r.throughput);
+    }
+  }
+  return 0;
+}

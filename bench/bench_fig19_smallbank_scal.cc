@@ -1,0 +1,37 @@
+// Figure 19 (Appendix B): scalability with the Smallbank benchmark
+// (#clients = #servers = N). Same pattern as Fig 7, except Hyperledger
+// collapses even earlier under the heavier transactions.
+
+#include "common.h"
+
+using namespace bb;
+using namespace bb::bench;
+
+int main(int argc, char** argv) {
+  bool full = HasFlag(argc, argv, "--full");
+  std::vector<size_t> sizes = full
+      ? std::vector<size_t>{1, 2, 4, 8, 12, 16, 20, 24, 28, 32}
+      : std::vector<size_t>{2, 4, 8, 16, 24, 32};
+  double duration = full ? 120 : 70;
+
+  PrintHeader("Figure 19: scalability, #clients = #servers = N (Smallbank)");
+  std::printf("%-12s %4s | %10s %12s\n", "platform", "N", "tput tx/s",
+              "lat p50 (s)");
+  for (int pi = 0; pi < 3; ++pi) {
+    for (size_t n : sizes) {
+      MacroConfig cfg;
+      cfg.options = OptionsFor(kPlatforms[pi]);
+      cfg.servers = n;
+      cfg.clients = n;
+      cfg.rate = 80;
+      cfg.duration = duration;
+      cfg.drain = 20;
+      cfg.workload = WorkloadKind::kSmallbank;
+      MacroRun run(cfg);
+      auto r = run.Run();
+      std::printf("%-12s %4zu | %10.1f %12.2f\n", kPlatforms[pi], n,
+                  r.throughput, r.latency_p50);
+    }
+  }
+  return 0;
+}

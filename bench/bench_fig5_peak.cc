@@ -1,0 +1,66 @@
+// Figure 5: throughput and latency with 8 clients and 8 servers.
+//   (a) peak performance for YCSB and Smallbank
+//   (b, c) throughput and latency vs per-client request rate.
+//
+// Paper reference (peak): Ethereum 284/255 tx/s, Parity 45/46 tx/s,
+// Hyperledger 1273/1122 tx/s (YCSB/Smallbank); latency 92/114, 3/4,
+// 38/51 seconds.
+
+#include <vector>
+
+#include "common.h"
+
+using namespace bb;
+using namespace bb::bench;
+
+int main(int argc, char** argv) {
+  bool full = HasFlag(argc, argv, "--full");
+  std::vector<double> rates = full
+      ? std::vector<double>{8, 16, 32, 64, 128, 256, 512, 1024}
+      : std::vector<double>{8, 32, 128, 512};
+  double duration = full ? 300 : 90;
+
+  PrintHeader("Figure 5(b,c): throughput & latency vs request rate "
+              "(8 clients, 8 servers, YCSB + Smallbank)");
+  std::printf("%-12s %-10s %8s | %10s %12s %12s\n", "platform", "workload",
+              "rate", "tput tx/s", "lat p50 (s)", "lat mean (s)");
+
+  struct Peak {
+    double tput = 0;
+    double lat_mean = 0;
+  };
+  Peak peak[3][2];
+
+  for (int pi = 0; pi < 3; ++pi) {
+    for (int wi = 0; wi < 2; ++wi) {
+      WorkloadKind w = wi == 0 ? WorkloadKind::kYcsb : WorkloadKind::kSmallbank;
+      for (double rate : rates) {
+        MacroConfig cfg;
+        cfg.options = OptionsFor(kPlatforms[pi]);
+        cfg.rate = rate;
+        cfg.duration = duration;
+        cfg.workload = w;
+        MacroRun run(cfg);
+        auto r = run.Run();
+        std::printf("%-12s %-10s %8.0f | %10.1f %12.2f %12.2f\n",
+                    kPlatforms[pi], WorkloadName(w), rate, r.throughput,
+                    r.latency_p50, r.latency_mean);
+        if (r.throughput > peak[pi][wi].tput) {
+          peak[pi][wi].tput = r.throughput;
+          peak[pi][wi].lat_mean = r.latency_mean;
+        }
+      }
+    }
+  }
+
+  PrintHeader("Figure 5(a): peak performance (paper: Eth 284/255, Parity "
+              "45/46, Hyperledger 1273/1122 tx/s)");
+  std::printf("%-12s | %16s %16s | %16s %16s\n", "platform", "YCSB tput",
+              "Smallbank tput", "YCSB lat(s)", "Smallbank lat(s)");
+  for (int pi = 0; pi < 3; ++pi) {
+    std::printf("%-12s | %16.1f %16.1f | %16.2f %16.2f\n", kPlatforms[pi],
+                peak[pi][0].tput, peak[pi][1].tput, peak[pi][0].lat_mean,
+                peak[pi][1].lat_mean);
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 6: client request queue length over time at per-client request
+// rates of 8 tx/s and 512 tx/s (8 clients, 8 servers, YCSB).
+//
+// Paper shape: at 8 tx/s Ethereum and Hyperledger queues stay ~constant
+// while Parity's grows (offered 64 tx/s > its ~45 tx/s capacity); at
+// 512 tx/s Parity's queue is the SMALLEST because the server enforces a
+// per-client admission cap.
+
+#include "common.h"
+
+using namespace bb;
+using namespace bb::bench;
+
+int main(int argc, char** argv) {
+  bool full = HasFlag(argc, argv, "--full");
+  double duration = full ? 300 : 150;
+
+  for (double rate : {8.0, 512.0}) {
+    PrintHeader("Figure 6: queue length over time, " +
+                std::to_string(int(rate)) + " tx/s per client");
+    std::printf("%8s %14s %14s %14s\n", "time(s)", "ethereum", "parity",
+                "hyperledger");
+    // Run the three platforms, then print a merged table.
+    std::vector<std::vector<double>> queues(3);
+    for (int pi = 0; pi < 3; ++pi) {
+      MacroConfig cfg;
+      cfg.options = OptionsFor(kPlatforms[pi]);
+      cfg.rate = rate;
+      cfg.duration = duration;
+      cfg.drain = 0;
+      MacroRun run(cfg);
+      run.Run();
+      for (size_t s = 0; s < size_t(duration); s += 10) {
+        queues[size_t(pi)].push_back(run.driver().stats().QueueLengthAt(s));
+      }
+    }
+    for (size_t i = 0; i * 10 < size_t(duration); ++i) {
+      std::printf("%8zu %14.0f %14.0f %14.0f\n", i * 10, queues[0][i],
+                  queues[1][i], queues[2][i]);
+    }
+  }
+  return 0;
+}

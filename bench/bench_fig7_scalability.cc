@@ -1,0 +1,40 @@
+// Figure 7: performance scalability with the same number of clients and
+// servers (YCSB, N = 1..32).
+//
+// Paper shape: Parity constant; Ethereum degrades roughly linearly
+// beyond 8 servers; Hyperledger stops working beyond 16 servers (views
+// diverge once the consensus channel saturates).
+
+#include "common.h"
+
+using namespace bb;
+using namespace bb::bench;
+
+int main(int argc, char** argv) {
+  bool full = HasFlag(argc, argv, "--full");
+  std::vector<size_t> sizes = full
+      ? std::vector<size_t>{1, 2, 4, 8, 12, 16, 20, 24, 28, 32}
+      : std::vector<size_t>{2, 4, 8, 16, 20, 28, 32};
+  double duration = full ? 120 : 70;
+
+  PrintHeader("Figure 7: scalability, #clients = #servers = N (YCSB)");
+  std::printf("%-12s %4s | %10s %12s %12s\n", "platform", "N", "tput tx/s",
+              "lat p50 (s)", "committed");
+  for (int pi = 0; pi < 3; ++pi) {
+    for (size_t n : sizes) {
+      MacroConfig cfg;
+      cfg.options = OptionsFor(kPlatforms[pi]);
+      cfg.servers = n;
+      cfg.clients = n;
+      cfg.rate = 80;  // saturates every platform; drives PBFT past its channel capacity beyond 16 nodes
+      cfg.duration = duration;
+      cfg.drain = 20;
+      MacroRun run(cfg);
+      auto r = run.Run();
+      std::printf("%-12s %4zu | %10.1f %12.2f %12llu\n", kPlatforms[pi], n,
+                  r.throughput, r.latency_p50,
+                  (unsigned long long)r.committed);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 8: performance scalability with a fixed 8 clients while the
+// number of servers grows 8..32 (YCSB).
+//
+// Paper shape: all systems get somewhat worse with more servers
+// (network overheads); Hyperledger keeps working (the load stays at
+// 8 clients) but degrades; Parity stays constant.
+
+#include "common.h"
+
+using namespace bb;
+using namespace bb::bench;
+
+int main(int argc, char** argv) {
+  bool full = HasFlag(argc, argv, "--full");
+  std::vector<size_t> sizes = full
+      ? std::vector<size_t>{8, 12, 16, 20, 24, 28, 32}
+      : std::vector<size_t>{8, 16, 24, 32};
+  double duration = full ? 200 : 150;
+
+  PrintHeader("Figure 8: scalability with fixed 8 clients (YCSB)");
+  std::printf("%-12s %8s | %10s %12s\n", "platform", "servers", "tput tx/s",
+              "lat p50 (s)");
+  for (int pi = 0; pi < 3; ++pi) {
+    for (size_t n : sizes) {
+      MacroConfig cfg;
+      cfg.options = OptionsFor(kPlatforms[pi]);
+      cfg.servers = n;
+      cfg.clients = 8;
+      cfg.rate = 140;  // saturates Ethereum; keeps Hyperledger under its ceiling
+      cfg.duration = duration;
+      cfg.drain = 20;
+      MacroRun run(cfg);
+      auto r = run.Run();
+      std::printf("%-12s %8zu | %10.1f %12.2f\n", kPlatforms[pi], n,
+                  r.throughput, r.latency_p50);
+    }
+  }
+  return 0;
+}

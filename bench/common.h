@@ -1,0 +1,134 @@
+// Shared harness for the figure benchmarks: constructs a platform +
+// workload + driver stack in one object so each bench binary focuses on
+// its sweep and its table.
+
+#ifndef BLOCKBENCH_BENCH_COMMON_H_
+#define BLOCKBENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/driver.h"
+#include "platform/platform.h"
+#include "workloads/donothing.h"
+#include "workloads/smallbank.h"
+#include "workloads/ycsb.h"
+
+namespace bb::bench {
+
+enum class WorkloadKind { kYcsb, kSmallbank, kDoNothing };
+
+inline const char* WorkloadName(WorkloadKind w) {
+  switch (w) {
+    case WorkloadKind::kYcsb: return "YCSB";
+    case WorkloadKind::kSmallbank: return "Smallbank";
+    case WorkloadKind::kDoNothing: return "DoNothing";
+  }
+  return "?";
+}
+
+inline platform::PlatformOptions OptionsFor(const std::string& name) {
+  if (name == "ethereum") return platform::EthereumOptions();
+  if (name == "parity") return platform::ParityOptions();
+  if (name == "hyperledger") return platform::HyperledgerOptions();
+  std::fprintf(stderr, "unknown platform %s\n", name.c_str());
+  std::abort();
+}
+
+inline const char* kPlatforms[] = {"ethereum", "parity", "hyperledger"};
+
+struct MacroConfig {
+  platform::PlatformOptions options;
+  size_t servers = 8;
+  size_t clients = 8;
+  double rate = 8;            // per client, tx/s
+  size_t max_outstanding = 0;
+  double duration = 120;
+  double drain = 30;
+  double warmup = 15;
+  WorkloadKind workload = WorkloadKind::kYcsb;
+  uint64_t seed = 1;
+  /// Smaller preloads keep bench startup fast without changing shape.
+  uint64_t ycsb_records = 2000;
+  uint64_t smallbank_accounts = 2000;
+};
+
+/// One macro experiment: platform cluster + driver + workload.
+class MacroRun {
+ public:
+  explicit MacroRun(MacroConfig config) : config_(std::move(config)) {
+    sim_ = std::make_unique<sim::Simulation>(config_.seed);
+    platform_ = std::make_unique<platform::Platform>(
+        sim_.get(), config_.options, config_.servers);
+    switch (config_.workload) {
+      case WorkloadKind::kYcsb: {
+        workloads::YcsbConfig yc;
+        yc.record_count = config_.ycsb_records;
+        workload_ = std::make_unique<workloads::YcsbWorkload>(yc);
+        break;
+      }
+      case WorkloadKind::kSmallbank: {
+        workloads::SmallbankConfig sc;
+        sc.num_accounts = config_.smallbank_accounts;
+        workload_ = std::make_unique<workloads::SmallbankWorkload>(sc);
+        break;
+      }
+      case WorkloadKind::kDoNothing:
+        workload_ = std::make_unique<workloads::DoNothingWorkload>();
+        break;
+    }
+    Status s = workload_->Setup(platform_.get());
+    if (!s.ok()) {
+      std::fprintf(stderr, "workload setup failed: %s\n", s.ToString().c_str());
+      std::abort();
+    }
+    core::DriverConfig dc;
+    dc.num_clients = config_.clients;
+    dc.request_rate = config_.rate;
+    dc.max_outstanding = config_.max_outstanding;
+    dc.duration = config_.duration;
+    dc.drain = config_.drain;
+    dc.warmup = config_.warmup;
+    driver_ = std::make_unique<core::Driver>(platform_.get(), workload_.get(),
+                                             dc);
+  }
+
+  /// Schedule fault/attack events before calling Run().
+  sim::Simulation& rsim() { return *sim_; }
+  platform::Platform& rplatform() { return *platform_; }
+  core::Driver& driver() { return *driver_; }
+
+  core::BenchReport Run() {
+    driver_->Run();
+    return driver_->Report();
+  }
+
+  const MacroConfig& config() const { return config_; }
+
+ private:
+  MacroConfig config_;
+  std::unique_ptr<sim::Simulation> sim_;
+  std::unique_ptr<platform::Platform> platform_;
+  std::unique_ptr<core::WorkloadConnector> workload_;
+  std::unique_ptr<core::Driver> driver_;
+};
+
+/// True when the flag (e.g. "--full") is among the args.
+inline bool HasFlag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i] == flag) return true;
+  }
+  return false;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace bb::bench
+
+#endif  // BLOCKBENCH_BENCH_COMMON_H_

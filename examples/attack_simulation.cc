@@ -1,0 +1,82 @@
+// Attack simulation: the paper's security experiment (Section 3.3) as a
+// standalone scenario. An attacker who can partition the network (BGP
+// hijack / eclipse) splits an 8-server cluster in half for 100 virtual
+// seconds while a payment workload runs. We then measure the
+// double-spending window: blocks confirmed to clients that never reach
+// the main branch.
+//
+//   $ ./attack_simulation
+//
+// Expected: the PoW chain forks (a sizable fraction of blocks orphaned,
+// each a double-spend opportunity); PBFT never forks — the minority
+// partition simply halts and catches up after the heal.
+
+#include <cstdio>
+
+#include "core/driver.h"
+#include "platform/platform.h"
+#include "workloads/smallbank.h"
+
+using namespace bb;
+
+namespace {
+
+void RunAttack(platform::PlatformOptions options) {
+  std::printf("--- %s ---\n", options.name.c_str());
+  sim::Simulation sim(7);
+  platform::Platform chain(&sim, options, 8);
+
+  workloads::SmallbankConfig cfg;
+  cfg.num_accounts = 1'000;
+  workloads::SmallbankWorkload workload(cfg);
+  if (!workload.Setup(&chain).ok()) return;
+
+  core::DriverConfig dc;
+  dc.num_clients = 4;
+  dc.request_rate = 40;
+  dc.duration = 300;
+  dc.drain = 40;
+  core::Driver driver(&chain, &workload, dc);
+
+  // The attack: partition {0,1,2,3} from {4,5,6,7} during [100s, 200s).
+  sim.At(100, [&chain] {
+    std::printf("  t=100s  network partitioned in half\n");
+    chain.network().Partition({0, 1, 2, 3});
+  });
+  sim.At(200, [&chain] {
+    std::printf("  t=200s  partition healed\n");
+    chain.network().HealPartition();
+  });
+
+  driver.Run();
+
+  uint64_t generated = chain.TotalBlocksProduced();
+  uint64_t main_branch = chain.CanonicalBlocks();
+  uint64_t orphaned = 0;
+  for (size_t i = 0; i < chain.num_servers(); ++i) {
+    orphaned = std::max<uint64_t>(orphaned,
+                                  chain.node(i).chain().orphaned_blocks());
+  }
+  std::printf("  blocks generated:   %llu\n", (unsigned long long)generated);
+  std::printf("  main branch:        %llu\n", (unsigned long long)main_branch);
+  std::printf("  orphaned (Δ):       %llu  -> %s\n",
+              (unsigned long long)orphaned,
+              orphaned > 0 ? "DOUBLE-SPEND WINDOW: transactions 'confirmed' "
+                             "on the losing branch vanished"
+                           : "no fork: consensus safety held");
+  std::printf("  committed tx:       %llu\n\n",
+              (unsigned long long)driver.stats().total_committed());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Partition attack while a Smallbank payment workload runs\n\n");
+  RunAttack(platform::EthereumOptions());
+  RunAttack(platform::ParityOptions());
+  RunAttack(platform::HyperledgerOptions());
+  std::printf(
+      "PoW/PoA fork under partition (probabilistic finality); PBFT's\n"
+      "quorum intersection makes forks impossible — the paper's Fig 10.\n");
+  return 0;
+}

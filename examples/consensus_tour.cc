@@ -1,0 +1,66 @@
+// Consensus tour: the same Smallbank workload on all five platform
+// models — one table showing how the consensus choice shapes throughput,
+// latency, finality and fork behaviour.
+//
+//   $ ./consensus_tour
+
+#include <cstdio>
+
+#include "core/driver.h"
+#include "platform/platform.h"
+#include "workloads/smallbank.h"
+
+using namespace bb;
+
+int main() {
+  struct Entry {
+    const char* consensus;
+    platform::PlatformOptions options;
+  };
+  Entry entries[] = {
+      {"PoW", platform::EthereumOptions()},
+      {"PoA", platform::ParityOptions()},
+      {"PBFT", platform::HyperledgerOptions()},
+      {"Tendermint", platform::ErisDbOptions()},
+      {"Raft (CFT)", platform::CordaOptions()},
+  };
+
+  std::printf("Smallbank on five consensus designs (6 servers, 4 clients, "
+              "60 tx/s/client, 90 s)\n\n");
+  std::printf("%-12s %-12s | %9s %9s %8s %8s %s\n", "platform", "consensus",
+              "tput", "p50 lat", "blocks", "orphans", "finality");
+  for (auto& e : entries) {
+    sim::Simulation sim(21);
+    platform::Platform chain(&sim, e.options, 6);
+    workloads::SmallbankConfig cfg;
+    cfg.num_accounts = 2'000;
+    workloads::SmallbankWorkload workload(cfg);
+    if (!workload.Setup(&chain).ok()) {
+      std::fprintf(stderr, "setup failed for %s\n", e.options.name.c_str());
+      continue;
+    }
+    core::DriverConfig dc;
+    dc.num_clients = 4;
+    dc.request_rate = 60;
+    dc.duration = 90;
+    dc.drain = 25;
+    core::Driver driver(&chain, &workload, dc);
+    driver.Run();
+    auto r = driver.Report();
+    std::printf("%-12s %-12s | %9.1f %8.2fs %8llu %8llu %s\n",
+                e.options.name.c_str(), e.consensus, r.throughput,
+                r.latency_p50,
+                (unsigned long long)chain.node(0).chain().main_chain_blocks(),
+                (unsigned long long)chain.node(0).chain().orphaned_blocks(),
+                e.options.confirmation_depth == 0
+                    ? "immediate"
+                    : "probabilistic (confirmation depth)");
+  }
+  std::printf(
+      "\nPoW pays for open-membership security with latency and forks;\n"
+      "PoA is bounded by its signing stage; the BFT protocols commit\n"
+      "instantly but carry quorum traffic; Raft is cheapest of all —\n"
+      "because it does not tolerate Byzantine behaviour at all (§2 of\n"
+      "the paper).\n");
+  return 0;
+}

@@ -1,0 +1,200 @@
+#include "baseline/hstore.h"
+
+#include <cassert>
+#include <functional>
+
+namespace bb::baseline {
+
+namespace {
+
+struct PrepareMsg {
+  uint64_t txn_id;
+  std::vector<KvOp> ops;
+};
+struct TxnIdMsg {
+  uint64_t txn_id;
+};
+
+uint64_t OpsBytes(const std::vector<KvOp>& ops) {
+  uint64_t n = 32;
+  for (const auto& op : ops) n += op.key.size() + op.value.size() + 8;
+  return n;
+}
+
+}  // namespace
+
+HStoreCluster::HStoreCluster(sim::Simulation* sim, HStoreOptions options)
+    : sim_(sim), options_(options) {
+  network_ = std::make_unique<sim::Network>(sim_, options_.net);
+  for (size_t i = 0; i < options_.num_sites; ++i) {
+    sites_.push_back(std::make_unique<HStoreSite>(
+        sim::NodeId(i), network_.get(), this, options_));
+  }
+}
+
+HStoreCluster::~HStoreCluster() = default;
+
+size_t HStoreCluster::num_sites() const { return sites_.size(); }
+
+HStoreSite& HStoreCluster::site(size_t i) { return *sites_.at(i); }
+
+size_t HStoreCluster::PartitionOf(const std::string& key) const {
+  return std::hash<std::string>{}(key) % sites_.size();
+}
+
+size_t HStoreCluster::CoordinatorOf(const HsTransaction& txn) const {
+  assert(!txn.ops.empty());
+  return PartitionOf(txn.ops.front().key);
+}
+
+uint64_t HStoreCluster::single_partition_txns() const {
+  // Tracked by sites; aggregate on demand (stats hooks kept minimal).
+  return 0;
+}
+uint64_t HStoreCluster::multi_partition_txns() const { return 0; }
+
+HStoreSite::HStoreSite(sim::NodeId id, sim::Network* network,
+                       HStoreCluster* cluster, HStoreOptions options)
+    : sim::Node(id, network), cluster_(cluster), options_(options) {}
+
+void HStoreSite::Load(const std::string& key, const std::string& value) {
+  data_[key] = value;
+}
+
+double HStoreSite::ExecuteOps(const std::vector<KvOp>& ops) {
+  for (const auto& op : ops) {
+    if (op.is_write) {
+      data_[op.key] = op.value;
+    } else {
+      auto it = data_.find(op.key);
+      (void)it;
+    }
+  }
+  return options_.op_cpu * double(ops.size());
+}
+
+double HStoreSite::HandleClientTxn(const sim::Message& msg) {
+  const auto& txn = std::any_cast<const HsTransaction&>(msg.payload);
+  double cpu = options_.txn_fixed_cpu;
+
+  // Split ops by owning partition.
+  std::map<sim::NodeId, std::vector<KvOp>> per_site;
+  for (const auto& op : txn.ops) {
+    per_site[sim::NodeId(cluster_->PartitionOf(op.key))].push_back(op);
+  }
+
+  if (per_site.size() == 1 && per_site.begin()->first == id()) {
+    // Single-partition fast path: no coordination at all.
+    cpu += ExecuteOps(txn.ops);
+    Send(msg.from, "hs_done", TxnIdMsg{txn.id}, 40);
+    return cpu;
+  }
+
+  // Multi-partition: two-phase commit.
+  Pending2pc p;
+  p.client = msg.from;
+  p.txn_id = txn.id;
+  for (auto& [site, ops] : per_site) {
+    if (site == id()) {
+      cpu += ExecuteOps(ops);
+    } else {
+      p.waiting_prepare.insert(site);
+      p.waiting_ack.insert(site);
+      p.per_site_ops[site] = ops;
+      Send(site, "hs_prepare", PrepareMsg{txn.id, ops}, OpsBytes(ops));
+    }
+  }
+  if (p.waiting_prepare.empty()) {
+    Send(msg.from, "hs_done", TxnIdMsg{txn.id}, 40);
+    return cpu;
+  }
+  coordinating_.emplace(txn.id, std::move(p));
+  return cpu;
+}
+
+double HStoreSite::HandleMessage(const sim::Message& msg) {
+  if (msg.type == "hs_txn") return HandleClientTxn(msg);
+
+  if (msg.type == "hs_prepare") {
+    const auto& m = std::any_cast<const PrepareMsg&>(msg.payload);
+    double cpu = options_.twopc_msg_cpu + ExecuteOps(m.ops);
+    Send(msg.from, "hs_prepared", TxnIdMsg{m.txn_id}, 40);
+    return cpu;
+  }
+
+  if (msg.type == "hs_prepared") {
+    const auto& m = std::any_cast<const TxnIdMsg&>(msg.payload);
+    auto it = coordinating_.find(m.txn_id);
+    if (it == coordinating_.end()) return options_.twopc_msg_cpu;
+    it->second.waiting_prepare.erase(msg.from);
+    if (it->second.waiting_prepare.empty()) {
+      for (sim::NodeId site : it->second.waiting_ack) {
+        Send(site, "hs_commit", TxnIdMsg{m.txn_id}, 40);
+      }
+    }
+    return options_.twopc_msg_cpu;
+  }
+
+  if (msg.type == "hs_commit") {
+    const auto& m = std::any_cast<const TxnIdMsg&>(msg.payload);
+    Send(msg.from, "hs_ack", TxnIdMsg{m.txn_id}, 40);
+    return options_.twopc_msg_cpu;
+  }
+
+  if (msg.type == "hs_ack") {
+    const auto& m = std::any_cast<const TxnIdMsg&>(msg.payload);
+    auto it = coordinating_.find(m.txn_id);
+    if (it == coordinating_.end()) return options_.twopc_msg_cpu;
+    it->second.waiting_ack.erase(msg.from);
+    if (it->second.waiting_ack.empty()) {
+      Send(it->second.client, "hs_done", TxnIdMsg{m.txn_id}, 40);
+      coordinating_.erase(it);
+    }
+    return options_.twopc_msg_cpu;
+  }
+
+  return 0;
+}
+
+HStoreClient::HStoreClient(sim::NodeId id, HStoreCluster* cluster,
+                           uint32_t client_index, TxnFactory factory,
+                           core::StatsCollector* stats, double request_rate,
+                           double load_end, uint64_t seed)
+    : sim::Node(id, &cluster->network()),
+      cluster_(cluster),
+      client_index_(client_index),
+      factory_(std::move(factory)),
+      stats_(stats),
+      request_rate_(request_rate),
+      load_end_(load_end),
+      rng_(seed) {}
+
+void HStoreClient::Start() {
+  sim()->After(rng_.NextDouble() / request_rate_, [this] { Tick(); });
+}
+
+void HStoreClient::Tick() {
+  if (Now() >= load_end_) return;
+  HsTransaction txn = factory_(rng_);
+  txn.id = (uint64_t(client_index_) + 1) << 40 | next_seq_++;
+  txn.submit_time = Now();
+  outstanding_.emplace(txn.id, txn.submit_time);
+  stats_->RecordSubmit(Now());
+  size_t coord = cluster_->CoordinatorOf(txn);
+  Send(sim::NodeId(coord), "hs_txn", std::move(txn), 200);
+  sim()->After(1.0 / request_rate_, [this] { Tick(); });
+}
+
+double HStoreClient::HandleMessage(const sim::Message& msg) {
+  if (msg.type == "hs_done") {
+    const auto& m = std::any_cast<const TxnIdMsg&>(msg.payload);
+    auto it = outstanding_.find(m.txn_id);
+    if (it != outstanding_.end()) {
+      stats_->RecordCommit(Now(), Now() - it->second);
+      outstanding_.erase(it);
+    }
+  }
+  return 0;
+}
+
+}  // namespace bb::baseline

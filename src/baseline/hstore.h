@@ -1,0 +1,137 @@
+// HStoreLite: a sharded, in-memory, crash-failure-model database in the
+// style of H-Store — the incumbent the paper compares blockchains against
+// (Fig 14 / Appendix B).
+//
+// Data is hash-partitioned across single-threaded sites. A transaction
+// whose keys live in one partition executes directly at that site; a
+// multi-partition transaction runs two-phase commit across the touched
+// sites. No Byzantine tolerance, no signatures, no replication — exactly
+// the design contrast the paper draws.
+
+#ifndef BLOCKBENCH_BASELINE_HSTORE_H_
+#define BLOCKBENCH_BASELINE_HSTORE_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "core/stats.h"
+#include "sim/node.h"
+#include "util/random.h"
+
+namespace bb::baseline {
+
+struct HStoreOptions {
+  size_t num_sites = 8;
+  /// Per-transaction fixed execution cost at a site.
+  double txn_fixed_cpu = 55e-6;
+  /// Per key-value operation cost.
+  double op_cpu = 2e-6;
+  /// Per 2PC message handling cost (undo logging, blocking, fsync
+  /// amortization — what makes Smallbank 6.6x slower than YCSB).
+  double twopc_msg_cpu = 1.8e-4;
+  sim::NetworkConfig net{/*base_latency=*/0.0002, /*jitter=*/0.0001};
+};
+
+struct KvOp {
+  bool is_write;
+  std::string key;
+  std::string value;  // writes only
+};
+
+struct HsTransaction {
+  uint64_t id = 0;
+  std::vector<KvOp> ops;
+  double submit_time = 0;
+};
+
+class HStoreSite;
+
+/// The cluster: sites 0..num_sites-1 on a private network.
+class HStoreCluster {
+ public:
+  HStoreCluster(sim::Simulation* sim, HStoreOptions options);
+  ~HStoreCluster();
+
+  sim::Network& network() { return *network_; }
+  size_t num_sites() const;
+  HStoreSite& site(size_t i);
+
+  /// Partition owning `key`.
+  size_t PartitionOf(const std::string& key) const;
+  /// Coordinator site for a transaction (owner of its first key).
+  size_t CoordinatorOf(const HsTransaction& txn) const;
+
+  uint64_t single_partition_txns() const;
+  uint64_t multi_partition_txns() const;
+
+ private:
+  sim::Simulation* sim_;
+  HStoreOptions options_;
+  std::unique_ptr<sim::Network> network_;
+  std::vector<std::unique_ptr<HStoreSite>> sites_;
+};
+
+/// One single-threaded execution site.
+class HStoreSite : public sim::Node {
+ public:
+  HStoreSite(sim::NodeId id, sim::Network* network, HStoreCluster* cluster,
+             HStoreOptions options);
+
+  double HandleMessage(const sim::Message& msg) override;
+
+  /// Direct (setup-time) data loading.
+  void Load(const std::string& key, const std::string& value);
+  size_t num_keys() const { return data_.size(); }
+
+ private:
+  struct Pending2pc {
+    sim::NodeId client;
+    uint64_t txn_id;
+    std::set<sim::NodeId> waiting_prepare;
+    std::set<sim::NodeId> waiting_ack;
+    std::map<sim::NodeId, std::vector<KvOp>> per_site_ops;
+  };
+
+  double ExecuteOps(const std::vector<KvOp>& ops);
+  double HandleClientTxn(const sim::Message& msg);
+
+  HStoreCluster* cluster_;
+  HStoreOptions options_;
+  std::unordered_map<std::string, std::string> data_;
+  std::unordered_map<uint64_t, Pending2pc> coordinating_;
+};
+
+/// Open/closed-loop benchmark client feeding HsTransactions to the
+/// cluster and recording commits into a StatsCollector.
+class HStoreClient : public sim::Node {
+ public:
+  using TxnFactory = std::function<HsTransaction(Rng&)>;
+
+  HStoreClient(sim::NodeId id, HStoreCluster* cluster, uint32_t client_index,
+               TxnFactory factory, core::StatsCollector* stats,
+               double request_rate, double load_end, uint64_t seed);
+
+  void Start() override;
+  double HandleMessage(const sim::Message& msg) override;
+
+ private:
+  void Tick();
+
+  HStoreCluster* cluster_;
+  uint32_t client_index_;
+  TxnFactory factory_;
+  core::StatsCollector* stats_;
+  double request_rate_;
+  double load_end_;
+  Rng rng_;
+  uint64_t next_seq_ = 0;
+  std::unordered_map<uint64_t, double> outstanding_;
+};
+
+}  // namespace bb::baseline
+
+#endif  // BLOCKBENCH_BASELINE_HSTORE_H_

@@ -1,0 +1,49 @@
+// Block and BlockHeader, mirroring Figure 1 of the paper: header carries
+// the parent pointer, the transaction Merkle root, and the state root.
+
+#ifndef BLOCKBENCH_CHAIN_BLOCK_H_
+#define BLOCKBENCH_CHAIN_BLOCK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "chain/transaction.h"
+#include "util/sha256.h"
+
+namespace bb::chain {
+
+struct BlockHeader {
+  Hash256 parent;
+  uint64_t height = 0;
+  Hash256 tx_root;
+  Hash256 state_root;
+  /// Node id of the proposer/miner.
+  uint32_t proposer = 0;
+  /// Virtual time when the block was sealed.
+  double timestamp = 0;
+  /// PoW nonce / PoA step / PBFT sequence number, per consensus.
+  uint64_t nonce = 0;
+  /// Chain-work carried by this block (PoW difficulty; 1 for PoA/PBFT).
+  uint64_t weight = 1;
+
+  std::string Serialize() const;
+  Hash256 HashOf() const;
+};
+
+struct Block {
+  BlockHeader header;
+  std::vector<Transaction> txs;
+
+  /// Content hash (cached by ChainStore on insert; recomputed here).
+  Hash256 HashOf() const { return header.HashOf(); }
+
+  /// Computes and installs the Merkle root over txs into the header.
+  void SealTxRoot();
+
+  /// Wire size of the whole block.
+  size_t SizeBytes() const;
+};
+
+}  // namespace bb::chain
+
+#endif  // BLOCKBENCH_CHAIN_BLOCK_H_

@@ -1,0 +1,88 @@
+// ChainStore: a node's view of the block tree.
+//
+// Keeps every block received (including fork branches), selects the head
+// by cumulative chain weight (heaviest chain — Ethereum's simplification
+// of GHOST; equals longest chain when all weights are 1), maintains the
+// canonical chain index, and buffers blocks whose parent has not arrived
+// yet. Fork statistics feed the security experiment (Fig 10).
+
+#ifndef BLOCKBENCH_CHAIN_CHAIN_STORE_H_
+#define BLOCKBENCH_CHAIN_CHAIN_STORE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "chain/block.h"
+
+namespace bb::chain {
+
+class ChainStore {
+ public:
+  explicit ChainStore(Block genesis);
+
+  struct AddResult {
+    /// False when the parent is unknown (block parked in the orphan buffer).
+    bool attached = false;
+    /// True when this insertion changed the canonical head (possibly a
+    /// reorganization).
+    bool head_changed = false;
+    /// True when the block was already known (no-op).
+    bool duplicate = false;
+  };
+
+  AddResult AddBlock(Block block);
+
+  bool Contains(const Hash256& hash) const { return entries_.count(hash) > 0; }
+  /// Null when unknown.
+  const Block* GetBlock(const Hash256& hash) const;
+
+  const Hash256& head() const { return head_; }
+  uint64_t head_height() const { return HeightOf(head_); }
+  uint64_t HeightOf(const Hash256& hash) const;
+  uint64_t CumulativeWeightOf(const Hash256& hash) const;
+
+  /// Canonical block at `height` (<= head_height()); null if out of range.
+  const Block* CanonicalAt(uint64_t height) const;
+  /// Canonical blocks with height in (from, to]; to is clamped to head.
+  std::vector<const Block*> CanonicalRange(uint64_t from_exclusive,
+                                           uint64_t to_inclusive) const;
+  bool IsCanonical(const Hash256& hash) const;
+
+  /// All attached blocks excluding genesis (fork branches included).
+  size_t total_blocks() const { return entries_.size() - 1; }
+  /// Canonical blocks excluding genesis.
+  size_t main_chain_blocks() const { return canonical_.size() - 1; }
+  /// Blocks off the canonical chain = total - main. The paper's Δ.
+  size_t orphaned_blocks() const {
+    return total_blocks() - main_chain_blocks();
+  }
+  size_t pending_orphans() const { return orphan_buffer_count_; }
+  /// Blocks rejected for claiming an inconsistent height.
+  uint64_t invalid_blocks() const { return invalid_blocks_; }
+  /// Number of head reorganizations observed (head moved to a block whose
+  /// parent was not the previous head).
+  uint64_t reorgs() const { return reorgs_; }
+
+ private:
+  struct Entry {
+    Block block;
+    uint64_t cumulative_weight;
+  };
+
+  void Attach(Block block);
+  void UpdateCanonical();
+
+  std::unordered_map<Hash256, Entry, Hash256Hasher> entries_;
+  // parent hash -> blocks waiting for it.
+  std::unordered_map<Hash256, std::vector<Block>, Hash256Hasher> orphans_;
+  size_t orphan_buffer_count_ = 0;
+  std::vector<Hash256> canonical_;  // index = height
+  Hash256 head_;
+  Hash256 genesis_;
+  uint64_t reorgs_ = 0;
+  uint64_t invalid_blocks_ = 0;
+};
+
+}  // namespace bb::chain
+
+#endif  // BLOCKBENCH_CHAIN_CHAIN_STORE_H_

@@ -1,0 +1,140 @@
+#include "chain/state_db.h"
+
+#include <charconv>
+
+namespace bb::chain {
+
+// --- TrieStateDb ------------------------------------------------------------
+
+TrieStateDb::TrieStateDb(storage::KvStore* store, size_t cache_entries)
+    : store_(store), trie_(store, cache_entries) {}
+
+Status TrieStateDb::Get(const std::string& ns, const std::string& key,
+                        std::string* value) const {
+  std::string fk = FullKey(ns, key);
+  auto it = pending_.find(fk);
+  if (it != pending_.end()) {
+    if (!it->second.present) return Status::NotFound();
+    *value = it->second.value;
+    return Status::Ok();
+  }
+  return trie_.Get(root_, fk, value);
+}
+
+Status TrieStateDb::Put(const std::string& ns, const std::string& key,
+                        const std::string& value) {
+  pending_[FullKey(ns, key)] = {true, value};
+  return Status::Ok();
+}
+
+Status TrieStateDb::Delete(const std::string& ns, const std::string& key) {
+  pending_[FullKey(ns, key)] = {false, {}};
+  return Status::Ok();
+}
+
+Result<Hash256> TrieStateDb::Commit() {
+  Hash256 root = root_;
+  for (const auto& [key, w] : pending_) {
+    if (w.present) {
+      auto r = trie_.Put(root, key, w.value);
+      if (!r.ok()) return r.status();
+      root = *r;
+    } else {
+      auto r = trie_.Delete(root, key);
+      if (r.ok()) {
+        root = *r;
+      } else if (!r.status().IsNotFound()) {
+        return r.status();
+      }
+    }
+  }
+  pending_.clear();
+  root_ = root;
+  return root;
+}
+
+Status TrieStateDb::ResetTo(const Hash256& root) {
+  pending_.clear();
+  root_ = root;
+  return Status::Ok();
+}
+
+Status TrieStateDb::GetAt(const Hash256& root, const std::string& ns,
+                          const std::string& key, std::string* value) const {
+  return trie_.Get(root, FullKey(ns, key), value);
+}
+
+// --- BucketStateDb ----------------------------------------------------------
+
+BucketStateDb::BucketStateDb(storage::KvStore* store, size_t num_buckets)
+    : store_(store), tree_(store, num_buckets) {
+  root_ = tree_.RootHash();
+}
+
+Status BucketStateDb::Get(const std::string& ns, const std::string& key,
+                          std::string* value) const {
+  std::string fk = FullKey(ns, key);
+  auto it = pending_.find(fk);
+  if (it != pending_.end()) {
+    if (!it->second.present) return Status::NotFound();
+    *value = it->second.value;
+    return Status::Ok();
+  }
+  return tree_.Get(fk, value);
+}
+
+Status BucketStateDb::Put(const std::string& ns, const std::string& key,
+                          const std::string& value) {
+  pending_[FullKey(ns, key)] = {true, value};
+  return Status::Ok();
+}
+
+Status BucketStateDb::Delete(const std::string& ns, const std::string& key) {
+  pending_[FullKey(ns, key)] = {false, {}};
+  return Status::Ok();
+}
+
+Result<Hash256> BucketStateDb::Commit() {
+  for (const auto& [key, w] : pending_) {
+    if (w.present) {
+      BB_RETURN_IF_ERROR(tree_.Put(key, w.value));
+    } else {
+      Status s = tree_.Delete(key);
+      if (!s.ok() && !s.IsNotFound()) return s;
+    }
+  }
+  pending_.clear();
+  root_ = tree_.RootHash();
+  return root_;
+}
+
+// --- StateHost --------------------------------------------------------------
+
+namespace {
+constexpr char kBalanceNs[] = "__bal";
+
+int64_t ParseBalance(const std::string& raw) {
+  int64_t v = 0;
+  std::from_chars(raw.data(), raw.data() + raw.size(), v);
+  return v;
+}
+}  // namespace
+
+int64_t StateHost::BalanceOf(const StateDb& db, const std::string& account) {
+  std::string raw;
+  if (!db.Get(kBalanceNs, account, &raw).ok()) return 0;
+  return ParseBalance(raw);
+}
+
+Status StateHost::Credit(StateDb* db, const std::string& account,
+                         int64_t amount) {
+  int64_t bal = BalanceOf(*db, account);
+  return db->Put(kBalanceNs, account, std::to_string(bal + amount));
+}
+
+Status StateHost::Transfer(const std::string& to, int64_t amount) {
+  BB_RETURN_IF_ERROR(Credit(db_, contract_, -amount));
+  return Credit(db_, to, amount);
+}
+
+}  // namespace bb::chain

@@ -1,0 +1,41 @@
+// Transaction: a signed request to invoke a contract function.
+
+#ifndef BLOCKBENCH_CHAIN_TRANSACTION_H_
+#define BLOCKBENCH_CHAIN_TRANSACTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/sha256.h"
+#include "vm/value.h"
+
+namespace bb::chain {
+
+struct Transaction {
+  /// Client-assigned unique id (stands in for the tx hash handed back by
+  /// the JSON-RPC submit call).
+  uint64_t id = 0;
+  std::string sender;
+  /// Target contract address/name. Empty = plain value transfer.
+  std::string contract;
+  std::string function;
+  vm::Args args;
+  /// Currency attached to the call.
+  int64_t value = 0;
+  /// Virtual time at which the client submitted it (for latency stats).
+  double submit_time = 0;
+
+  /// Canonical byte encoding (deterministic; used for hashing and the
+  /// transaction Merkle root).
+  std::string Serialize() const;
+  static Result<Transaction> Deserialize(Slice data);
+
+  Hash256 HashOf() const;
+  /// Wire size: serialized payload plus a signature envelope.
+  size_t SizeBytes() const;
+};
+
+}  // namespace bb::chain
+
+#endif  // BLOCKBENCH_CHAIN_TRANSACTION_H_

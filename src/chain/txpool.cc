@@ -1,0 +1,60 @@
+#include "chain/txpool.h"
+
+namespace bb::chain {
+
+bool TxPool::Add(Transaction tx) {
+  if (!seen_.insert(tx.id).second) return false;
+  in_queue_.insert(tx.id);
+  queue_.push_back(std::move(tx));
+  return true;
+}
+
+std::vector<Transaction> TxPool::TakeBatch(size_t max_count,
+                                           size_t max_bytes, bool lifo) {
+  std::vector<Transaction> batch;
+  size_t bytes = 0;
+  while (!queue_.empty() && batch.size() < max_count) {
+    Transaction& next = lifo ? queue_.back() : queue_.front();
+    size_t tx_bytes = next.SizeBytes();
+    if (max_bytes != 0 && !batch.empty() && bytes + tx_bytes > max_bytes) {
+      break;
+    }
+    bytes += tx_bytes;
+    in_queue_.erase(next.id);
+    batch.push_back(std::move(next));
+    if (lifo) {
+      queue_.pop_back();
+    } else {
+      queue_.pop_front();
+    }
+  }
+  return batch;
+}
+
+void TxPool::RemoveCommitted(const std::vector<Transaction>& txs) {
+  std::unordered_set<uint64_t> committed;
+  for (const auto& tx : txs) {
+    seen_.insert(tx.id);  // gossip may deliver the block before the tx
+    if (in_queue_.count(tx.id)) committed.insert(tx.id);
+  }
+  if (committed.empty()) return;
+  std::deque<Transaction> kept;
+  for (auto& tx : queue_) {
+    if (committed.count(tx.id)) {
+      in_queue_.erase(tx.id);
+    } else {
+      kept.push_back(std::move(tx));
+    }
+  }
+  queue_ = std::move(kept);
+}
+
+void TxPool::Requeue(std::vector<Transaction> txs) {
+  for (auto& tx : txs) {
+    if (in_queue_.count(tx.id)) continue;
+    in_queue_.insert(tx.id);
+    queue_.push_back(std::move(tx));
+  }
+}
+
+}  // namespace bb::chain

@@ -1,0 +1,45 @@
+// TxPool: a node's pending-transaction pool with id-based deduplication
+// (transactions arrive both from clients and from peer gossip).
+
+#ifndef BLOCKBENCH_CHAIN_TXPOOL_H_
+#define BLOCKBENCH_CHAIN_TXPOOL_H_
+
+#include <deque>
+#include <unordered_set>
+
+#include "chain/transaction.h"
+
+namespace bb::chain {
+
+class TxPool {
+ public:
+  /// Adds a transaction; returns false if it was already seen (pending,
+  /// or committed and Forget() not called).
+  bool Add(Transaction tx);
+
+  /// Takes up to max_count transactions whose sizes sum to at most
+  /// max_bytes (0 = no byte limit). FIFO by default; lifo = true takes
+  /// the most recently admitted first (Parity's effective ordering,
+  /// which keeps commit latency low while old transactions starve).
+  std::vector<Transaction> TakeBatch(size_t max_count, size_t max_bytes = 0,
+                                     bool lifo = false);
+
+  /// Removes committed transactions from the pending queue (e.g. when a
+  /// peer's block wins) without forgetting their ids.
+  void RemoveCommitted(const std::vector<Transaction>& txs);
+
+  /// Re-queues transactions (e.g. from an orphaned block).
+  void Requeue(std::vector<Transaction> txs);
+
+  size_t pending() const { return queue_.size(); }
+  bool Seen(uint64_t id) const { return seen_.count(id) > 0; }
+
+ private:
+  std::deque<Transaction> queue_;
+  std::unordered_set<uint64_t> seen_;       // all ids ever admitted
+  std::unordered_set<uint64_t> in_queue_;   // ids currently pending
+};
+
+}  // namespace bb::chain
+
+#endif  // BLOCKBENCH_CHAIN_TXPOOL_H_

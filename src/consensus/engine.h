@@ -1,0 +1,108 @@
+// Consensus engine abstraction.
+//
+// A PlatformNode owns one Engine and forwards network messages to it; the
+// engine drives block production/agreement through the ConsensusHost
+// callbacks. Concrete engines: ProofOfWork (Ethereum model),
+// ProofOfAuthority (Parity model), Pbft (Hyperledger model).
+
+#ifndef BLOCKBENCH_CONSENSUS_ENGINE_H_
+#define BLOCKBENCH_CONSENSUS_ENGINE_H_
+
+#include <any>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "chain/block.h"
+#include "chain/chain_store.h"
+#include "sim/network.h"
+
+namespace bb::consensus {
+
+/// Payload for block-carrying messages (shared so broadcast is cheap).
+using BlockPtr = std::shared_ptr<const chain::Block>;
+
+/// The node-side services a consensus engine needs.
+class ConsensusHost {
+ public:
+  virtual ~ConsensusHost() = default;
+
+  virtual sim::NodeId node_id() const = 0;
+  virtual size_t num_nodes() const = 0;
+  virtual sim::Simulation* host_sim() = 0;
+  virtual double HostNow() const = 0;
+
+  virtual void HostBroadcast(const std::string& type, std::any payload,
+                             uint64_t size_bytes) = 0;
+  virtual bool HostSend(sim::NodeId to, const std::string& type,
+                        std::any payload, uint64_t size_bytes) = 0;
+
+  /// Assembles a candidate block extending `parent` (which may itself be
+  /// a not-yet-executed proposal — PBFT pipelines batches) at height
+  /// parent_height + 1, from the local tx pool. Returns nullopt when the
+  /// pool is empty and !allow_empty. *build_cpu receives the CPU seconds
+  /// spent assembling/executing.
+  virtual std::optional<chain::Block> BuildBlock(const Hash256& parent,
+                                                 uint64_t parent_height,
+                                                 bool allow_empty,
+                                                 double* build_cpu) = 0;
+
+  /// Validates, executes and appends a block. Returns false when the
+  /// block did not attach (its parent is unknown — the node is behind).
+  /// *cpu receives the CPU seconds consumed.
+  virtual bool CommitBlock(const chain::Block& block, double* cpu) = 0;
+
+  virtual const chain::ChainStore& chain_store() const = 0;
+  virtual size_t pending_txs() const = 0;
+
+  /// Returns abandoned transactions (e.g. from a proposal discarded by a
+  /// view change) to the pool.
+  virtual void RequeueTxs(std::vector<chain::Transaction> txs) = 0;
+
+  /// Records CPU that runs off the message-handling path (mining).
+  virtual void ChargeBackground(double cpu_seconds) = 0;
+};
+
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  virtual void Start(ConsensusHost* host) = 0;
+  /// Handles a consensus message. Returns false when the type is not a
+  /// consensus message. *cpu accumulates processing cost.
+  virtual bool HandleMessage(const sim::Message& msg, double* cpu) = 0;
+  /// Called by the node when new transactions entered the pool.
+  virtual void OnNewTransactions() {}
+  virtual void OnCrash() {}
+  virtual void OnRestart() {}
+
+  /// Protocol name for logs ("pow", "poa", "pbft").
+  virtual const char* name() const = 0;
+
+ protected:
+  /// Shared chain-sync fallback for gossip-based engines: when a
+  /// received block does not attach (missing ancestors — e.g. after a
+  /// healed partition), ask the sender for the canonical blocks above
+  /// our head. Rate-limited to one outstanding request.
+  void RequestSync(ConsensusHost* host, sim::NodeId from);
+  /// Handles "sync_fetchreq" / "sync_blocks"; returns true if consumed.
+  bool HandleSync(ConsensusHost* host, const sim::Message& msg, double* cpu);
+
+  struct SyncFetchReq {
+    uint64_t from_height;
+  };
+  struct SyncBlocks {
+    std::vector<BlockPtr> blocks;
+  };
+
+ private:
+  double last_sync_request_ = -1e9;
+  /// How far below our head sync requests start. Doubles on each request
+  /// until fetched blocks attach (the fork point may be arbitrarily deep),
+  /// then resets.
+  uint64_t sync_window_ = 8;
+};
+
+}  // namespace bb::consensus
+
+#endif  // BLOCKBENCH_CONSENSUS_ENGINE_H_

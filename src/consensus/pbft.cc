@@ -1,0 +1,355 @@
+#include "consensus/pbft.h"
+
+#include <algorithm>
+
+namespace bb::consensus {
+
+namespace {
+constexpr uint64_t kPhaseMsgBytes = 120;    // view, seq, digest, signature
+constexpr uint64_t kControlMsgBytes = 100;  // view-change / new-view / status
+}  // namespace
+
+bool Pbft::IsLeader() const { return LeaderOf(view_) == host_->node_id(); }
+
+void Pbft::Start(ConsensusHost* host) {
+  host_ = host;
+  active_ = true;
+  last_progress_exec_ = ExecHeight();
+  last_progress_time_ = host_->HostNow();
+  BatchPoll();
+  StatusTick();
+  ProgressCheck();
+}
+
+void Pbft::OnCrash() { active_ = false; }
+
+void Pbft::OnRestart() {
+  if (host_ == nullptr) return;
+  active_ = true;
+  in_view_change_ = false;
+  instances_.clear();
+  view_change_votes_.clear();
+  last_progress_exec_ = ExecHeight();
+  last_progress_time_ = host_->HostNow();
+  BatchPoll();
+  StatusTick();
+  ProgressCheck();
+}
+
+void Pbft::OnNewTransactions() {
+  if (active_) TryPropose();
+}
+
+void Pbft::BatchPoll() {
+  if (!active_) return;
+  TryPropose();
+  host_->host_sim()->After(config_.batch_poll_interval, [this] { BatchPoll(); });
+}
+
+void Pbft::StatusTick() {
+  if (!active_) return;
+  host_->HostBroadcast("pbft_status", StatusMsg{ExecHeight(), view_},
+                       kControlMsgBytes);
+  host_->host_sim()->After(config_.status_interval, [this] { StatusTick(); });
+}
+
+double Pbft::CurrentTimeout() const {
+  double t = config_.view_timeout;
+  for (uint64_t i = 0; i < consecutive_view_changes_ && t < config_.max_view_timeout;
+       ++i) {
+    t *= 2;
+  }
+  return std::min(t, config_.max_view_timeout);
+}
+
+void Pbft::ProgressCheck() {
+  if (!active_) return;
+  uint64_t exec = ExecHeight();
+  double now = host_->HostNow();
+  if (exec > last_progress_exec_) {
+    last_progress_exec_ = exec;
+    last_progress_time_ = now;
+    consecutive_view_changes_ = 0;
+  } else {
+    // Stalled. A view change is warranted only if there is work the
+    // protocol should be making progress on.
+    bool has_work = host_->pending_txs() > 0 || !instances_.empty();
+    if (has_work && now - last_progress_time_ >= CurrentTimeout()) {
+      StartViewChange(std::max(view_ + 1, view_change_target_ + 1));
+      last_progress_time_ = now;  // restart the clock for the next escalation
+    }
+  }
+  host_->host_sim()->After(0.25, [this] { ProgressCheck(); });
+}
+
+void Pbft::TryPropose() {
+  if (!active_ || in_view_change_ || !IsLeader()) return;
+  while (true) {
+    // Pipeline bound counts proposals not yet executed.
+    size_t in_flight = 0;
+    for (auto& [seq, inst] : instances_) {
+      if (!inst.executed && seq > ExecHeight()) ++in_flight;
+    }
+    if (in_flight >= config_.pipeline) return;
+    size_t pending = host_->pending_txs();
+    if (pending == 0) return;
+    // Batch discipline: wait for a full batch or the batch timeout.
+    if (pending < config_.batch_size &&
+        host_->HostNow() - last_proposal_time_ < config_.batch_timeout) {
+      return;
+    }
+    if (!ProposeOne()) return;
+  }
+}
+
+bool Pbft::ProposeOne() {
+  // Chain onto the pipeline tip (which may not have executed yet), or
+  // the canonical head when the pipeline is empty/stale.
+  Hash256 parent = host_->chain_store().head();
+  uint64_t parent_height = ExecHeight();
+  if (last_proposed_seq_ > parent_height &&
+      instances_.count(last_proposed_seq_) > 0) {
+    parent = last_proposed_hash_;
+    parent_height = last_proposed_seq_;
+  }
+
+  double build_cpu = 0;
+  auto block = host_->BuildBlock(parent, parent_height,
+                                 /*allow_empty=*/false, &build_cpu);
+  if (!block.has_value()) return false;
+  host_->ChargeBackground(build_cpu);
+
+  block->header.proposer = host_->node_id();
+  block->header.timestamp = host_->HostNow();
+  uint64_t seq = block->header.height;
+  block->header.nonce = seq;
+  block->header.weight = 1;
+  auto ptr = std::make_shared<const chain::Block>(std::move(*block));
+  ++blocks_proposed_;
+
+  Instance& inst = instances_[seq];
+  inst.block = ptr;
+  inst.digest = ptr->HashOf();
+  inst.view = view_;
+  inst.prepares.insert(host_->node_id());
+  inst.sent_prepare = true;
+  last_proposed_seq_ = seq;
+  last_proposed_hash_ = inst.digest;
+  last_proposal_time_ = host_->HostNow();
+
+  host_->HostBroadcast("pbft_preprepare", PrePrepareMsg{view_, seq, ptr},
+                       ptr->SizeBytes());
+  return true;
+}
+
+bool Pbft::HandleMessage(const sim::Message& msg, double* cpu) {
+  if (!msg.type.starts_with("pbft_")) return false;
+  *cpu += config_.per_message_cpu;
+  if (!active_) return true;
+  if (msg.corrupted) return true;  // fails MAC/signature verification
+
+  if (msg.type == "pbft_preprepare") {
+    OnPrePrepare(msg.from, std::any_cast<PrePrepareMsg>(msg.payload), cpu);
+  } else if (msg.type == "pbft_prepare") {
+    OnPrepare(msg.from, std::any_cast<PhaseMsg>(msg.payload));
+    MaybeExecute(cpu);
+  } else if (msg.type == "pbft_commit") {
+    OnCommit(msg.from, std::any_cast<PhaseMsg>(msg.payload));
+    MaybeExecute(cpu);
+  } else if (msg.type == "pbft_viewchange") {
+    OnViewChange(msg.from, std::any_cast<ViewChangeMsg>(msg.payload));
+  } else if (msg.type == "pbft_newview") {
+    OnNewView(msg.from, std::any_cast<NewViewMsg>(msg.payload));
+  } else if (msg.type == "pbft_status") {
+    OnStatus(msg.from, std::any_cast<StatusMsg>(msg.payload));
+  } else if (msg.type == "pbft_fetchreq") {
+    OnFetchReq(msg.from, std::any_cast<FetchReqMsg>(msg.payload));
+  } else if (msg.type == "pbft_blocks") {
+    OnBlocks(std::any_cast<BlocksMsg>(msg.payload), cpu);
+  }
+  return true;
+}
+
+void Pbft::OnPrePrepare(sim::NodeId from, const PrePrepareMsg& m,
+                        double* cpu) {
+  if (in_view_change_ || m.view != view_ || LeaderOf(m.view) != from) return;
+  if (m.seq <= ExecHeight()) return;  // already executed
+  *cpu += config_.tx_validate_cpu * double(m.block->txs.size());
+
+  Instance& inst = instances_[m.seq];
+  if (inst.block != nullptr && inst.digest != m.block->HashOf()) {
+    return;  // conflicting pre-prepare in same view: ignore (leader fault)
+  }
+  inst.block = m.block;
+  inst.digest = m.block->HashOf();
+  inst.view = m.view;
+  inst.prepares.insert(from);  // pre-prepare doubles as the leader's prepare
+  if (!inst.sent_prepare) {
+    inst.sent_prepare = true;
+    inst.prepares.insert(host_->node_id());
+    host_->HostBroadcast("pbft_prepare", PhaseMsg{view_, m.seq, inst.digest},
+                         kPhaseMsgBytes);
+  }
+  MaybeSendCommit(m.seq);
+}
+
+void Pbft::OnPrepare(sim::NodeId from, const PhaseMsg& m) {
+  if (in_view_change_ || m.view != view_) return;
+  if (m.seq <= ExecHeight()) return;
+  Instance& inst = instances_[m.seq];
+  if (inst.block != nullptr && inst.digest != m.digest) return;
+  inst.view = m.view;
+  inst.prepares.insert(from);
+  MaybeSendCommit(m.seq);
+}
+
+void Pbft::MaybeSendCommit(uint64_t seq) {
+  auto it = instances_.find(seq);
+  if (it == instances_.end()) return;
+  Instance& inst = it->second;
+  // "prepared" requires the pre-prepare (block) plus a 2f+1 prepare quorum.
+  if (inst.sent_commit || inst.block == nullptr ||
+      inst.prepares.size() < Quorum()) {
+    return;
+  }
+  inst.sent_commit = true;
+  inst.commits.insert(host_->node_id());
+  host_->HostBroadcast("pbft_commit", PhaseMsg{view_, seq, inst.digest},
+                       kPhaseMsgBytes);
+}
+
+void Pbft::OnCommit(sim::NodeId from, const PhaseMsg& m) {
+  if (in_view_change_ || m.view != view_) return;
+  if (m.seq <= ExecHeight()) return;
+  Instance& inst = instances_[m.seq];
+  if (inst.block != nullptr && inst.digest != m.digest) return;
+  inst.view = m.view;
+  inst.commits.insert(from);
+}
+
+void Pbft::MaybeExecute(double* cpu) {
+  // Execute committed instances strictly in sequence order.
+  while (true) {
+    uint64_t next = ExecHeight() + 1;
+    auto it = instances_.find(next);
+    if (it == instances_.end()) return;
+    Instance& inst = it->second;
+    if (inst.block == nullptr || inst.commits.size() < Quorum()) return;
+    double commit_cpu = 0;
+    bool ok = host_->CommitBlock(*inst.block, &commit_cpu);
+    *cpu += commit_cpu;
+    instances_.erase(it);
+    if (!ok) return;
+    last_progress_exec_ = ExecHeight();
+    last_progress_time_ = host_->HostNow();
+    consecutive_view_changes_ = 0;
+    if (IsLeader()) TryPropose();
+  }
+}
+
+void Pbft::StartViewChange(uint64_t target_view) {
+  if (target_view <= view_change_target_ && in_view_change_) return;
+  in_view_change_ = true;
+  view_change_target_ = target_view;
+  ++view_changes_started_;
+  ++consecutive_view_changes_;
+  DiscardInflight();
+  ViewChangeMsg m{target_view, ExecHeight()};
+  view_change_votes_[target_view].insert(host_->node_id());
+  host_->HostBroadcast("pbft_viewchange", m, kControlMsgBytes);
+  // A solo quorum (N <= 1 is degenerate) or pre-existing votes may
+  // already satisfy the target.
+  OnViewChange(host_->node_id(), m);
+}
+
+void Pbft::OnViewChange(sim::NodeId from, const ViewChangeMsg& m) {
+  if (m.new_view <= view_) return;
+  auto& votes = view_change_votes_[m.new_view];
+  votes.insert(from);
+  // Join the view change once f+1 peers demand it (PBFT's catch-up rule),
+  // to keep honest nodes from being left behind.
+  if (!in_view_change_ && votes.size() >= MaxFaults() + 1 &&
+      m.new_view > view_change_target_) {
+    StartViewChange(m.new_view);
+    return;
+  }
+  if (votes.size() >= Quorum()) {
+    if (LeaderOf(m.new_view) == host_->node_id()) {
+      host_->HostBroadcast("pbft_newview", NewViewMsg{m.new_view},
+                           kControlMsgBytes);
+      EnterView(m.new_view);
+      TryPropose();
+    }
+  }
+}
+
+void Pbft::OnNewView(sim::NodeId from, const NewViewMsg& m) {
+  if (m.new_view <= view_) return;
+  if (LeaderOf(m.new_view) != from) return;
+  EnterView(m.new_view);
+}
+
+void Pbft::EnterView(uint64_t view) {
+  view_ = view;
+  in_view_change_ = false;
+  view_change_target_ = std::max(view_change_target_, view);
+  DiscardInflight();
+  // Drop stale vote bookkeeping.
+  for (auto it = view_change_votes_.begin(); it != view_change_votes_.end();) {
+    it = it->first <= view_ ? view_change_votes_.erase(it) : ++it;
+  }
+  last_progress_time_ = host_->HostNow();
+}
+
+void Pbft::DiscardInflight() {
+  // Unexecuted proposals die with the view; their transactions go back
+  // to the pool so the next leader can re-batch them.
+  for (auto& [seq, inst] : instances_) {
+    if (inst.block != nullptr && !inst.executed) {
+      host_->RequeueTxs(inst.block->txs);
+    }
+  }
+  instances_.clear();
+  last_proposed_seq_ = 0;
+}
+
+void Pbft::OnStatus(sim::NodeId from, const StatusMsg& m) {
+  if (m.height > ExecHeight() && !fetch_outstanding_) {
+    fetch_outstanding_ = true;
+    host_->HostSend(from, "pbft_fetchreq", FetchReqMsg{ExecHeight()},
+                    kControlMsgBytes);
+    // Clear the flag after a grace period even if the reply is lost.
+    host_->host_sim()->After(2.0, [this] { fetch_outstanding_ = false; });
+  }
+}
+
+void Pbft::OnFetchReq(sim::NodeId from, const FetchReqMsg& m) {
+  BlocksMsg reply;
+  reply.view = view_;
+  uint64_t size = kControlMsgBytes;
+  auto blocks = host_->chain_store().CanonicalRange(m.from_height,
+                                                    ExecHeight());
+  for (const chain::Block* b : blocks) {
+    auto ptr = std::make_shared<const chain::Block>(*b);
+    size += ptr->SizeBytes();
+    reply.blocks.push_back(std::move(ptr));
+  }
+  if (reply.blocks.empty()) return;
+  host_->HostSend(from, "pbft_blocks", std::move(reply), size);
+}
+
+void Pbft::OnBlocks(const BlocksMsg& m, double* cpu) {
+  // State transfer: blocks come with (implied) execution certificates,
+  // so apply them directly in order.
+  for (const auto& b : m.blocks) {
+    if (b->header.height != ExecHeight() + 1) continue;
+    double commit_cpu = 0;
+    host_->CommitBlock(*b, &commit_cpu);
+    *cpu += commit_cpu;
+  }
+  if (m.view > view_) EnterView(m.view);
+  last_progress_exec_ = ExecHeight();
+  last_progress_time_ = host_->HostNow();
+}
+
+}  // namespace bb::consensus

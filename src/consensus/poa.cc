@@ -1,0 +1,71 @@
+#include "consensus/poa.h"
+
+#include <cmath>
+
+namespace bb::consensus {
+
+void ProofOfAuthority::Start(ConsensusHost* host) {
+  host_ = host;
+  active_ = true;
+  ScheduleNextStep();
+}
+
+void ProofOfAuthority::OnRestart() {
+  if (host_ == nullptr) return;
+  active_ = true;
+  ScheduleNextStep();
+}
+
+void ProofOfAuthority::ScheduleNextStep() {
+  if (!active_) return;
+  double now = host_->HostNow();
+  uint64_t current_step = uint64_t(now / config_.step_duration);
+  // Next step slot assigned to this authority.
+  uint64_t n = host_->num_nodes();
+  uint64_t next = current_step + 1;
+  while (next % n != host_->node_id()) ++next;
+  double when = double(next) * config_.step_duration;
+  host_->host_sim()->At(when, [this, next] { OnStep(next); });
+}
+
+void ProofOfAuthority::OnStep(uint64_t step) {
+  if (!active_) return;
+  double build_cpu = 0;
+  auto block = host_->BuildBlock(host_->chain_store().head(),
+                                 host_->chain_store().head_height(),
+                                 config_.seal_empty_blocks, &build_cpu);
+  if (block.has_value()) {
+    block->header.proposer = host_->node_id();
+    block->header.timestamp = host_->HostNow();
+    block->header.nonce = step;
+    block->header.weight = 1;  // fork choice degenerates to longest chain
+    ++blocks_sealed_;
+    double commit_cpu = 0;
+    host_->CommitBlock(*block, &commit_cpu);
+    host_->ChargeBackground(build_cpu + commit_cpu);
+    auto ptr = std::make_shared<const chain::Block>(std::move(*block));
+    host_->HostBroadcast("poa_block", ptr, ptr->SizeBytes());
+  }
+  ScheduleNextStep();
+}
+
+bool ProofOfAuthority::HandleMessage(const sim::Message& msg, double* cpu) {
+  if (HandleSync(host_, msg, cpu)) return true;
+  if (msg.type != "poa_block") return false;
+  if (msg.corrupted) {
+    // Bad seal signature; rejected.
+    *cpu += config_.block_validate_cpu;
+    return true;
+  }
+  auto block = std::any_cast<BlockPtr>(msg.payload);
+  *cpu += config_.block_validate_cpu +
+          config_.tx_validate_cpu * double(block->txs.size());
+  double commit_cpu = 0;
+  if (!host_->CommitBlock(*block, &commit_cpu)) {
+    RequestSync(host_, msg.from);
+  }
+  *cpu += commit_cpu;
+  return true;
+}
+
+}  // namespace bb::consensus

@@ -1,0 +1,74 @@
+// ProofOfWork: the Nakamoto-style mining engine used by the Ethereum
+// platform model.
+//
+// Mining is a memoryless race: each miner's time-to-block is exponential
+// with mean difficulty/hashrate, so the network block interval and the
+// fork rate under propagation delay match PoW's real statistics. The
+// difficulty schedule grows superlinearly with network size, reproducing
+// the paper's observation that "the difficulty level increases at a
+// higher rate than the number of nodes" to keep large networks from
+// diverging. Forks resolve by heaviest chain; miners always extend the
+// current head.
+
+#ifndef BLOCKBENCH_CONSENSUS_POW_H_
+#define BLOCKBENCH_CONSENSUS_POW_H_
+
+#include "consensus/engine.h"
+#include "util/random.h"
+
+namespace bb::consensus {
+
+struct PowConfig {
+  /// Network-wide target block interval at the reference network size
+  /// (the paper tuned geth's genesis difficulty to ~2.5 s per block).
+  double base_block_interval = 2.5;
+  /// Network size the base interval is calibrated for.
+  size_t reference_nodes = 8;
+  /// Superlinear difficulty growth: network interval scales by
+  /// (N / reference_nodes)^difficulty_growth for N > reference_nodes.
+  double difficulty_growth = 0.9;
+  /// Fraction of the node's CPU burned by mining (geth saturated its
+  /// reserved 8 cores).
+  double mining_cpu_utilization = 0.85;
+  /// CPU seconds to validate one received block + per transaction.
+  double block_validate_cpu = 0.002;
+  double tx_validate_cpu = 0.0002;
+  /// Whether miners may seal empty blocks (Ethereum does).
+  bool mine_empty_blocks = true;
+};
+
+class ProofOfWork : public Engine {
+ public:
+  explicit ProofOfWork(PowConfig config, uint64_t seed)
+      : config_(config), rng_(seed) {}
+
+  void Start(ConsensusHost* host) override;
+  bool HandleMessage(const sim::Message& msg, double* cpu) override;
+  void OnCrash() override;
+  void OnRestart() override;
+  const char* name() const override { return "pow"; }
+
+  /// Mean time for THIS node to find a block, given current network size.
+  double PerNodeMeanInterval() const;
+  /// Blocks this node has mined (for the security experiment's
+  /// generated-vs-canonical accounting).
+  uint64_t blocks_mined() const { return blocks_mined_; }
+
+ private:
+  void ScheduleMine();
+  void OnMined(uint64_t epoch);
+  void CpuTick();
+
+  PowConfig config_;
+  Rng rng_;
+  ConsensusHost* host_ = nullptr;
+  /// Incremented whenever the mining target changes; stale mine events
+  /// check it and abandon themselves.
+  uint64_t mining_epoch_ = 0;
+  bool mining_ = false;
+  uint64_t blocks_mined_ = 0;
+};
+
+}  // namespace bb::consensus
+
+#endif  // BLOCKBENCH_CONSENSUS_POW_H_

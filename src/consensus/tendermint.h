@@ -1,0 +1,124 @@
+// Tendermint: the PoS/BFT hybrid behind ErisDB — the backend the paper
+// lists as "under development" for BLOCKBENCH (Section 3.2), completing
+// Table 2's consensus spectrum.
+//
+// Simplified but structurally faithful: consensus proceeds in
+// (height, round) steps; the proposer rotates every round by voting
+// power; replicas PREVOTE on a valid proposal (nil on timeout), then
+// PRECOMMIT once a 2f+1 prevote quorum forms, and commit on a 2f+1
+// precommit quorum — immediate finality, no forks. A failed round (dead
+// or slow proposer) moves to round+1 with the next proposer, so there is
+// no separate view-change subprotocol and no view-change storms: the
+// liveness failure mode differs from PBFT's in exactly the way the
+// protocols differ. (Tendermint's value-locking rule is omitted — with
+// crash-only faults and fresh proposals per round it is not observable
+// in these experiments; see DESIGN.md.)
+
+#ifndef BLOCKBENCH_CONSENSUS_TENDERMINT_H_
+#define BLOCKBENCH_CONSENSUS_TENDERMINT_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "consensus/engine.h"
+
+namespace bb::consensus {
+
+struct TendermintConfig {
+  /// Transactions per proposal.
+  size_t batch_size = 500;
+  /// Propose when this much time passed since the last commit with a
+  /// non-empty pool (or when a full batch is waiting).
+  double batch_timeout = 0.5;
+  double poll_interval = 0.05;
+  /// A round fails (-> round+1) if no commit happened within this time.
+  double round_timeout = 2.0;
+  /// Round timeout grows by this per extra round (Tendermint's
+  /// incremental timeouts).
+  double round_timeout_delta = 0.5;
+  /// Voting stake per validator; index i gets stake[i % stake.size()].
+  /// Uniform by default. Proposer selection is stake-weighted.
+  std::vector<double> stake = {1.0};
+  double per_message_cpu = 0.0002;
+  double tx_validate_cpu = 0.0001;
+};
+
+class Tendermint : public Engine {
+ public:
+  explicit Tendermint(TendermintConfig config) : config_(std::move(config)) {}
+
+  void Start(ConsensusHost* host) override;
+  bool HandleMessage(const sim::Message& msg, double* cpu) override;
+  void OnNewTransactions() override;
+  void OnCrash() override;
+  void OnRestart() override;
+  const char* name() const override { return "tendermint"; }
+
+  uint64_t height() const { return Height(); }
+  uint64_t round() const { return round_; }
+  uint64_t rounds_failed() const { return rounds_failed_; }
+  uint64_t blocks_proposed() const { return blocks_proposed_; }
+
+  /// Stake-weighted deterministic proposer for (height, round).
+  sim::NodeId ProposerOf(uint64_t height, uint64_t round) const;
+  bool IsProposer() const {
+    return ProposerOf(Height() + 1, round_) == host_->node_id();
+  }
+
+  size_t MaxFaults() const { return (host_->num_nodes() - 1) / 3; }
+  size_t Quorum() const { return 2 * MaxFaults() + 1; }
+
+  struct ProposalMsg {
+    uint64_t height;
+    uint64_t round;
+    BlockPtr block;
+  };
+  struct VoteMsg {  // PREVOTE and PRECOMMIT
+    uint64_t height;
+    uint64_t round;
+    Hash256 block_hash;  // zero = nil vote
+  };
+
+ private:
+  struct RoundState {
+    BlockPtr proposal;
+    Hash256 proposal_hash;
+    std::set<sim::NodeId> prevotes;
+    std::set<sim::NodeId> nil_prevotes;
+    std::set<sim::NodeId> precommits;
+    bool sent_prevote = false;
+    bool sent_precommit = false;
+  };
+
+  uint64_t Height() const { return host_->chain_store().head_height(); }
+  RoundState& State(uint64_t height, uint64_t round) {
+    return rounds_[{height, round}];
+  }
+
+  void Poll();
+  void MaybePropose();
+  void StartRoundTimer();
+  void OnRoundTimeout(uint64_t height, uint64_t round);
+  void AdvanceRound();
+  void OnProposal(const ProposalMsg& m, double* cpu);
+  void OnPrevote(sim::NodeId from, const VoteMsg& m);
+  void OnPrecommit(sim::NodeId from, const VoteMsg& m, double* cpu);
+  void PruneOldRounds();
+
+  TendermintConfig config_;
+  ConsensusHost* host_ = nullptr;
+  bool active_ = false;
+
+  uint64_t round_ = 0;
+  std::map<std::pair<uint64_t, uint64_t>, RoundState> rounds_;
+  double last_commit_time_ = 0;
+  double round_start_time_ = 0;
+  double last_proposal_time_ = -1e9;
+  uint64_t rounds_failed_ = 0;
+  uint64_t blocks_proposed_ = 0;
+};
+
+}  // namespace bb::consensus
+
+#endif  // BLOCKBENCH_CONSENSUS_TENDERMINT_H_

@@ -1,0 +1,151 @@
+#include "core/client.h"
+
+namespace bb::core {
+
+namespace {
+uint64_t MakeTxId(uint32_t client_index, uint64_t seq) {
+  return (uint64_t(client_index) + 1) << 40 | seq;
+}
+}  // namespace
+
+DriverClient::DriverClient(sim::NodeId id, sim::Network* network,
+                           uint32_t client_index, sim::NodeId server,
+                           WorkloadConnector* workload, StatsCollector* stats,
+                           ClientConfig config, uint64_t seed)
+    : sim::Node(id, network),
+      client_index_(client_index),
+      server_(server),
+      workload_(workload),
+      stats_(stats),
+      config_(config),
+      rng_(seed) {}
+
+void DriverClient::Start() {
+  if (config_.request_rate > 0) {
+    // Desynchronize clients slightly so submissions do not arrive in
+    // lockstep.
+    sim()->After(rng_.NextDouble() / config_.request_rate,
+                 [this] { GenerateTick(); });
+  } else if (config_.max_outstanding > 0) {
+    // Pure closed loop: fill the window.
+    for (size_t i = 0; i < config_.max_outstanding; ++i) GenerateOne();
+  }
+  PollTick();
+  RetryTick();
+}
+
+void DriverClient::GenerateTick() {
+  if (Now() >= config_.load_end) return;
+  GenerateOne();
+  sim()->After(1.0 / config_.request_rate, [this] { GenerateTick(); });
+}
+
+void DriverClient::GenerateOne() {
+  chain::Transaction tx = workload_->NextTransaction(client_index_, rng_);
+  tx.id = MakeTxId(client_index_, next_seq_++);
+  tx.sender = "client" + std::to_string(client_index_);
+  TrySubmit(std::move(tx));
+}
+
+void DriverClient::TrySubmit(chain::Transaction tx) {
+  if (config_.max_outstanding != 0 &&
+      outstanding_.size() >= config_.max_outstanding) {
+    backlog_.push_back(std::move(tx));
+    return;
+  }
+  tx.submit_time = Now();
+  size_t wire_bytes = tx.SizeBytes();
+  auto [it, inserted] = outstanding_.emplace(tx.id, std::move(tx));
+  (void)inserted;
+  stats_->RecordSubmit(Now());
+  Send(server_, "client_tx", platform::ClientTx{it->second}, wire_bytes);
+}
+
+void DriverClient::SubmitTransaction(const chain::Transaction& tx) {
+  TrySubmit(tx);
+}
+
+void DriverClient::RequestLatestBlocks(uint64_t from_height,
+                                       BlocksCallback cb) {
+  uint64_t req = next_req_id_++;
+  block_callbacks_[req] = std::move(cb);
+  Send(server_, "rpc_getblocks", platform::RpcGetBlocks{req, from_height},
+       60);
+}
+
+void DriverClient::PollTick() {
+  stats_->ObserveQueue(Now(), client_index_, outstanding_.size(),
+                       backlog_.size());
+  RequestLatestBlocks(last_height_, [this](const LatestBlocks& lb) {
+    platform::RpcBlocks m;
+    m.confirmed_height = lb.confirmed_height;
+    m.blocks = lb.blocks;
+    OnBlocks(m);
+  });
+  sim()->After(config_.poll_interval, [this] { PollTick(); });
+}
+
+void DriverClient::RetryTick() {
+  while (!backlog_.empty() &&
+         (config_.max_outstanding == 0 ||
+          outstanding_.size() < config_.max_outstanding)) {
+    chain::Transaction tx = std::move(backlog_.front());
+    backlog_.pop_front();
+    if (committed_.count(tx.id)) continue;
+    tx.submit_time = 0;  // reset; TrySubmit stamps it
+    TrySubmit(std::move(tx));
+    // Submit one per retry tick when recovering from rejections, to
+    // avoid hammering a full server pool.
+    break;
+  }
+  sim()->After(config_.retry_interval, [this] { RetryTick(); });
+}
+
+void DriverClient::OnBlocks(const platform::RpcBlocks& m) {
+  for (const auto& block : m.blocks) {
+    for (const auto& tx : block->txs) {
+      auto it = outstanding_.find(tx.id);
+      if (it == outstanding_.end()) continue;
+      if (!committed_.insert(tx.id).second) continue;
+      stats_->RecordCommit(Now(), Now() - it->second.submit_time);
+      outstanding_.erase(it);
+    }
+  }
+  if (m.confirmed_height > last_height_) last_height_ = m.confirmed_height;
+
+  // Closed-loop refill.
+  if (config_.request_rate == 0 && config_.max_outstanding > 0 &&
+      Now() < config_.load_end) {
+    while (outstanding_.size() + backlog_.size() < config_.max_outstanding) {
+      GenerateOne();
+    }
+  }
+}
+
+double DriverClient::HandleMessage(const sim::Message& msg) {
+  if (msg.type == "rpc_blocks") {
+    const auto& m = std::any_cast<const platform::RpcBlocks&>(msg.payload);
+    auto cb = block_callbacks_.find(m.req_id);
+    if (cb != block_callbacks_.end()) {
+      LatestBlocks lb{m.confirmed_height, m.blocks};
+      auto fn = std::move(cb->second);
+      block_callbacks_.erase(cb);
+      fn(lb);
+    }
+    return 0;
+  }
+  if (msg.type == "client_tx_reject") {
+    const auto& m =
+        std::any_cast<const platform::ClientTxReject&>(msg.payload);
+    auto it = outstanding_.find(m.tx_id);
+    if (it != outstanding_.end()) {
+      stats_->RecordReject(Now());
+      backlog_.push_back(std::move(it->second));
+      outstanding_.erase(it);
+    }
+    return 0;
+  }
+  return 0;
+}
+
+}  // namespace bb::core

@@ -1,0 +1,3 @@
+#include "core/connector.h"
+
+// Interface-only translation unit; anchors vtables.

@@ -1,0 +1,56 @@
+#include "core/driver.h"
+
+#include <cassert>
+
+namespace bb::core {
+
+Driver::Driver(platform::Platform* platform, WorkloadConnector* workload,
+               DriverConfig config)
+    : platform_(platform), config_(config), stats_(config.num_clients) {
+  Rng seeder(config_.seed);
+  size_t servers = platform_->num_servers();
+  for (size_t i = 0; i < config_.num_clients; ++i) {
+    ClientConfig cc;
+    cc.request_rate = config_.request_rate;
+    cc.max_outstanding = config_.max_outstanding;
+    cc.poll_interval = config_.poll_interval;
+    cc.load_end = platform_->psim()->Now() + config_.duration;
+    sim::NodeId client_node_id = sim::NodeId(servers + i);
+    clients_.push_back(std::make_unique<DriverClient>(
+        client_node_id, &platform_->network(), uint32_t(i),
+        sim::NodeId(i % servers), workload, &stats_, cc, seeder.Next()));
+  }
+}
+
+void Driver::StartAll() {
+  assert(!started_);
+  started_ = true;
+  platform_->Start();
+  for (auto& c : clients_) c->Start();
+}
+
+void Driver::Run() {
+  double start = platform_->psim()->Now();
+  StartAll();
+  platform_->psim()->RunUntil(start + config_.duration + config_.drain);
+}
+
+BenchReport Driver::Report() const {
+  return Report(config_.warmup, config_.duration);
+}
+
+BenchReport Driver::Report(double from, double to) const {
+  BenchReport r;
+  r.throughput = stats_.Throughput(from, to);
+  const Histogram& lat = stats_.latencies();
+  r.latency_mean = lat.Mean();
+  r.latency_p50 = lat.Percentile(50);
+  r.latency_p95 = lat.Percentile(95);
+  r.latency_p99 = lat.Percentile(99);
+  r.submitted = stats_.total_submitted();
+  r.committed = stats_.total_committed();
+  r.rejected = stats_.total_rejected();
+  return r;
+}
+
+}  // namespace bb::core

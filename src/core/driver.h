@@ -1,0 +1,79 @@
+// Driver: the framework's core component (Fig 4). Takes a workload, a
+// user-defined configuration (number of clients, request rate, duration),
+// executes it against a platform, and outputs running statistics.
+
+#ifndef BLOCKBENCH_CORE_DRIVER_H_
+#define BLOCKBENCH_CORE_DRIVER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/client.h"
+#include "core/connector.h"
+#include "core/stats.h"
+
+namespace bb::core {
+
+struct DriverConfig {
+  size_t num_clients = 8;
+  /// Per-client open-loop rate (tx/s); 0 = closed loop.
+  double request_rate = 8;
+  /// Closed-loop window / open-loop outstanding cap. 0 = unbounded.
+  size_t max_outstanding = 0;
+  double poll_interval = 0.5;
+  /// Seconds of offered load.
+  double duration = 300;
+  /// Extra time after load stops for in-flight commits to land.
+  double drain = 30;
+  /// Measurement window for the report (defaults to [warmup, duration]).
+  double warmup = 10;
+  uint64_t seed = 7;
+};
+
+struct BenchReport {
+  double throughput = 0;        // committed tx/s in the measurement window
+  double latency_mean = 0;
+  double latency_p50 = 0;
+  double latency_p95 = 0;
+  double latency_p99 = 0;
+  uint64_t submitted = 0;
+  uint64_t committed = 0;
+  uint64_t rejected = 0;
+};
+
+class Driver {
+ public:
+  /// Creates num_clients DriverClients on the platform's network; client
+  /// i submits to server (i mod num_servers). The workload must already
+  /// be Setup() on the platform.
+  Driver(platform::Platform* platform, WorkloadConnector* workload,
+         DriverConfig config);
+
+  /// Starts the platform and the clients, then advances virtual time to
+  /// duration + drain. Reentrant runs are not supported.
+  void Run();
+
+  /// Starts everything without advancing time (caller drives the sim —
+  /// used when benches schedule faults/attacks themselves).
+  void StartAll();
+
+  StatsCollector& stats() { return stats_; }
+  const StatsCollector& stats() const { return stats_; }
+  DriverClient& client(size_t i) { return *clients_.at(i); }
+  size_t num_clients() const { return clients_.size(); }
+  const DriverConfig& config() const { return config_; }
+
+  BenchReport Report() const;
+  BenchReport Report(double from, double to) const;
+
+ private:
+  platform::Platform* platform_;
+  DriverConfig config_;
+  StatsCollector stats_;
+  std::vector<std::unique_ptr<DriverClient>> clients_;
+  bool started_ = false;
+};
+
+}  // namespace bb::core
+
+#endif  // BLOCKBENCH_CORE_DRIVER_H_

@@ -1,0 +1,484 @@
+#include "platform/node.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "storage/memkv.h"
+
+namespace bb::platform {
+
+namespace {
+chain::Block MakeGenesis() {
+  chain::Block g;  // all-zero header; identical on every node
+  return g;
+}
+}  // namespace
+
+PlatformNode::PlatformNode(sim::NodeId id, sim::Network* network,
+                           PlatformOptions options, uint64_t seed)
+    : sim::Node(id, network),
+      options_(std::move(options)),
+      chain_(MakeGenesis()),
+      interpreter_(options_.vm) {
+  switch (options_.state_model) {
+    case StateModelKind::kTrieDisk:
+      // The disk store is modelled as an unbounded MemKv unless a data
+      // dir is configured; the IOHeavy experiment builds DiskKv directly.
+      store_ = std::make_unique<storage::MemKv>(0);
+      state_ = std::make_unique<chain::TrieStateDb>(store_.get(),
+                                                    options_.trie_cache_entries);
+      break;
+    case StateModelKind::kTrieMem:
+      store_ = std::make_unique<storage::MemKv>(options_.state_mem_capacity);
+      state_ = std::make_unique<chain::TrieStateDb>(store_.get(),
+                                                    options_.trie_cache_entries);
+      break;
+    case StateModelKind::kBucketDisk:
+      store_ = std::make_unique<storage::MemKv>(0);
+      state_ = std::make_unique<chain::BucketStateDb>(store_.get());
+      break;
+  }
+  switch (options_.consensus) {
+    case ConsensusKind::kPow:
+      engine_ = std::make_unique<consensus::ProofOfWork>(options_.pow, seed);
+      break;
+    case ConsensusKind::kPoa:
+      engine_ = std::make_unique<consensus::ProofOfAuthority>(options_.poa);
+      break;
+    case ConsensusKind::kPbft:
+      engine_ = std::make_unique<consensus::Pbft>(options_.pbft);
+      break;
+    case ConsensusKind::kTendermint:
+      engine_ =
+          std::make_unique<consensus::Tendermint>(options_.tendermint);
+      break;
+    case ConsensusKind::kRaft:
+      engine_ = std::make_unique<consensus::Raft>(options_.raft, seed);
+      break;
+  }
+  exec_block_hash_ = chain_.head();
+  if (options_.consensus_channel_capacity > 0) {
+    SetInboxClassLimit("pbft_", options_.consensus_channel_capacity);
+  }
+}
+
+PlatformNode::~PlatformNode() = default;
+
+Status PlatformNode::DeployContract(const std::string& name,
+                                    const vm::Program& program) {
+  if (contracts_.count(name)) {
+    return Status::InvalidArgument("contract exists: " + name);
+  }
+  DeployedContract c;
+  c.engine = ExecEngineKind::kEvm;
+  c.program = program;
+  contracts_.emplace(name, std::move(c));
+  return Status::Ok();
+}
+
+Status PlatformNode::DeployChaincode(const std::string& name,
+                                     const std::string& registered_as) {
+  if (contracts_.count(name)) {
+    return Status::InvalidArgument("contract exists: " + name);
+  }
+  auto cc = vm::ChaincodeRegistry::Instance().Create(registered_as);
+  if (!cc.ok()) return cc.status();
+  DeployedContract c;
+  c.engine = ExecEngineKind::kNative;
+  c.chaincode = std::move(*cc);
+  contracts_.emplace(name, std::move(c));
+  return Status::Ok();
+}
+
+Status PlatformNode::PreloadState(const std::string& contract,
+                                  const std::string& key,
+                                  const std::string& value) {
+  return state_->Put(contract, key, value);
+}
+
+Status PlatformNode::FinalizeGenesis() {
+  auto root = state_->Commit();
+  if (!root.ok()) return root.status();
+  block_state_roots_[chain_.head()] = *root;
+  return Status::Ok();
+}
+
+Status PlatformNode::DirectCommit(const std::vector<chain::Transaction>& txs) {
+  chain::Block b;
+  b.header.parent = chain_.head();
+  b.header.height = chain_.head_height() + 1;
+  b.header.timestamp = Now();
+  b.txs = txs;
+  b.SealTxRoot();
+  double cpu = 0;
+  if (!CommitBlock(b, &cpu)) return Status::Internal("direct commit failed");
+  return Status::Ok();
+}
+
+void PlatformNode::Start() { engine_->Start(this); }
+
+void PlatformNode::OnCrash() { engine_->OnCrash(); }
+
+void PlatformNode::OnRestart() { engine_->OnRestart(); }
+
+void PlatformNode::HostBroadcast(const std::string& type, std::any payload,
+                                 uint64_t size_bytes) {
+  // Consensus traffic flows only among the server set (clients have
+  // higher node ids).
+  for (sim::NodeId to = 0; to < num_peers_; ++to) {
+    if (to == id()) continue;
+    Send(to, type, payload, size_bytes);
+  }
+}
+
+bool PlatformNode::HostSend(sim::NodeId to, const std::string& type,
+                            std::any payload, uint64_t size_bytes) {
+  return Send(to, type, std::move(payload), size_bytes);
+}
+
+double PlatformNode::HandleMessage(const sim::Message& msg) {
+  double cpu = 0;
+  if (engine_->HandleMessage(msg, &cpu)) return cpu;
+  if (msg.type == "client_tx") return HandleClientTx(msg);
+  if (msg.type == "gossip_tx") return HandleGossipTx(msg);
+  if (msg.type.starts_with("rpc_")) return HandleRpc(msg);
+  return 0;
+}
+
+double PlatformNode::HandleClientTx(const sim::Message& msg) {
+  const auto& m = std::any_cast<const ClientTx&>(msg.payload);
+  double cpu = options_.admission_cpu;
+  if (msg.corrupted) return cpu;  // malformed submission dropped
+  if (committed_ids_.count(m.tx.id) || pool_.Seen(m.tx.id)) return cpu;
+  if (options_.admission_rate_limit > 0) {
+    double rate = options_.admission_rate_limit;
+    admission_tokens_ = std::min(
+        rate, admission_tokens_ + (Now() - admission_refill_time_) * rate);
+    admission_refill_time_ = Now();
+    if (admission_tokens_ < 1.0) {
+      Send(msg.from, "client_tx_reject", ClientTxReject{m.tx.id}, 60);
+      return cpu;
+    }
+    admission_tokens_ -= 1.0;
+  }
+  if (options_.tx_pool_capacity != 0 &&
+      pool_.pending() >= options_.tx_pool_capacity) {
+    Send(msg.from, "client_tx_reject", ClientTxReject{m.tx.id}, 60);
+    return cpu;
+  }
+  pool_.Add(m.tx);
+  if (options_.gossip_txs) {
+    HostBroadcast("gossip_tx", m, m.tx.SizeBytes());
+  }
+  engine_->OnNewTransactions();
+  return cpu;
+}
+
+double PlatformNode::HandleGossipTx(const sim::Message& msg) {
+  const auto& m = std::any_cast<const ClientTx&>(msg.payload);
+  double cpu = options_.gossip_ingest_cpu;
+  if (msg.corrupted) return cpu;
+  if (committed_ids_.count(m.tx.id)) return cpu;
+  if (options_.tx_pool_capacity != 0 &&
+      pool_.pending() >= options_.tx_pool_capacity) {
+    return cpu;
+  }
+  if (pool_.Add(m.tx)) engine_->OnNewTransactions();
+  return cpu;
+}
+
+uint64_t PlatformNode::ConfirmedHeight() const {
+  uint64_t h = chain_.head_height();
+  return h > options_.confirmation_depth ? h - options_.confirmation_depth : 0;
+}
+
+BlockPtr PlatformNode::CachedBlockPtr(const Hash256& hash) {
+  auto it = block_ptr_cache_.find(hash);
+  if (it != block_ptr_cache_.end()) return it->second;
+  const chain::Block* b = chain_.GetBlock(hash);
+  if (b == nullptr) return nullptr;
+  auto ptr = std::make_shared<const chain::Block>(*b);
+  block_ptr_cache_.emplace(hash, ptr);
+  return ptr;
+}
+
+double PlatformNode::HandleRpc(const sim::Message& msg) {
+  double cpu = options_.rpc_request_cpu;
+  if (msg.corrupted) return cpu;
+
+  if (msg.type == "rpc_getblocks") {
+    const auto& m = std::any_cast<const RpcGetBlocks&>(msg.payload);
+    RpcBlocks reply;
+    reply.req_id = m.req_id;
+    reply.confirmed_height = ConfirmedHeight();
+    uint64_t bytes = 100;
+    for (const chain::Block* b :
+         chain_.CanonicalRange(m.from_height, reply.confirmed_height)) {
+      BlockPtr ptr = CachedBlockPtr(b->HashOf());
+      bytes += ptr->SizeBytes();
+      reply.blocks.push_back(std::move(ptr));
+    }
+    Send(msg.from, "rpc_blocks", std::move(reply), bytes);
+    return cpu;
+  }
+
+  if (msg.type == "rpc_getblock") {
+    const auto& m = std::any_cast<const RpcGetBlock&>(msg.payload);
+    RpcBlock reply;
+    reply.req_id = m.req_id;
+    uint64_t bytes = 100;
+    if (m.height <= ConfirmedHeight()) {
+      const chain::Block* b = chain_.CanonicalAt(m.height);
+      if (b != nullptr) {
+        reply.block = CachedBlockPtr(b->HashOf());
+        bytes += reply.block->SizeBytes();
+      }
+    }
+    Send(msg.from, "rpc_block", std::move(reply), bytes);
+    return cpu;
+  }
+
+  if (msg.type == "rpc_getbalance") {
+    const auto& m = std::any_cast<const RpcGetBalance&>(msg.payload);
+    RpcBalance reply{m.req_id, false, 0};
+    const chain::Block* b = chain_.CanonicalAt(m.height);
+    if (b != nullptr && state_->supports_versioned_reads()) {
+      auto it = block_state_roots_.find(b->HashOf());
+      if (it != block_state_roots_.end()) {
+        std::string raw;
+        Status s = state_->GetAt(it->second, "__bal", m.account, &raw);
+        if (s.ok()) {
+          reply.ok = true;
+          reply.balance = std::strtoll(raw.c_str(), nullptr, 10);
+        } else if (s.IsNotFound()) {
+          reply.ok = true;
+          reply.balance = 0;
+        }
+      }
+    }
+    Send(msg.from, "rpc_balance", reply, 80);
+    return cpu;
+  }
+
+  if (msg.type == "rpc_query") {
+    const auto& m = std::any_cast<const RpcQuery&>(msg.payload);
+    double query_cpu = 0;
+    auto result = QueryContract(m.contract, m.function, m.args, &query_cpu);
+    cpu += query_cpu;
+    RpcResult reply{m.req_id, result.ok(),
+                    result.ok() ? *result : vm::Value()};
+    // The caller observes the scan time: the reply leaves only after the
+    // query's CPU work is done.
+    sim::NodeId client = msg.from;
+    sim()->After(cpu, [this, client, reply = std::move(reply)]() mutable {
+      Send(client, "rpc_result", std::move(reply), 120);
+    });
+    return cpu;
+  }
+
+  return cpu;
+}
+
+Result<vm::Value> PlatformNode::QueryContract(const std::string& contract,
+                                              const std::string& function,
+                                              const vm::Args& args,
+                                              double* cpu) {
+  auto it = contracts_.find(contract);
+  if (it == contracts_.end()) return Status::NotFound("no contract");
+  chain::StateHost host(state_.get(), contract);
+  vm::TxContext ctx;
+  ctx.sender = "query";
+  ctx.function = function;
+  ctx.args = args;
+  vm::ExecReceipt r;
+  if (it->second.engine == ExecEngineKind::kEvm) {
+    r = interpreter_.Execute(it->second.program, ctx, &host);
+    *cpu += options_.cost.tx_fixed_cpu +
+            double(r.gas_used) * options_.cost.seconds_per_gas;
+  } else {
+    r = native_.Execute(it->second.chaincode.get(), ctx, &host);
+    *cpu += options_.cost.tx_fixed_cpu +
+            double(r.storage_reads + r.storage_writes) *
+                options_.cost.native_op_cpu;
+  }
+  // Queries must not mutate state: drop any writes the call buffered.
+  state_->Abort();
+  if (!r.status.ok()) return r.status;
+  return r.return_value;
+}
+
+std::optional<chain::Block> PlatformNode::BuildBlock(const Hash256& parent,
+                                                     uint64_t parent_height,
+                                                     bool allow_empty,
+                                                     double* build_cpu) {
+  size_t limit = options_.block_tx_limit;
+  if (options_.seal_sign_cpu > 0) {
+    // Parity model: the authority signs transactions between blocks, so
+    // its sealing budget spans the time since the parent block (capped):
+    // skipped slots (crashed authorities) do not cost throughput, which
+    // is why Parity sails through the Fig 9 crash unharmed.
+    double step = options_.poa.step_duration;
+    double since_parent = step;
+    const chain::Block* parent_block = chain_.GetBlock(parent);
+    if (parent_block != nullptr && parent_block->header.height > 0) {
+      since_parent = Now() - parent_block->header.timestamp;
+    }
+    double budget = std::clamp(since_parent, step, 6.0 * step) *
+                    options_.seal_budget_fraction;
+    limit = std::min(limit,
+                     size_t(std::max(1.0, budget / options_.seal_sign_cpu)));
+  }
+  std::vector<chain::Transaction> batch;
+  for (auto& tx :
+       pool_.TakeBatch(limit, options_.block_byte_limit, options_.pool_lifo)) {
+    if (committed_ids_.count(tx.id)) continue;  // raced in via gossip
+    batch.push_back(std::move(tx));
+  }
+
+  if (options_.block_gas_limit > 0 &&
+      options_.exec_engine == ExecEngineKind::kEvm) {
+    // Gas-based packing: speculatively execute candidates against the
+    // current state, stopping once the block's gas budget is spent.
+    // Effects are discarded; the canonical execution happens at commit.
+    uint64_t gas_used = 0;
+    size_t taken = 0;
+    uint64_t saved_exec = txs_executed_, saved_failed = txs_failed_;
+    while (taken < batch.size()) {
+      uint64_t gas = 0;
+      *build_cpu += ExecuteTx(batch[taken], &gas);
+      // Speculative runs must not perturb the executed/failed counters.
+      gas_used += gas;
+      ++taken;
+      if (gas_used >= options_.block_gas_limit) break;
+    }
+    state_->Abort();
+    txs_executed_ = saved_exec;
+    txs_failed_ = saved_failed;
+    if (taken < batch.size()) {
+      pool_.Requeue(std::vector<chain::Transaction>(
+          batch.begin() + long(taken), batch.end()));
+      batch.resize(taken);
+    }
+  }
+
+  if (batch.empty() && !allow_empty) return std::nullopt;
+
+  *build_cpu += double(batch.size()) *
+                (options_.cost.assemble_tx_cpu + options_.seal_sign_cpu);
+
+  chain::Block b;
+  b.header.parent = parent;
+  b.header.height = parent_height + 1;
+  b.txs = std::move(batch);
+  b.SealTxRoot();
+  ++blocks_produced_;
+  return b;
+}
+
+bool PlatformNode::CommitBlock(const chain::Block& block, double* cpu) {
+  auto r = chain_.AddBlock(block);
+  if (r.duplicate) return true;
+  if (!r.attached) return false;  // parked until the parent arrives
+  if (r.head_changed) ExecuteCanonical(cpu);
+  return true;
+}
+
+double PlatformNode::ExecuteTx(const chain::Transaction& tx,
+                               uint64_t* gas_out) {
+  if (gas_out != nullptr) *gas_out = 0;
+  auto it = contracts_.find(tx.contract);
+  if (it == contracts_.end()) {
+    // Plain value transfer: move balance from sender to recipient.
+    if (tx.value != 0) {
+      chain::StateHost::Credit(state_.get(), tx.sender, -tx.value);
+      chain::StateHost::Credit(state_.get(), tx.contract, tx.value);
+    }
+    ++txs_executed_;
+    return options_.cost.tx_fixed_cpu;
+  }
+  chain::StateHost host(state_.get(), tx.contract);
+  vm::TxContext ctx;
+  ctx.sender = tx.sender;
+  ctx.value = tx.value;
+  ctx.function = tx.function;
+  ctx.args = tx.args;
+  ctx.block_height = executing_height_;
+
+  double cpu = options_.cost.tx_fixed_cpu;
+  vm::ExecReceipt receipt;
+  if (it->second.engine == ExecEngineKind::kEvm) {
+    receipt = interpreter_.Execute(it->second.program, ctx, &host);
+    cpu += double(receipt.gas_used) * options_.cost.seconds_per_gas;
+    if (gas_out != nullptr) *gas_out = receipt.gas_used;
+  } else {
+    receipt = native_.Execute(it->second.chaincode.get(), ctx, &host);
+    cpu += double(receipt.storage_reads + receipt.storage_writes) *
+           options_.cost.native_op_cpu;
+  }
+  if (receipt.status.ok()) {
+    ++txs_executed_;
+    if (tx.value != 0) {
+      chain::StateHost::Credit(state_.get(), tx.contract, tx.value);
+    }
+  } else {
+    ++txs_failed_;
+  }
+  return cpu;
+}
+
+void PlatformNode::ExecuteCanonical(double* cpu) {
+  // Rewind if the previously executed prefix left the canonical chain.
+  while (exec_height_ > 0 && !chain_.IsCanonical(exec_block_hash_)) {
+    const chain::Block* rolled = chain_.GetBlock(exec_block_hash_);
+    assert(rolled != nullptr);
+    for (const auto& tx : rolled->txs) committed_ids_.erase(tx.id);
+    pool_.Requeue(rolled->txs);
+    exec_block_hash_ = rolled->header.parent;
+    --exec_height_;
+  }
+  if (exec_height_ == 0) exec_block_hash_ = chain_.CanonicalAt(0)->HashOf();
+
+  // Reset versioned state to the fork point (no-op when just extending).
+  if (state_->supports_versioned_reads()) {
+    auto root = block_state_roots_.find(exec_block_hash_);
+    Hash256 target = root != block_state_roots_.end()
+                         ? root->second
+                         : storage::MerklePatriciaTrie::EmptyRoot();
+    if (state_->current_root() != target) state_->ResetTo(target);
+  }
+
+  // Execute forward along the canonical chain.
+  uint64_t head = chain_.head_height();
+  for (uint64_t h = exec_height_ + 1; h <= head; ++h) {
+    const chain::Block* b = chain_.CanonicalAt(h);
+    assert(b != nullptr);
+    executing_height_ = h;
+    for (const auto& tx : b->txs) {
+      *cpu += ExecuteTx(tx);
+      committed_ids_.insert(tx.id);
+    }
+    auto root = state_->Commit();
+    if (root.ok()) {
+      block_state_roots_[b->HashOf()] = *root;
+    } else {
+      // Out-of-memory state (Parity at scale): the writes are lost but
+      // the chain advances; record the stall.
+      state_->Abort();
+    }
+    pool_.RemoveCommitted(b->txs);
+    exec_height_ = h;
+    exec_block_hash_ = b->HashOf();
+  }
+}
+
+void PlatformNode::RequeueTxs(std::vector<chain::Transaction> txs) {
+  std::vector<chain::Transaction> keep;
+  keep.reserve(txs.size());
+  for (auto& tx : txs) {
+    if (!committed_ids_.count(tx.id)) keep.push_back(std::move(tx));
+  }
+  pool_.Requeue(std::move(keep));
+}
+
+}  // namespace bb::platform

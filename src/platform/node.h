@@ -1,0 +1,147 @@
+// PlatformNode: one server of a platform model — the assembly of tx pool,
+// chain store, state DB, execution engine and consensus engine behind the
+// client-facing submission/RPC interface.
+
+#ifndef BLOCKBENCH_PLATFORM_NODE_H_
+#define BLOCKBENCH_PLATFORM_NODE_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "chain/chain_store.h"
+#include "chain/state_db.h"
+#include "chain/txpool.h"
+#include "consensus/engine.h"
+#include "platform/options.h"
+#include "platform/rpc.h"
+#include "sim/node.h"
+#include "vm/interpreter.h"
+#include "vm/native.h"
+
+namespace bb::platform {
+
+class PlatformNode : public sim::Node, public consensus::ConsensusHost {
+ public:
+  PlatformNode(sim::NodeId id, sim::Network* network, PlatformOptions options,
+               uint64_t seed);
+  ~PlatformNode() override;
+
+  // --- Setup (before Start) ------------------------------------------------
+  /// Deploys an assembled EVM contract under `name`.
+  Status DeployContract(const std::string& name, const vm::Program& program);
+  /// Instantiates registered chaincode under `name` (Hyperledger model).
+  Status DeployChaincode(const std::string& name,
+                         const std::string& registered_as);
+  /// Writes genesis state directly (workload preloading).
+  Status PreloadState(const std::string& contract, const std::string& key,
+                      const std::string& value);
+  /// Commits preloaded state into the genesis version.
+  Status FinalizeGenesis();
+  /// Applies a block of transactions bypassing consensus (fast preload of
+  /// historical chain data for the Analytics workload). All nodes must be
+  /// given identical batches in identical order.
+  Status DirectCommit(const std::vector<chain::Transaction>& txs);
+
+  // --- sim::Node -------------------------------------------------------------
+  void Start() override;
+  double HandleMessage(const sim::Message& msg) override;
+  void OnCrash() override;
+  void OnRestart() override;
+
+  // --- consensus::ConsensusHost ----------------------------------------------
+  sim::NodeId node_id() const override { return id(); }
+  size_t num_nodes() const override { return num_peers_; }
+  sim::Simulation* host_sim() override { return sim(); }
+  double HostNow() const override { return Now(); }
+  void HostBroadcast(const std::string& type, std::any payload,
+                     uint64_t size_bytes) override;
+  bool HostSend(sim::NodeId to, const std::string& type, std::any payload,
+                uint64_t size_bytes) override;
+  std::optional<chain::Block> BuildBlock(const Hash256& parent,
+                                         uint64_t parent_height,
+                                         bool allow_empty,
+                                         double* build_cpu) override;
+  bool CommitBlock(const chain::Block& block, double* cpu) override;
+  const chain::ChainStore& chain_store() const override { return chain_; }
+  size_t pending_txs() const override { return pool_.pending(); }
+  void RequeueTxs(std::vector<chain::Transaction> txs) override;
+  void ChargeBackground(double cpu_seconds) override {
+    ChargeBackgroundCpu(cpu_seconds);
+  }
+
+  // --- Introspection -----------------------------------------------------------
+  const PlatformOptions& options() const { return options_; }
+  const chain::ChainStore& chain() const { return chain_; }
+  chain::StateDb& state() { return *state_; }
+  consensus::Engine& engine() { return *engine_; }
+  /// Height below which blocks count as confirmed for clients.
+  uint64_t ConfirmedHeight() const;
+  uint64_t txs_executed() const { return txs_executed_; }
+  uint64_t txs_failed() const { return txs_failed_; }
+  uint64_t blocks_produced() const { return blocks_produced_; }
+  /// Peers whose id is the server set (set by Platform during setup).
+  void set_num_peers(size_t n) { num_peers_ = n; }
+
+  /// Executes a read-only contract call against current state (shared by
+  /// the RPC path and local analytics). Discards any writes.
+  Result<vm::Value> QueryContract(const std::string& contract,
+                                  const std::string& function,
+                                  const vm::Args& args, double* cpu);
+
+ private:
+  struct DeployedContract {
+    ExecEngineKind engine;
+    vm::Program program;                     // kEvm
+    std::unique_ptr<vm::Chaincode> chaincode;  // kNative
+  };
+
+  double HandleClientTx(const sim::Message& msg);
+  double HandleGossipTx(const sim::Message& msg);
+  double HandleRpc(const sim::Message& msg);
+
+  /// Executes one transaction against current state; returns CPU cost.
+  /// *gas_out (optional) receives the gas consumed (EVM engine only).
+  double ExecuteTx(const chain::Transaction& tx, uint64_t* gas_out = nullptr);
+  /// Brings state execution in line with the canonical chain (handles
+  /// reorgs on versioned state).
+  void ExecuteCanonical(double* cpu);
+  BlockPtr CachedBlockPtr(const Hash256& hash);
+
+  PlatformOptions options_;
+  size_t num_peers_ = 1;
+
+  chain::TxPool pool_;
+  chain::ChainStore chain_;
+  std::unique_ptr<storage::KvStore> store_;
+  std::unique_ptr<chain::StateDb> state_;
+  std::unique_ptr<consensus::Engine> engine_;
+  vm::Interpreter interpreter_;
+  vm::NativeRuntime native_;
+
+  std::map<std::string, DeployedContract> contracts_;
+
+  /// Height of the block currently being executed (for TxContext).
+  uint64_t executing_height_ = 0;
+  /// Execution bookkeeping along the canonical chain.
+  uint64_t exec_height_ = 0;
+  Hash256 exec_block_hash_;
+  std::unordered_map<Hash256, Hash256, Hash256Hasher> block_state_roots_;
+  std::unordered_map<Hash256, BlockPtr, Hash256Hasher> block_ptr_cache_;
+  std::unordered_set<uint64_t> committed_ids_;
+
+  /// Admission token bucket (admission_rate_limit).
+  double admission_tokens_ = 0;
+  double admission_refill_time_ = 0;
+
+  uint64_t txs_executed_ = 0;
+  uint64_t txs_failed_ = 0;
+  uint64_t blocks_produced_ = 0;
+};
+
+}  // namespace bb::platform
+
+#endif  // BLOCKBENCH_PLATFORM_NODE_H_

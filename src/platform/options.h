@@ -1,0 +1,129 @@
+// Platform configuration: one options struct per layer, with factory
+// functions producing the calibrated Ethereum / Parity / Hyperledger
+// models the benchmarks run against.
+
+#ifndef BLOCKBENCH_PLATFORM_OPTIONS_H_
+#define BLOCKBENCH_PLATFORM_OPTIONS_H_
+
+#include <string>
+
+#include "consensus/pbft.h"
+#include "consensus/raft.h"
+#include "consensus/tendermint.h"
+#include "consensus/poa.h"
+#include "consensus/pow.h"
+#include "sim/network.h"
+#include "vm/interpreter.h"
+
+namespace bb::platform {
+
+enum class ConsensusKind { kPow, kPoa, kPbft, kTendermint, kRaft };
+enum class ExecEngineKind { kEvm, kNative };
+enum class StateModelKind { kTrieDisk, kTrieMem, kBucketDisk };
+
+/// Maps execution receipts to virtual CPU seconds, so contract cost shows
+/// up in throughput/latency the way it did on the paper's testbed.
+struct ExecCostModel {
+  /// Per-transaction fixed cost (signature recovery, dispatch).
+  double tx_fixed_cpu = 1e-4;
+  /// EVM: virtual seconds per unit of gas.
+  double seconds_per_gas = 2e-8;
+  /// Native: per storage operation.
+  double native_op_cpu = 2e-5;
+  /// Block assembly overhead per transaction (pool pop, envelope checks).
+  double assemble_tx_cpu = 2e-5;
+};
+
+struct PlatformOptions {
+  std::string name = "ethereum";
+  ConsensusKind consensus = ConsensusKind::kPow;
+  ExecEngineKind exec_engine = ExecEngineKind::kEvm;
+  StateModelKind state_model = StateModelKind::kTrieDisk;
+
+  consensus::PowConfig pow;
+  consensus::PoaConfig poa;
+  consensus::PbftConfig pbft;
+  consensus::TendermintConfig tendermint;
+  consensus::RaftConfig raft;
+
+  sim::NetworkConfig net;
+  /// Bounded consensus message channel (Hyperledger model): max queued
+  /// "pbft_*" messages per node; overflow is dropped. 0 = unbounded.
+  size_t consensus_channel_capacity = 0;
+
+  /// Block assembly -------------------------------------------------------
+  /// Max transactions per block (derived from gasLimit for Ethereum,
+  /// batchSize for Hyperledger, the signing budget for Parity).
+  size_t block_tx_limit = 700;
+  /// Max block payload bytes (0 = unlimited).
+  size_t block_byte_limit = 0;
+  /// Gas-based block packing (EVM platforms only; 0 = off): the proposer
+  /// executes candidates speculatively while assembling the block and
+  /// stops at the gas limit, exactly as geth miners do.
+  uint64_t block_gas_limit = 0;
+  /// Blocks below the tip needed before a block counts as confirmed
+  /// (ceil(confirmationLength / block interval); 0 for PBFT finality).
+  size_t confirmation_depth = 2;
+
+  /// Transaction admission -------------------------------------------------
+  /// Server-side pending-pool capacity; submissions beyond it are
+  /// rejected back to the client. 0 = unbounded.
+  size_t tx_pool_capacity = 0;
+  /// Server-side admission rate limit in tx/s (token bucket); 0 = off.
+  /// Models Parity's observed ~80 tx/s network-wide client cap.
+  double admission_rate_limit = 0;
+  /// Batch assembly order: true = newest-first (Parity's gas-price
+  /// ordered pool in effect), which keeps commit latency low while the
+  /// backlog of accepted transactions grows.
+  bool pool_lifo = false;
+  /// CPU cost of admitting one client transaction.
+  double admission_cpu = 5e-5;
+  /// Whether accepted transactions are gossiped to all peers.
+  bool gossip_txs = true;
+  /// CPU to ingest one gossiped transaction.
+  double gossip_ingest_cpu = 2e-5;
+
+  /// Parity only: per-transaction server-side signing cost paid while the
+  /// authority seals a block. The sealing budget (a fraction of the step)
+  /// bounds block size; this is the paper's Parity bottleneck.
+  double seal_sign_cpu = 0;
+  /// Fraction of the PoA step usable for signing/sealing.
+  double seal_budget_fraction = 0.5;
+
+  /// Execution -------------------------------------------------------------
+  vm::VmOptions vm;
+  ExecCostModel cost;
+
+  /// State ------------------------------------------------------------------
+  /// Memory capacity for the in-memory state model (Parity); 0 = unlimited.
+  uint64_t state_mem_capacity = 0;
+  /// Trie node cache entries (Ethereum caches part of the state).
+  size_t trie_cache_entries = 1 << 16;
+  /// Directory for disk-backed state stores; empty = keep state in memory
+  /// (macro benches) — IOHeavy passes a real directory.
+  std::string data_dir;
+
+  /// RPC --------------------------------------------------------------------
+  double rpc_request_cpu = 2e-4;
+};
+
+/// geth v1.4.18-like model: PoW, EVM with heavyweight dispatch and boxed
+/// words, LevelDB-backed Patricia trie with a partial cache.
+PlatformOptions EthereumOptions();
+/// Parity v1.6-like model: PoA (stepDuration=1), optimized EVM, all state
+/// in memory, server-side signing bottleneck.
+PlatformOptions ParityOptions();
+/// Fabric v0.6-like model: PBFT (batch 500), native chaincode in Docker,
+/// RocksDB-backed bucket tree, bounded consensus message channel.
+PlatformOptions HyperledgerOptions();
+/// ErisDB-like model: Tendermint (PoS + BFT), EVM contracts, trie state —
+/// the backend the paper lists as "under development" for BLOCKBENCH.
+PlatformOptions ErisDbOptions();
+/// Corda-like model (Table 2): Raft — crash-fault-tolerant only — with
+/// JVM-class native execution. The §2 contrast: cheap consensus that
+/// trusts every well-formed message.
+PlatformOptions CordaOptions();
+
+}  // namespace bb::platform
+
+#endif  // BLOCKBENCH_PLATFORM_OPTIONS_H_

@@ -1,0 +1,89 @@
+#include "platform/platform.h"
+
+#include "vm/assembler.h"
+
+namespace bb::platform {
+
+Platform::Platform(sim::Simulation* sim, PlatformOptions options,
+                   size_t num_servers, uint64_t seed)
+    : sim_(sim), options_(std::move(options)) {
+  network_ = std::make_unique<sim::Network>(sim_, options_.net);
+  Rng seeder(seed);
+  for (size_t i = 0; i < num_servers; ++i) {
+    nodes_.push_back(std::make_unique<PlatformNode>(
+        sim::NodeId(i), network_.get(), options_, seeder.Next()));
+  }
+  for (auto& n : nodes_) n->set_num_peers(num_servers);
+}
+
+Status Platform::DeployContract(const std::string& name,
+                                const std::string& casm) {
+  auto program = vm::Assemble(casm);
+  if (!program.ok()) return program.status();
+  for (auto& n : nodes_) {
+    BB_RETURN_IF_ERROR(n->DeployContract(name, *program));
+  }
+  return Status::Ok();
+}
+
+Status Platform::DeployChaincode(const std::string& name,
+                                 const std::string& registered_as) {
+  for (auto& n : nodes_) {
+    BB_RETURN_IF_ERROR(n->DeployChaincode(name, registered_as));
+  }
+  return Status::Ok();
+}
+
+Status Platform::DeployWorkloadContract(const std::string& name,
+                                        const std::string& casm,
+                                        const std::string& chaincode_name) {
+  if (options_.exec_engine == ExecEngineKind::kNative) {
+    return DeployChaincode(name, chaincode_name);
+  }
+  return DeployContract(name, casm);
+}
+
+Status Platform::PreloadState(const std::string& contract,
+                              const std::string& key,
+                              const std::string& value) {
+  for (auto& n : nodes_) {
+    BB_RETURN_IF_ERROR(n->PreloadState(contract, key, value));
+  }
+  return Status::Ok();
+}
+
+Status Platform::FinalizeGenesis() {
+  for (auto& n : nodes_) {
+    BB_RETURN_IF_ERROR(n->FinalizeGenesis());
+  }
+  return Status::Ok();
+}
+
+Status Platform::PreloadBlock(const std::vector<chain::Transaction>& txs) {
+  for (auto& n : nodes_) {
+    BB_RETURN_IF_ERROR(n->DirectCommit(txs));
+  }
+  return Status::Ok();
+}
+
+void Platform::Start() {
+  for (auto& n : nodes_) n->Start();
+}
+
+uint64_t Platform::TotalBlocksProduced() const {
+  uint64_t total = 0;
+  for (const auto& n : nodes_) total += n->blocks_produced();
+  return total;
+}
+
+uint64_t Platform::CanonicalBlocks() const {
+  return nodes_.front()->chain().main_chain_blocks();
+}
+
+uint64_t Platform::TotalTxsExecuted() const {
+  uint64_t total = 0;
+  for (const auto& n : nodes_) total += n->txs_executed();
+  return total;
+}
+
+}  // namespace bb::platform

@@ -1,0 +1,65 @@
+// Platform: a cluster of PlatformNode servers sharing one simulated
+// network — "a private testnet". Construct, deploy contracts, preload
+// state, Start(), then attach clients (the Driver) to the same network.
+
+#ifndef BLOCKBENCH_PLATFORM_PLATFORM_H_
+#define BLOCKBENCH_PLATFORM_PLATFORM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "platform/node.h"
+
+namespace bb::platform {
+
+class Platform {
+ public:
+  /// Servers get node ids 0..num_servers-1 on a fresh Network owned by
+  /// the platform; clients registered later get subsequent ids.
+  Platform(sim::Simulation* sim, PlatformOptions options, size_t num_servers,
+           uint64_t seed = 42);
+
+  sim::Simulation* psim() { return sim_; }
+  sim::Network& network() { return *network_; }
+  size_t num_servers() const { return nodes_.size(); }
+  PlatformNode& node(size_t i) { return *nodes_.at(i); }
+  const PlatformOptions& options() const { return options_; }
+
+  /// Assembles `casm` once and deploys to every server.
+  Status DeployContract(const std::string& name, const std::string& casm);
+  /// Deploys registered chaincode to every server.
+  Status DeployChaincode(const std::string& name,
+                         const std::string& registered_as);
+  /// Deploys with the engine matching this platform: EVM platforms get
+  /// the assembled contract, the native platform gets the chaincode.
+  Status DeployWorkloadContract(const std::string& name,
+                                const std::string& casm,
+                                const std::string& chaincode_name);
+
+  Status PreloadState(const std::string& contract, const std::string& key,
+                      const std::string& value);
+  Status FinalizeGenesis();
+  /// Commits one block of transactions on every node, bypassing
+  /// consensus (historical-chain preloading).
+  Status PreloadBlock(const std::vector<chain::Transaction>& txs);
+
+  /// Starts consensus on every server.
+  void Start();
+
+  // --- Aggregate statistics ---------------------------------------------------
+  uint64_t TotalBlocksProduced() const;
+  /// Main-branch blocks as seen by server 0.
+  uint64_t CanonicalBlocks() const;
+  uint64_t TotalTxsExecuted() const;
+
+ private:
+  sim::Simulation* sim_;
+  PlatformOptions options_;
+  std::unique_ptr<sim::Network> network_;
+  std::vector<std::unique_ptr<PlatformNode>> nodes_;
+};
+
+}  // namespace bb::platform
+
+#endif  // BLOCKBENCH_PLATFORM_PLATFORM_H_

@@ -1,0 +1,84 @@
+// Message schemas of the client<->server interface: transaction submission
+// and the JSON-RPC-like query API ("current systems support a minimum set
+// of queries including getting blocks and transactions based on their
+// IDs"; Ethereum/Parity add account state at specific blocks).
+
+#ifndef BLOCKBENCH_PLATFORM_RPC_H_
+#define BLOCKBENCH_PLATFORM_RPC_H_
+
+#include <memory>
+#include <vector>
+
+#include "chain/block.h"
+#include "chain/transaction.h"
+#include "vm/value.h"
+
+namespace bb::platform {
+
+using BlockPtr = std::shared_ptr<const chain::Block>;
+
+/// type = "client_tx". Client -> server transaction submission.
+struct ClientTx {
+  chain::Transaction tx;
+};
+
+/// type = "client_tx_reject". Server pool is full; client should back off.
+struct ClientTxReject {
+  uint64_t tx_id;
+};
+
+/// type = "rpc_getblocks". getLatestBlock(h): confirmed blocks above h.
+struct RpcGetBlocks {
+  uint64_t req_id;
+  uint64_t from_height;
+};
+/// type = "rpc_blocks".
+struct RpcBlocks {
+  uint64_t req_id;
+  uint64_t confirmed_height;
+  std::vector<BlockPtr> blocks;
+};
+
+/// type = "rpc_getblock". Single block by height (canonical, confirmed).
+struct RpcGetBlock {
+  uint64_t req_id;
+  uint64_t height;
+};
+/// type = "rpc_block". block is null when unavailable.
+struct RpcBlock {
+  uint64_t req_id;
+  BlockPtr block;
+};
+
+/// type = "rpc_getbalance". Account balance at a historical block
+/// (Ethereum/Parity only — needs versioned state).
+struct RpcGetBalance {
+  uint64_t req_id;
+  std::string account;
+  uint64_t height;
+};
+/// type = "rpc_balance".
+struct RpcBalance {
+  uint64_t req_id;
+  bool ok;
+  int64_t balance;
+};
+
+/// type = "rpc_query". Read-only contract invocation on current state
+/// (Hyperledger chaincode query path).
+struct RpcQuery {
+  uint64_t req_id;
+  std::string contract;
+  std::string function;
+  vm::Args args;
+};
+/// type = "rpc_result".
+struct RpcResult {
+  uint64_t req_id;
+  bool ok;
+  vm::Value value;
+};
+
+}  // namespace bb::platform
+
+#endif  // BLOCKBENCH_PLATFORM_RPC_H_

@@ -1,0 +1,3 @@
+#include "sim/meters.h"
+
+// ResourceMeter is header-only today; this TU anchors the library target.

@@ -1,0 +1,115 @@
+#include "sim/network.h"
+
+#include <cassert>
+
+#include "sim/node.h"
+
+namespace bb::sim {
+
+void Network::Register(Node* node) {
+  assert(node->id() == nodes_.size() && "register nodes in id order");
+  nodes_.push_back(node);
+  crashed_.push_back(false);
+  side_.push_back(0);
+}
+
+bool Network::SameSide(NodeId a, NodeId b) const {
+  if (!partitioned_) return true;
+  return side_[a] == side_[b];
+}
+
+double Network::SampleLatency(uint64_t size_bytes) {
+  double lat = config_.base_latency + injected_delay_;
+  if (config_.jitter > 0) lat += rng_.NextDouble() * config_.jitter;
+  if (config_.bandwidth_bytes_per_sec > 0) {
+    lat += double(size_bytes) / config_.bandwidth_bytes_per_sec;
+  }
+  return lat;
+}
+
+bool Network::Send(Message msg) {
+  assert(msg.from < nodes_.size() && msg.to < nodes_.size());
+  ++messages_sent_;
+  bytes_sent_ += msg.size_bytes;
+  nodes_[msg.from]->meter().AddNetBytes(sim_->Now(), msg.size_bytes);
+
+  if (crashed_[msg.from] || crashed_[msg.to] || !SameSide(msg.from, msg.to) ||
+      (config_.drop_probability > 0 && rng_.Bernoulli(config_.drop_probability))) {
+    ++messages_dropped_;
+    return false;
+  }
+  if (config_.inbox_capacity > 0 &&
+      nodes_[msg.to]->inbox_depth() >= config_.inbox_capacity) {
+    // Receiver's message channel is full: reject, as Fabric v0.6 does.
+    ++messages_dropped_;
+    return false;
+  }
+  if (config_.corrupt_probability > 0 &&
+      rng_.Bernoulli(config_.corrupt_probability)) {
+    msg.corrupted = true;
+  }
+
+  double latency = SampleLatency(msg.size_bytes);
+  NodeId to = msg.to;
+  sim_->After(latency, [this, to, m = std::move(msg)]() mutable {
+    // Re-check fault state at delivery time.
+    if (crashed_[to] || !SameSide(m.from, to)) {
+      ++messages_dropped_;
+      return;
+    }
+    // Channel-full check at the receiver (the arrival-time inbox, not
+    // the send-time snapshot, is what overflows under load).
+    if (config_.inbox_capacity > 0 &&
+        nodes_[to]->inbox_depth() >= config_.inbox_capacity) {
+      ++messages_dropped_;
+      return;
+    }
+    nodes_[to]->Deliver(std::move(m));
+  });
+  return true;
+}
+
+void Network::Broadcast(NodeId from, const std::string& type, std::any payload,
+                        uint64_t size_bytes) {
+  for (NodeId to = 0; to < nodes_.size(); ++to) {
+    if (to == from) continue;
+    Message m;
+    m.from = from;
+    m.to = to;
+    m.type = type;
+    m.payload = payload;
+    m.size_bytes = size_bytes;
+    Send(std::move(m));
+  }
+}
+
+void Network::Crash(NodeId id) {
+  assert(id < nodes_.size());
+  crashed_[id] = true;
+  nodes_[id]->set_crashed(true);
+}
+
+void Network::Restart(NodeId id) {
+  assert(id < nodes_.size());
+  crashed_[id] = false;
+  nodes_[id]->set_crashed(false);
+}
+
+bool Network::IsCrashed(NodeId id) const { return crashed_.at(id); }
+
+void Network::Partition(const std::vector<NodeId>& group_a) {
+  for (auto& s : side_) s = 1;
+  for (NodeId id : group_a) {
+    assert(id < side_.size());
+    side_[id] = 0;
+  }
+  partitioned_ = true;
+}
+
+void Network::HealPartition() { partitioned_ = false; }
+
+size_t Network::InboxDepth(NodeId id) const {
+  return nodes_.at(id)->inbox_depth();
+}
+
+}  // namespace bb::sim

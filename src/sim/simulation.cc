@@ -1,0 +1,41 @@
+#include "sim/simulation.h"
+
+#include <cassert>
+
+namespace bb::sim {
+
+void Simulation::At(SimTime t, std::function<void()> fn) {
+  assert(t >= now_ && "cannot schedule in the past");
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Simulation::After(SimTime delay, std::function<void()> fn) {
+  assert(delay >= 0);
+  At(now_ + delay, std::move(fn));
+}
+
+void Simulation::RunUntil(SimTime end) {
+  while (!queue_.empty() && queue_.top().time <= end) {
+    // Copy out before pop: fn may schedule new events.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+  }
+  if (now_ < end) now_ = end;
+}
+
+void Simulation::RunToCompletion() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+  }
+}
+
+void Simulation::Clear() {
+  while (!queue_.empty()) queue_.pop();
+}
+
+}  // namespace bb::sim

@@ -1,0 +1,3 @@
+#include "storage/kvstore.h"
+
+// Interface-only translation unit; anchors the vtable.

@@ -1,0 +1,48 @@
+// KvStore: the storage-engine abstraction under every platform model.
+//
+// Ethereum persists state in LevelDB, Hyperledger in RocksDB, and Parity
+// keeps state in memory; the three concrete stores here (DiskKv, MemKv)
+// stand in for those engines and expose the size accounting the IOHeavy
+// experiment (Fig 12) needs.
+
+#ifndef BLOCKBENCH_STORAGE_KVSTORE_H_
+#define BLOCKBENCH_STORAGE_KVSTORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace bb::storage {
+
+class KvStore {
+ public:
+  virtual ~KvStore() = default;
+
+  virtual Status Put(Slice key, Slice value) = 0;
+  virtual Status Get(Slice key, std::string* value) const = 0;
+  virtual Status Delete(Slice key) = 0;
+  virtual bool Contains(Slice key) const {
+    std::string v;
+    return Get(key, &v).ok();
+  }
+
+  /// Iterates all live entries in unspecified order; stops early if fn
+  /// returns false.
+  virtual void Scan(
+      const std::function<bool(Slice key, Slice value)>& fn) const = 0;
+
+  virtual size_t num_entries() const = 0;
+  /// Bytes of storage consumed (resident memory for MemKv, file bytes
+  /// including garbage for DiskKv).
+  virtual uint64_t size_bytes() const = 0;
+  /// Bytes of live key+value data.
+  virtual uint64_t live_bytes() const = 0;
+};
+
+}  // namespace bb::storage
+
+#endif  // BLOCKBENCH_STORAGE_KVSTORE_H_

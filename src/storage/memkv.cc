@@ -1,0 +1,61 @@
+#include "storage/memkv.h"
+
+namespace bb::storage {
+
+namespace {
+// Per-entry bookkeeping overhead of an unordered_map node + two
+// std::string headers; counted so the capacity limit reflects resident
+// memory, not just payload bytes.
+constexpr uint64_t kPerEntryOverhead = 96;
+}  // namespace
+
+Status MemKv::Put(Slice key, Slice value) {
+  auto it = map_.find(key.ToString());
+  uint64_t new_live = live_bytes_;
+  if (it != map_.end()) {
+    new_live = new_live - it->second.size() + value.size();
+  } else {
+    new_live += key.size() + value.size();
+  }
+  if (capacity_ > 0) {
+    uint64_t entries = map_.size() + (it == map_.end() ? 1 : 0);
+    if (new_live + entries * kPerEntryOverhead > capacity_) {
+      return Status::OutOfMemory("MemKv capacity exceeded");
+    }
+  }
+  if (it != map_.end()) {
+    it->second = value.ToString();
+  } else {
+    map_.emplace(key.ToString(), value.ToString());
+  }
+  live_bytes_ = new_live;
+  return Status::Ok();
+}
+
+Status MemKv::Get(Slice key, std::string* value) const {
+  auto it = map_.find(key.ToString());
+  if (it == map_.end()) return Status::NotFound();
+  *value = it->second;
+  return Status::Ok();
+}
+
+Status MemKv::Delete(Slice key) {
+  auto it = map_.find(key.ToString());
+  if (it == map_.end()) return Status::NotFound();
+  live_bytes_ -= it->first.size() + it->second.size();
+  map_.erase(it);
+  return Status::Ok();
+}
+
+void MemKv::Scan(
+    const std::function<bool(Slice key, Slice value)>& fn) const {
+  for (const auto& [k, v] : map_) {
+    if (!fn(k, v)) return;
+  }
+}
+
+uint64_t MemKv::size_bytes() const {
+  return live_bytes_ + map_.size() * kPerEntryOverhead;
+}
+
+}  // namespace bb::storage

@@ -1,0 +1,64 @@
+#include "storage/merkle_tree.h"
+
+#include <cassert>
+
+namespace bb::storage {
+
+Hash256 MerkleTree::Combine(const Hash256& l, const Hash256& r) {
+  return Sha256::Digest2(
+      Slice(reinterpret_cast<const char*>(l.bytes.data()), 32),
+      Slice(reinterpret_cast<const char*>(r.bytes.data()), 32));
+}
+
+MerkleTree::MerkleTree(std::vector<Hash256> leaves)
+    : num_leaves_(leaves.size()) {
+  if (leaves.empty()) {
+    root_ = Hash256::Zero();
+    return;
+  }
+  levels_.push_back(std::move(leaves));
+  while (levels_.back().size() > 1) {
+    const auto& prev = levels_.back();
+    std::vector<Hash256> next;
+    next.reserve((prev.size() + 1) / 2);
+    for (size_t i = 0; i < prev.size(); i += 2) {
+      const Hash256& l = prev[i];
+      const Hash256& r = (i + 1 < prev.size()) ? prev[i + 1] : prev[i];
+      next.push_back(Combine(l, r));
+    }
+    levels_.push_back(std::move(next));
+  }
+  root_ = levels_.back()[0];
+}
+
+MerkleProof MerkleTree::Prove(size_t index) const {
+  assert(index < num_leaves_);
+  MerkleProof proof;
+  size_t i = index;
+  for (size_t level = 0; level + 1 < levels_.size(); ++level) {
+    const auto& nodes = levels_[level];
+    size_t sibling = (i % 2 == 0) ? i + 1 : i - 1;
+    if (sibling >= nodes.size()) sibling = i;  // duplicated last node
+    proof.push_back(MerkleProofStep{nodes[sibling], i % 2 == 1});
+    i /= 2;
+  }
+  return proof;
+}
+
+bool MerkleTree::Verify(const Hash256& root, const Hash256& leaf,
+                        const MerkleProof& proof) {
+  Hash256 h = leaf;
+  for (const auto& step : proof) {
+    h = step.sibling_is_left ? Combine(step.sibling, h) : Combine(h, step.sibling);
+  }
+  return h == root;
+}
+
+Hash256 MerkleTree::RootOf(const std::vector<std::string>& items) {
+  std::vector<Hash256> leaves;
+  leaves.reserve(items.size());
+  for (const auto& it : items) leaves.push_back(Sha256::Digest(it));
+  return MerkleTree(std::move(leaves)).root();
+}
+
+}  // namespace bb::storage

@@ -1,0 +1,52 @@
+// Classic binary Merkle tree over a transaction list, with inclusion
+// proofs. Every platform model uses this for the block's transaction root
+// ("the hash tree for transaction list is a classic Merkle tree").
+
+#ifndef BLOCKBENCH_STORAGE_MERKLE_TREE_H_
+#define BLOCKBENCH_STORAGE_MERKLE_TREE_H_
+
+#include <vector>
+
+#include "util/sha256.h"
+
+namespace bb::storage {
+
+/// One step of an inclusion proof: the sibling hash and which side it is on.
+struct MerkleProofStep {
+  Hash256 sibling;
+  bool sibling_is_left;
+};
+
+using MerkleProof = std::vector<MerkleProofStep>;
+
+class MerkleTree {
+ public:
+  /// Builds the tree over the given leaf hashes. An empty list yields the
+  /// zero root. Odd levels duplicate the last node (Bitcoin convention).
+  explicit MerkleTree(std::vector<Hash256> leaves);
+
+  const Hash256& root() const { return root_; }
+  size_t num_leaves() const { return num_leaves_; }
+
+  /// Inclusion proof for leaf `index` (< num_leaves()).
+  MerkleProof Prove(size_t index) const;
+
+  /// Verifies that `leaf` at position `index` is included under `root`.
+  static bool Verify(const Hash256& root, const Hash256& leaf,
+                     const MerkleProof& proof);
+
+  /// Root over raw leaf data (hashes each element first).
+  static Hash256 RootOf(const std::vector<std::string>& items);
+
+ private:
+  static Hash256 Combine(const Hash256& l, const Hash256& r);
+
+  size_t num_leaves_;
+  // levels_[0] = leaves, levels_.back() = {root}.
+  std::vector<std::vector<Hash256>> levels_;
+  Hash256 root_;
+};
+
+}  // namespace bb::storage
+
+#endif  // BLOCKBENCH_STORAGE_MERKLE_TREE_H_

@@ -1,0 +1,80 @@
+#include "util/codec.h"
+
+namespace bb {
+
+void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = char(v >> (i * 8));
+  dst->append(buf, 4);
+}
+
+void PutFixed64(std::string* dst, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = char(v >> (i * 8));
+  dst->append(buf, 8);
+}
+
+void PutVarint64(std::string* dst, uint64_t v) {
+  while (v >= 0x80) {
+    dst->push_back(char(v | 0x80));
+    v >>= 7;
+  }
+  dst->push_back(char(v));
+}
+
+void PutLengthPrefixed(std::string* dst, Slice s) {
+  PutVarint64(dst, s.size());
+  dst->append(s.data(), s.size());
+}
+
+Status GetFixed32(Slice* input, uint32_t* v) {
+  if (input->size() < 4) return Status::Corruption("truncated fixed32");
+  uint32_t r = 0;
+  for (int i = 0; i < 4; ++i) r |= uint32_t(uint8_t((*input)[i])) << (i * 8);
+  input->remove_prefix(4);
+  *v = r;
+  return Status::Ok();
+}
+
+Status GetFixed64(Slice* input, uint64_t* v) {
+  if (input->size() < 8) return Status::Corruption("truncated fixed64");
+  uint64_t r = 0;
+  for (int i = 0; i < 8; ++i) r |= uint64_t(uint8_t((*input)[i])) << (i * 8);
+  input->remove_prefix(8);
+  *v = r;
+  return Status::Ok();
+}
+
+Status GetVarint64(Slice* input, uint64_t* v) {
+  uint64_t r = 0;
+  for (int shift = 0; shift <= 63 && !input->empty(); shift += 7) {
+    uint8_t byte = uint8_t((*input)[0]);
+    input->remove_prefix(1);
+    r |= uint64_t(byte & 0x7f) << shift;
+    if (!(byte & 0x80)) {
+      *v = r;
+      return Status::Ok();
+    }
+  }
+  return Status::Corruption("truncated or overlong varint");
+}
+
+Status GetLengthPrefixed(Slice* input, std::string* s) {
+  uint64_t len;
+  BB_RETURN_IF_ERROR(GetVarint64(input, &len));
+  if (input->size() < len) return Status::Corruption("truncated string");
+  s->assign(input->data(), len);
+  input->remove_prefix(len);
+  return Status::Ok();
+}
+
+size_t VarintLength(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace bb

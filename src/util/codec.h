@@ -1,0 +1,33 @@
+// Binary encoding helpers: fixed/varint integers and length-prefixed
+// strings, appended to std::string buffers (LevelDB coding idiom).
+// Used for transaction/block serialization and KV store records.
+
+#ifndef BLOCKBENCH_UTIL_CODEC_H_
+#define BLOCKBENCH_UTIL_CODEC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace bb {
+
+void PutFixed32(std::string* dst, uint32_t v);
+void PutFixed64(std::string* dst, uint64_t v);
+void PutVarint64(std::string* dst, uint64_t v);
+/// varint length followed by raw bytes.
+void PutLengthPrefixed(std::string* dst, Slice s);
+
+/// Each Get* consumes from the front of *input and fails on truncation.
+Status GetFixed32(Slice* input, uint32_t* v);
+Status GetFixed64(Slice* input, uint64_t* v);
+Status GetVarint64(Slice* input, uint64_t* v);
+Status GetLengthPrefixed(Slice* input, std::string* s);
+
+/// Number of bytes PutVarint64 would append.
+size_t VarintLength(uint64_t v);
+
+}  // namespace bb
+
+#endif  // BLOCKBENCH_UTIL_CODEC_H_

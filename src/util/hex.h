@@ -1,0 +1,22 @@
+// Hex encoding/decoding helpers.
+
+#ifndef BLOCKBENCH_UTIL_HEX_H_
+#define BLOCKBENCH_UTIL_HEX_H_
+
+#include <string>
+
+#include "util/status.h"
+#include "util/slice.h"
+
+namespace bb {
+
+/// Lowercase hex encoding of a byte range.
+std::string BytesToHex(const char* data, size_t len);
+inline std::string BytesToHex(Slice s) { return BytesToHex(s.data(), s.size()); }
+
+/// Decodes lowercase/uppercase hex; fails on odd length or non-hex chars.
+Result<std::string> HexToBytes(Slice hex);
+
+}  // namespace bb
+
+#endif  // BLOCKBENCH_UTIL_HEX_H_

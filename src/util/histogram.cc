@@ -1,0 +1,127 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace bb {
+
+void Histogram::Add(double v) {
+  samples_.push_back(v);
+  sorted_ = false;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  sorted_ = false;
+}
+
+void Histogram::Clear() {
+  samples_.clear();
+  sorted_ = true;
+}
+
+void Histogram::EnsureSorted() const {
+  if (!sorted_) {
+    auto& s = const_cast<std::vector<double>&>(samples_);
+    std::sort(s.begin(), s.end());
+    const_cast<bool&>(sorted_) = true;
+  }
+}
+
+double Histogram::min() const {
+  if (samples_.empty()) return 0;
+  EnsureSorted();
+  return samples_.front();
+}
+
+double Histogram::max() const {
+  if (samples_.empty()) return 0;
+  EnsureSorted();
+  return samples_.back();
+}
+
+double Histogram::Mean() const {
+  if (samples_.empty()) return 0;
+  double sum = 0;
+  for (double v : samples_) sum += v;
+  return sum / double(samples_.size());
+}
+
+double Histogram::Stddev() const {
+  if (samples_.size() < 2) return 0;
+  double m = Mean();
+  double acc = 0;
+  for (double v : samples_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / double(samples_.size() - 1));
+}
+
+double Histogram::Percentile(double p) const {
+  if (samples_.empty()) return 0;
+  assert(p >= 0 && p <= 100);
+  EnsureSorted();
+  if (samples_.size() == 1) return samples_[0];
+  double rank = p / 100.0 * double(samples_.size() - 1);
+  size_t lo = size_t(rank);
+  size_t hi = std::min(lo + 1, samples_.size() - 1);
+  double frac = rank - double(lo);
+  return samples_[lo] * (1 - frac) + samples_[hi] * frac;
+}
+
+std::vector<std::pair<double, double>> Histogram::Cdf(size_t max_points) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty()) return out;
+  EnsureSorted();
+  size_t n = samples_.size();
+  size_t step = std::max<size_t>(1, n / max_points);
+  for (size_t i = 0; i < n; i += step) {
+    out.emplace_back(samples_[i], double(i + 1) / double(n));
+  }
+  if (out.back().second < 1.0) out.emplace_back(samples_.back(), 1.0);
+  return out;
+}
+
+std::string Histogram::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%zu mean=%.4f p50=%.4f p95=%.4f p99=%.4f min=%.4f "
+                "max=%.4f",
+                count(), Mean(), Percentile(50), Percentile(95),
+                Percentile(99), min(), max());
+  return buf;
+}
+
+void TimeSeries::Grow(size_t i) {
+  if (i >= bins_.size()) bins_.resize(i + 1);
+}
+
+void TimeSeries::Add(double t, double value) {
+  if (t < 0) return;
+  size_t i = size_t(t / bin_width_);
+  Grow(i);
+  bins_[i].sum += value;
+}
+
+void TimeSeries::Observe(double t, double value) {
+  if (t < 0) return;
+  size_t i = size_t(t / bin_width_);
+  Grow(i);
+  bins_[i].last = value;
+  bins_[i].has_last = true;
+}
+
+double TimeSeries::SumAt(size_t i) const {
+  if (i >= bins_.size()) return 0;
+  return bins_[i].sum;
+}
+
+double TimeSeries::ValueAt(size_t i) const {
+  double last = 0;
+  for (size_t j = 0; j <= i && j < bins_.size(); ++j) {
+    if (bins_[j].has_last) last = bins_[j].last;
+  }
+  return last;
+}
+
+}  // namespace bb

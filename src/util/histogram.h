@@ -1,0 +1,76 @@
+// Latency histogram with percentile queries, plus a time-series recorder
+// used by the StatsCollector for throughput-over-time figures.
+
+#ifndef BLOCKBENCH_UTIL_HISTOGRAM_H_
+#define BLOCKBENCH_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bb {
+
+/// Collects double-valued samples; percentiles computed on demand.
+/// Storage is exact (all samples kept) — runs are bounded, so this is
+/// simpler and more accurate than bucketed approximation.
+class Histogram {
+ public:
+  void Add(double v);
+  void Merge(const Histogram& other);
+  void Clear();
+
+  size_t count() const { return samples_.size(); }
+  double min() const;
+  double max() const;
+  double Mean() const;
+  double Stddev() const;
+  /// p in [0, 100]. Linear interpolation between order statistics.
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50); }
+
+  /// CDF points (value, cumulative fraction), thinned to at most
+  /// `max_points` entries. Used for Figure 17.
+  std::vector<std::pair<double, double>> Cdf(size_t max_points = 200) const;
+
+  std::string Summary() const;
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Accumulates (time, value) points into fixed-width time bins; used for
+/// committed-transactions-over-time and queue-length-over-time series.
+class TimeSeries {
+ public:
+  explicit TimeSeries(double bin_width_sec = 1.0) : bin_width_(bin_width_sec) {}
+
+  /// Adds `value` into the bin containing time t (seconds).
+  void Add(double t, double value);
+  /// Records an instantaneous observation; bins keep the last value seen.
+  void Observe(double t, double value);
+
+  double bin_width() const { return bin_width_; }
+  size_t num_bins() const { return bins_.size(); }
+  /// Sum accumulated in bin i (0 if empty).
+  double SumAt(size_t i) const;
+  /// Last observed value at bin i, carrying the previous bin's value forward.
+  double ValueAt(size_t i) const;
+
+ private:
+  struct Bin {
+    double sum = 0;
+    double last = 0;
+    bool has_last = false;
+  };
+  void Grow(size_t i);
+
+  double bin_width_;
+  std::vector<Bin> bins_;
+};
+
+}  // namespace bb
+
+#endif  // BLOCKBENCH_UTIL_HISTOGRAM_H_

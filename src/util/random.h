@@ -1,0 +1,78 @@
+// Deterministic pseudo-random utilities for workload generation and the
+// simulator: xoshiro256** core, plus Zipfian and exponential samplers.
+//
+// All randomness in blockbench-cpp flows through Rng so that every
+// experiment is reproducible from a seed.
+
+#ifndef BLOCKBENCH_UTIL_RANDOM_H_
+#define BLOCKBENCH_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace bb {
+
+/// xoshiro256** PRNG. Deterministic from seed; not cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  uint64_t Next();
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n);
+  /// Uniform in [lo, hi]. Requires lo <= hi.
+  uint64_t Range(uint64_t lo, uint64_t hi);
+  /// Uniform double in [0, 1).
+  double NextDouble();
+  /// True with probability p.
+  bool Bernoulli(double p);
+  /// Exponential with the given mean (> 0). Used for PoW mining times.
+  double Exponential(double mean);
+  /// Gaussian via Box-Muller.
+  double Gaussian(double mean, double stddev);
+  /// Random printable ASCII string of exactly `len` bytes.
+  std::string AsciiString(size_t len);
+  /// Spawn an independent child stream (e.g. one per simulated node).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Zipfian generator over [0, n) using the YCSB rejection-inversion-free
+/// algorithm (Gray et al.), with theta defaulting to YCSB's 0.99.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta = 0.99);
+
+  uint64_t Next(Rng& rng);
+  uint64_t item_count() const { return n_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double zeta_n_;
+  double alpha_;
+  double eta_;
+  double zeta2_;
+};
+
+/// Scrambles ZipfianGenerator output across the keyspace (YCSB "scrambled
+/// zipfian") so hot keys are spread out rather than clustered at 0.
+class ScrambledZipfian {
+ public:
+  explicit ScrambledZipfian(uint64_t n, double theta = 0.99)
+      : n_(n), zipf_(n, theta) {}
+
+  uint64_t Next(Rng& rng);
+
+ private:
+  uint64_t n_;
+  ZipfianGenerator zipf_;
+};
+
+}  // namespace bb
+
+#endif  // BLOCKBENCH_UTIL_RANDOM_H_

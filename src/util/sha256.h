@@ -1,0 +1,76 @@
+// A from-scratch SHA-256 implementation (FIPS 180-4).
+//
+// Used for block hashes, Merkle trees and transaction ids. Not intended as
+// a hardened crypto library — the benchmark framework needs a correct,
+// deterministic cryptographic hash, which this provides.
+
+#ifndef BLOCKBENCH_UTIL_SHA256_H_
+#define BLOCKBENCH_UTIL_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "util/slice.h"
+
+namespace bb {
+
+/// A 32-byte SHA-256 digest.
+struct Hash256 {
+  std::array<uint8_t, 32> bytes{};
+
+  bool operator==(const Hash256& o) const { return bytes == o.bytes; }
+  bool operator!=(const Hash256& o) const { return bytes != o.bytes; }
+  bool operator<(const Hash256& o) const { return bytes < o.bytes; }
+
+  bool IsZero() const {
+    for (uint8_t b : bytes)
+      if (b != 0) return false;
+    return true;
+  }
+
+  /// Lowercase hex, 64 chars.
+  std::string ToHex() const;
+  /// First 8 hex chars, for logs.
+  std::string ShortHex() const;
+  /// First 8 bytes as a big-endian integer (used for hash-based bucketing).
+  uint64_t Prefix64() const;
+
+  static Hash256 Zero() { return Hash256{}; }
+};
+
+/// Incremental SHA-256 hasher.
+class Sha256 {
+ public:
+  Sha256() { Reset(); }
+
+  void Reset();
+  void Update(const void* data, size_t len);
+  void Update(Slice s) { Update(s.data(), s.size()); }
+  /// Finalizes and returns the digest. The hasher must be Reset() before reuse.
+  Hash256 Finish();
+
+  /// One-shot convenience.
+  static Hash256 Digest(Slice s);
+  /// Hash of the concatenation of two slices (Merkle node combining).
+  static Hash256 Digest2(Slice a, Slice b);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[8];
+  uint64_t bit_count_;
+  uint8_t buffer_[64];
+  size_t buffer_len_;
+};
+
+struct Hash256Hasher {
+  size_t operator()(const Hash256& h) const {
+    // Digest bytes are uniformly distributed; fold the first 8 bytes.
+    return static_cast<size_t>(h.Prefix64());
+  }
+};
+
+}  // namespace bb
+
+#endif  // BLOCKBENCH_UTIL_SHA256_H_

@@ -1,0 +1,43 @@
+#include "util/status.h"
+
+namespace bb {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "Ok";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kOutOfGas:
+      return "OutOfGas";
+    case StatusCode::kOutOfMemory:
+      return "OutOfMemory";
+    case StatusCode::kReverted:
+      return "Reverted";
+    case StatusCode::kTimeout:
+      return "Timeout";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kAborted:
+      return "Aborted";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "Ok";
+  std::string s = StatusCodeName(code_);
+  if (!msg_.empty()) {
+    s += ": ";
+    s += msg_;
+  }
+  return s;
+}
+
+}  // namespace bb

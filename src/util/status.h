@@ -1,0 +1,131 @@
+// Status and Result<T>: the library-wide error-handling primitives.
+//
+// blockbench-cpp does not throw exceptions across library boundaries.
+// Functions that can fail return Status (or Result<T> when they also
+// produce a value), in the style of LevelDB/RocksDB.
+
+#ifndef BLOCKBENCH_UTIL_STATUS_H_
+#define BLOCKBENCH_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace bb {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kInvalidArgument,
+  kCorruption,
+  kOutOfGas,
+  kOutOfMemory,
+  kReverted,
+  kTimeout,
+  kUnavailable,
+  kAborted,
+  kInternal,
+};
+
+/// Human-readable name for a StatusCode ("Ok", "NotFound", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A Status encapsulates success or an error code plus message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string m = "") {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status InvalidArgument(std::string m = "") {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status Corruption(std::string m = "") {
+    return Status(StatusCode::kCorruption, std::move(m));
+  }
+  static Status OutOfGas(std::string m = "") {
+    return Status(StatusCode::kOutOfGas, std::move(m));
+  }
+  static Status OutOfMemory(std::string m = "") {
+    return Status(StatusCode::kOutOfMemory, std::move(m));
+  }
+  static Status Reverted(std::string m = "") {
+    return Status(StatusCode::kReverted, std::move(m));
+  }
+  static Status Timeout(std::string m = "") {
+    return Status(StatusCode::kTimeout, std::move(m));
+  }
+  static Status Unavailable(std::string m = "") {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status Aborted(std::string m = "") {
+    return Status(StatusCode::kAborted, std::move(m));
+  }
+  static Status Internal(std::string m = "") {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsOutOfGas() const { return code_ == StatusCode::kOutOfGas; }
+  bool IsOutOfMemory() const { return code_ == StatusCode::kOutOfMemory; }
+  bool IsReverted() const { return code_ == StatusCode::kReverted; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Result<T> is a Status plus a value on success.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : status_(Status::Ok()), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {                  // NOLINT
+    assert(!status_.ok() && "ok Result must carry a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const {
+    assert(ok());
+    return *value_;
+  }
+  T ValueOr(T fallback) const { return ok() ? *value_ : std::move(fallback); }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace bb
+
+/// Propagate a non-ok Status from the current function.
+#define BB_RETURN_IF_ERROR(expr)           \
+  do {                                     \
+    ::bb::Status _st = (expr);             \
+    if (!_st.ok()) return _st;             \
+  } while (0)
+
+#endif  // BLOCKBENCH_UTIL_STATUS_H_

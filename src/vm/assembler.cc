@@ -1,0 +1,251 @@
+#include "vm/assembler.h"
+
+#include <charconv>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace bb::vm {
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kPushInt: return "PUSH";
+    case Op::kPushStr: return "PUSHS";
+    case Op::kPop: return "POP";
+    case Op::kDup: return "DUP";
+    case Op::kSwap: return "SWAP";
+    case Op::kAdd: return "ADD";
+    case Op::kSub: return "SUB";
+    case Op::kMul: return "MUL";
+    case Op::kDiv: return "DIV";
+    case Op::kMod: return "MOD";
+    case Op::kNeg: return "NEG";
+    case Op::kLt: return "LT";
+    case Op::kGt: return "GT";
+    case Op::kLe: return "LE";
+    case Op::kGe: return "GE";
+    case Op::kEq: return "EQ";
+    case Op::kNe: return "NE";
+    case Op::kNot: return "NOT";
+    case Op::kAnd: return "AND";
+    case Op::kOr: return "OR";
+    case Op::kJump: return "JUMP";
+    case Op::kJumpI: return "JUMPI";
+    case Op::kMLoad: return "MLOAD";
+    case Op::kMStore: return "MSTORE";
+    case Op::kMSize: return "MSIZE";
+    case Op::kSLoad: return "SLOAD";
+    case Op::kSStore: return "SSTORE";
+    case Op::kSExists: return "SEXISTS";
+    case Op::kSDelete: return "SDELETE";
+    case Op::kCaller: return "CALLER";
+    case Op::kTxValue: return "TXVALUE";
+    case Op::kArg: return "ARG";
+    case Op::kNumArgs: return "NUMARGS";
+    case Op::kSend: return "SEND";
+    case Op::kConcat: return "CONCAT";
+    case Op::kToStr: return "TOSTR";
+    case Op::kStrLen: return "STRLEN";
+    case Op::kReturn: return "RETURN";
+    case Op::kRevert: return "REVERT";
+    case Op::kStop: return "STOP";
+  }
+  return "?";
+}
+
+namespace {
+
+struct PendingJump {
+  size_t instr_index;
+  std::string label;
+  int line;
+};
+
+Status Err(int line, const std::string& msg) {
+  return Status::InvalidArgument("line " + std::to_string(line) + ": " + msg);
+}
+
+// Simple mnemonics with no immediate operand.
+const std::map<std::string, Op>& SimpleOps() {
+  static const std::map<std::string, Op> kOps = {
+      {"POP", Op::kPop},       {"ADD", Op::kAdd},
+      {"SUB", Op::kSub},       {"MUL", Op::kMul},
+      {"DIV", Op::kDiv},       {"MOD", Op::kMod},
+      {"NEG", Op::kNeg},       {"LT", Op::kLt},
+      {"GT", Op::kGt},         {"LE", Op::kLe},
+      {"GE", Op::kGe},         {"EQ", Op::kEq},
+      {"NE", Op::kNe},         {"NOT", Op::kNot},
+      {"AND", Op::kAnd},       {"OR", Op::kOr},
+      {"MLOAD", Op::kMLoad},   {"MSTORE", Op::kMStore},
+      {"MSIZE", Op::kMSize},   {"SLOAD", Op::kSLoad},
+      {"SSTORE", Op::kSStore}, {"SEXISTS", Op::kSExists},
+      {"SDELETE", Op::kSDelete}, {"CALLER", Op::kCaller},
+      {"TXVALUE", Op::kTxValue}, {"NUMARGS", Op::kNumArgs},
+      {"SEND", Op::kSend},     {"CONCAT", Op::kConcat},
+      {"TOSTR", Op::kToStr},   {"STRLEN", Op::kStrLen},
+      {"RETURN", Op::kReturn}, {"REVERT", Op::kRevert},
+      {"STOP", Op::kStop},
+  };
+  return kOps;
+}
+
+Result<std::string> ParseStringLiteral(const std::string& rest, int line) {
+  size_t start = rest.find('"');
+  if (start == std::string::npos) return Err(line, "expected string literal");
+  std::string out;
+  bool closed = false;
+  for (size_t i = start + 1; i < rest.size(); ++i) {
+    char c = rest[i];
+    if (c == '\\') {
+      if (i + 1 >= rest.size()) return Err(line, "dangling escape");
+      char e = rest[++i];
+      switch (e) {
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case '\\': out.push_back('\\'); break;
+        case '"': out.push_back('"'); break;
+        default: return Err(line, "unknown escape");
+      }
+    } else if (c == '"') {
+      closed = true;
+      break;
+    } else {
+      out.push_back(c);
+    }
+  }
+  if (!closed) return Err(line, "unterminated string literal");
+  return out;
+}
+
+}  // namespace
+
+Result<Program> Assemble(const std::string& source) {
+  Program prog;
+  std::map<std::string, size_t> labels;
+  std::vector<PendingJump> pending;
+  std::map<std::string, size_t> string_indices;
+
+  auto intern = [&](const std::string& s) -> int64_t {
+    auto it = string_indices.find(s);
+    if (it != string_indices.end()) return int64_t(it->second);
+    prog.string_pool.push_back(s);
+    string_indices[s] = prog.string_pool.size() - 1;
+    return int64_t(prog.string_pool.size() - 1);
+  };
+
+  std::istringstream in(source);
+  std::string raw;
+  int line_no = 0;
+  std::vector<std::string> pending_funcs;
+
+  while (std::getline(in, raw)) {
+    ++line_no;
+    // Strip comments — but not inside string literals.
+    std::string line;
+    bool in_str = false;
+    for (size_t i = 0; i < raw.size(); ++i) {
+      char c = raw[i];
+      if (c == '"' && (i == 0 || raw[i - 1] != '\\')) in_str = !in_str;
+      if (c == ';' && !in_str) break;
+      line.push_back(c);
+    }
+    // Trim.
+    size_t b = line.find_first_not_of(" \t\r");
+    if (b == std::string::npos) continue;
+    size_t e = line.find_last_not_of(" \t\r");
+    line = line.substr(b, e - b + 1);
+    if (line.empty()) continue;
+
+    // Directive: .func NAME
+    if (line[0] == '.') {
+      std::istringstream ls(line);
+      std::string dir, name;
+      ls >> dir >> name;
+      if (dir != ".func" || name.empty()) return Err(line_no, "bad directive");
+      if (prog.functions.count(name)) {
+        return Err(line_no, "duplicate function " + name);
+      }
+      pending_funcs.push_back(name);
+      continue;
+    }
+
+    // Label: NAME:
+    if (line.back() == ':') {
+      std::string name = line.substr(0, line.size() - 1);
+      if (name.empty()) return Err(line_no, "empty label");
+      if (labels.count(name)) return Err(line_no, "duplicate label " + name);
+      labels[name] = prog.code.size();
+      continue;
+    }
+
+    std::istringstream ls(line);
+    std::string mnem;
+    ls >> mnem;
+    for (auto& c : mnem) c = char(std::toupper(uint8_t(c)));
+
+    for (const auto& fn : pending_funcs) prog.functions[fn] = prog.code.size();
+    pending_funcs.clear();
+
+    auto simple = SimpleOps().find(mnem);
+    if (simple != SimpleOps().end()) {
+      prog.code.push_back({simple->second, 0});
+      continue;
+    }
+
+    if (mnem == "PUSH" || mnem == "ARG" || mnem == "DUP" || mnem == "SWAP") {
+      int64_t imm;
+      if (!(ls >> imm)) return Err(line_no, mnem + " needs an integer operand");
+      if (mnem == "SWAP" && imm < 1) return Err(line_no, "SWAP depth >= 1");
+      if ((mnem == "ARG" || mnem == "DUP") && imm < 0) {
+        return Err(line_no, mnem + " operand must be >= 0");
+      }
+      Op op = mnem == "PUSH" ? Op::kPushInt
+              : mnem == "ARG" ? Op::kArg
+              : mnem == "DUP" ? Op::kDup
+                              : Op::kSwap;
+      prog.code.push_back({op, imm});
+      continue;
+    }
+
+    if (mnem == "PUSHS") {
+      std::string rest;
+      std::getline(ls, rest);
+      auto lit = ParseStringLiteral(rest, line_no);
+      if (!lit.ok()) return lit.status();
+      prog.code.push_back({Op::kPushStr, intern(*lit)});
+      continue;
+    }
+
+    if (mnem == "JUMP" || mnem == "JUMPI") {
+      std::string label;
+      if (!(ls >> label)) return Err(line_no, mnem + " needs a label");
+      prog.code.push_back(
+          {mnem == "JUMP" ? Op::kJump : Op::kJumpI, 0});
+      pending.push_back({prog.code.size() - 1, label, line_no});
+      continue;
+    }
+
+    return Err(line_no, "unknown mnemonic '" + mnem + "'");
+  }
+
+  // Functions declared after the last instruction point past the end;
+  // treat as error.
+  if (!pending_funcs.empty()) {
+    return Status::InvalidArgument(".func at end of file has no body");
+  }
+
+  for (const auto& pj : pending) {
+    auto it = labels.find(pj.label);
+    if (it == labels.end()) {
+      return Err(pj.line, "undefined label '" + pj.label + "'");
+    }
+    prog.code[pj.instr_index].imm = int64_t(it->second);
+  }
+
+  if (prog.functions.empty() && !prog.code.empty()) {
+    prog.functions["main"] = 0;
+  }
+  return prog;
+}
+
+}  // namespace bb::vm

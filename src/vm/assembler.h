@@ -1,0 +1,30 @@
+// Assembler: turns contract assembly text into a Program.
+//
+// Syntax (one statement per line; ';' starts a comment):
+//   .func NAME          ; export the next instruction as entry point NAME
+//   LABEL:              ; define a jump target
+//   PUSH 42             ; push integer literal
+//   PUSHS "hello"       ; push string literal (C-like escapes \" \\ \n)
+//   ARG 0               ; push transaction argument 0
+//   DUP 0 / SWAP 1 / JUMP label / JUMPI label
+//   ADD SUB MUL DIV MOD NEG LT GT LE GE EQ NE NOT AND OR
+//   MLOAD MSTORE MSIZE SLOAD SSTORE SEXISTS SDELETE
+//   CALLER TXVALUE NUMARGS SEND CONCAT TOSTR STRLEN
+//   RETURN REVERT STOP
+
+#ifndef BLOCKBENCH_VM_ASSEMBLER_H_
+#define BLOCKBENCH_VM_ASSEMBLER_H_
+
+#include <string>
+
+#include "util/status.h"
+#include "vm/program.h"
+
+namespace bb::vm {
+
+/// Assembles `source`; on error the Status message includes the line number.
+Result<Program> Assemble(const std::string& source);
+
+}  // namespace bb::vm
+
+#endif  // BLOCKBENCH_VM_ASSEMBLER_H_

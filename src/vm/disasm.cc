@@ -1,0 +1,77 @@
+#include "vm/disasm.h"
+
+#include <map>
+#include <set>
+
+namespace bb::vm {
+
+namespace {
+
+std::string QuoteString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out.push_back(c);
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+std::string Disassemble(const Program& program) {
+  // Collect jump targets and name them L<index>.
+  std::set<size_t> targets;
+  for (const auto& ins : program.code) {
+    if (ins.op == Op::kJump || ins.op == Op::kJumpI) {
+      targets.insert(size_t(ins.imm));
+    }
+  }
+  // Function entries by instruction index.
+  std::map<size_t, std::vector<std::string>> funcs;
+  for (const auto& [name, idx] : program.functions) {
+    funcs[idx].push_back(name);
+  }
+
+  std::string out;
+  for (size_t i = 0; i < program.code.size(); ++i) {
+    auto fn = funcs.find(i);
+    if (fn != funcs.end()) {
+      for (const auto& name : fn->second) {
+        out += ".func " + name + "\n";
+      }
+    }
+    if (targets.count(i)) {
+      out += "L" + std::to_string(i) + ":\n";
+    }
+    const Instruction& ins = program.code[i];
+    out += "  ";
+    out += OpName(ins.op);
+    switch (ins.op) {
+      case Op::kPushInt:
+      case Op::kArg:
+      case Op::kDup:
+      case Op::kSwap:
+        out += " " + std::to_string(ins.imm);
+        break;
+      case Op::kPushStr:
+        out += " " + QuoteString(program.string_pool[size_t(ins.imm)]);
+        break;
+      case Op::kJump:
+      case Op::kJumpI:
+        out += " L" + std::to_string(ins.imm);
+        break;
+      default:
+        break;
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace bb::vm

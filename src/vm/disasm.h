@@ -1,0 +1,20 @@
+// Disassembler: renders an assembled Program back to readable assembly,
+// with function entry points and jump targets reconstructed as labels.
+// Round-trips with the Assembler: Assemble(Disassemble(p)) produces an
+// equivalent program.
+
+#ifndef BLOCKBENCH_VM_DISASM_H_
+#define BLOCKBENCH_VM_DISASM_H_
+
+#include <string>
+
+#include "vm/program.h"
+
+namespace bb::vm {
+
+/// Human/assembler-readable listing of `program`.
+std::string Disassemble(const Program& program);
+
+}  // namespace bb::vm
+
+#endif  // BLOCKBENCH_VM_DISASM_H_

@@ -1,0 +1,89 @@
+// HostInterface: what a contract execution can touch — its own storage
+// namespace plus currency transfers. Implemented by the platform models
+// (backed by Patricia trie / bucket tree state) and by plain map hosts in
+// tests.
+
+#ifndef BLOCKBENCH_VM_HOST_H_
+#define BLOCKBENCH_VM_HOST_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/status.h"
+#include "vm/value.h"
+
+namespace bb::vm {
+
+class HostInterface {
+ public:
+  virtual ~HostInterface() = default;
+
+  /// Reads a key from the contract's storage. NotFound when absent.
+  virtual Status GetState(const std::string& key, std::string* value) = 0;
+  /// Writes a key. Can fail (e.g. OutOfMemory on the Parity model).
+  virtual Status PutState(const std::string& key, const std::string& value) = 0;
+  virtual Status DeleteState(const std::string& key) = 0;
+  /// Moves `amount` from the contract's balance to `to`.
+  virtual Status Transfer(const std::string& to, int64_t amount) = 0;
+};
+
+/// An in-memory host; also the commit buffer used to journal writes.
+class MapHost : public HostInterface {
+ public:
+  Status GetState(const std::string& key, std::string* value) override {
+    auto it = state_.find(key);
+    if (it == state_.end()) return Status::NotFound();
+    *value = it->second;
+    return Status::Ok();
+  }
+  Status PutState(const std::string& key, const std::string& value) override {
+    state_[key] = value;
+    return Status::Ok();
+  }
+  Status DeleteState(const std::string& key) override {
+    if (state_.erase(key) == 0) return Status::NotFound();
+    return Status::Ok();
+  }
+  Status Transfer(const std::string& to, int64_t amount) override {
+    transfers_.emplace_back(to, amount);
+    return Status::Ok();
+  }
+
+  std::map<std::string, std::string>& state() { return state_; }
+  const std::vector<std::pair<std::string, int64_t>>& transfers() const {
+    return transfers_;
+  }
+
+ private:
+  std::map<std::string, std::string> state_;
+  std::vector<std::pair<std::string, int64_t>> transfers_;
+};
+
+/// Per-invocation transaction context.
+struct TxContext {
+  std::string sender;
+  int64_t value = 0;      // currency attached to the call
+  std::string function;   // entry point name
+  Args args;
+  /// Height of the block this transaction executes in (0 for local
+  /// queries). Chaincode uses it to version historical state.
+  uint64_t block_height = 0;
+};
+
+/// What an execution produced.
+struct ExecReceipt {
+  Status status = Status::Ok();
+  Value return_value;
+  uint64_t gas_used = 0;
+  uint64_t ops_executed = 0;
+  /// Peak VM memory in *accounted* bytes (includes the platform's
+  /// per-word boxing overhead).
+  uint64_t peak_memory_bytes = 0;
+  uint64_t storage_reads = 0;
+  uint64_t storage_writes = 0;
+};
+
+}  // namespace bb::vm
+
+#endif  // BLOCKBENCH_VM_HOST_H_

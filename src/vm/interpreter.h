@@ -1,0 +1,72 @@
+// Interpreter: the gas-metered stack VM that executes assembled contracts
+// (the EVM stand-in used by the Ethereum and Parity platform models).
+//
+// Semantics mirrored from the paper's description of the EVM:
+//   - every instruction costs gas; execution halts with OutOfGas when the
+//     budget is exhausted;
+//   - all storage writes are buffered and applied to the host only on
+//     success, so a failed/reverted transaction leaves no trace;
+//   - execution is strictly sequential (single core), like all three
+//     systems the paper measured.
+
+#ifndef BLOCKBENCH_VM_INTERPRETER_H_
+#define BLOCKBENCH_VM_INTERPRETER_H_
+
+#include <cstdint>
+
+#include "vm/host.h"
+#include "vm/program.h"
+
+namespace bb::vm {
+
+/// Per-opcode gas costs (loosely modelled on the EVM fee schedule).
+struct GasSchedule {
+  /// Flat cost charged to every transaction before the first instruction
+  /// (the EVM's 21000 intrinsic gas, rescaled to this VM's units).
+  uint64_t tx_intrinsic = 0;
+  uint64_t base = 1;           // every instruction
+  uint64_t sload = 50;
+  uint64_t sstore = 200;
+  uint64_t sdelete = 100;
+  uint64_t send = 300;
+  uint64_t memory_word = 1;    // per word of memory growth
+  uint64_t per_str_byte = 1;   // string ops, per byte touched
+};
+
+struct VmOptions {
+  GasSchedule gas;
+  uint64_t gas_limit = 100'000'000'000ULL;
+  /// Hard cap on VM memory (in words); 0 = unlimited. Exceeding it halts
+  /// with OutOfMemory (geth's OOM in CPUHeavy at 100M elements).
+  uint64_t memory_word_limit = 0;
+  /// Accounted bytes per memory/stack word, modelling boxed 256-bit words
+  /// plus allocator overhead. geth ≈ 2200 B/word in the paper's CPUHeavy;
+  /// Parity ≈ 200.
+  uint64_t word_overhead_bytes = 32;
+  /// Extra interpretation work per instruction, in spin iterations.
+  /// Models geth's slower dispatch/bookkeeping relative to Parity's
+  /// optimized EVM. 0 = tight loop.
+  uint32_t dispatch_overhead = 0;
+  /// Safety net against infinite loops in tests (0 = rely on gas).
+  uint64_t max_ops = 0;
+};
+
+class Interpreter {
+ public:
+  explicit Interpreter(VmOptions options = {}) : options_(options) {}
+
+  /// Runs `function` of `program` under `ctx` against `host`.
+  /// On Ok the buffered writes/transfers have been applied to the host;
+  /// on any error the host is untouched.
+  ExecReceipt Execute(const Program& program, const TxContext& ctx,
+                      HostInterface* host);
+
+  const VmOptions& options() const { return options_; }
+
+ private:
+  VmOptions options_;
+};
+
+}  // namespace bb::vm
+
+#endif  // BLOCKBENCH_VM_INTERPRETER_H_

@@ -1,0 +1,124 @@
+#include "vm/native.h"
+
+#include <unordered_map>
+
+namespace bb::vm {
+
+namespace {
+
+// Journal identical in spirit to the interpreter's WriteCache.
+class JournaledStub : public HostInterface {
+ public:
+  explicit JournaledStub(HostInterface* host) : host_(host) {}
+
+  Status GetState(const std::string& key, std::string* value) override {
+    ++reads_;
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      if (!it->second.present) return Status::NotFound();
+      *value = it->second.value;
+      return Status::Ok();
+    }
+    return host_->GetState(key, value);
+  }
+
+  Status PutState(const std::string& key, const std::string& value) override {
+    ++writes_;
+    bytes_written_ += key.size() + value.size();
+    cache_[key] = {true, value};
+    return Status::Ok();
+  }
+
+  Status DeleteState(const std::string& key) override {
+    ++writes_;
+    cache_[key] = {false, {}};
+    return Status::Ok();
+  }
+
+  Status Transfer(const std::string& to, int64_t amount) override {
+    transfers_.emplace_back(to, amount);
+    return Status::Ok();
+  }
+
+  Status Flush() {
+    for (auto& [key, e] : cache_) {
+      if (e.present) {
+        BB_RETURN_IF_ERROR(host_->PutState(key, e.value));
+      } else {
+        Status s = host_->DeleteState(key);
+        if (!s.ok() && !s.IsNotFound()) return s;
+      }
+    }
+    for (auto& [to, amount] : transfers_) {
+      BB_RETURN_IF_ERROR(host_->Transfer(to, amount));
+    }
+    return Status::Ok();
+  }
+
+  uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  struct Entry {
+    bool present;
+    std::string value;
+  };
+  HostInterface* host_;
+  std::unordered_map<std::string, Entry> cache_;
+  std::vector<std::pair<std::string, int64_t>> transfers_;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+  uint64_t bytes_written_ = 0;
+};
+
+}  // namespace
+
+ExecReceipt NativeRuntime::Execute(Chaincode* code, const TxContext& ctx,
+                                   HostInterface* host) {
+  ExecReceipt r;
+  JournaledStub stub(host);
+  Value result;
+  Status s = code->Invoke(ctx, &stub, &result);
+  r.storage_reads = stub.reads();
+  r.storage_writes = stub.writes();
+  if (!s.ok()) {
+    r.status = std::move(s);
+    return r;
+  }
+  s = stub.Flush();
+  if (!s.ok()) {
+    r.status = std::move(s);
+    return r;
+  }
+  r.return_value = std::move(result);
+  // Native execution has no gas; report work as ops for symmetry.
+  r.ops_executed = stub.reads() + stub.writes();
+  r.peak_memory_bytes = stub.bytes_written();
+  return r;
+}
+
+ChaincodeRegistry& ChaincodeRegistry::Instance() {
+  static ChaincodeRegistry* registry = new ChaincodeRegistry();
+  return *registry;
+}
+
+void ChaincodeRegistry::Register(const std::string& name,
+                                 ChaincodeFactory factory) {
+  factories_[name] = std::move(factory);
+}
+
+Result<std::unique_ptr<Chaincode>> ChaincodeRegistry::Create(
+    const std::string& name) const {
+  auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    return Status::NotFound("no chaincode named " + name);
+  }
+  return it->second();
+}
+
+bool ChaincodeRegistry::Contains(const std::string& name) const {
+  return factories_.count(name) > 0;
+}
+
+}  // namespace bb::vm

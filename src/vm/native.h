@@ -1,0 +1,62 @@
+// NativeRuntime: the Hyperledger-style execution environment.
+//
+// Chaincode is compiled machine code (here: C++ classes) that talks to the
+// ledger exclusively through PutState/GetState — the restricted key-value
+// development interface the paper contrasts with the EVM's rich types.
+// Execution is native speed with no per-word boxing, which is what gives
+// the Hyperledger model its CPUHeavy/IOHeavy advantage.
+
+#ifndef BLOCKBENCH_VM_NATIVE_H_
+#define BLOCKBENCH_VM_NATIVE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "vm/host.h"
+
+namespace bb::vm {
+
+/// Base class for chaincode. Subclasses implement Invoke() using only the
+/// stub's state operations (mirroring the Fabric shim).
+class Chaincode {
+ public:
+  virtual ~Chaincode() = default;
+
+  /// Executes `function(args)` for the given transaction. Writes are
+  /// journaled by the runtime: they reach the real host only on Ok.
+  virtual Status Invoke(const TxContext& ctx, HostInterface* stub,
+                        Value* result) = 0;
+};
+
+using ChaincodeFactory = std::function<std::unique_ptr<Chaincode>()>;
+
+/// Runs chaincode with journaled state semantics and receipt accounting.
+class NativeRuntime {
+ public:
+  /// Executes the chaincode. Buffers state effects, applying them to
+  /// `host` only when Invoke returns Ok. Peak memory is estimated from
+  /// the chaincode's self-reported allocation via stub statistics.
+  ExecReceipt Execute(Chaincode* code, const TxContext& ctx,
+                      HostInterface* host);
+};
+
+/// Global registry so platforms can instantiate chaincode by name
+/// ("deploying a Docker image").
+class ChaincodeRegistry {
+ public:
+  static ChaincodeRegistry& Instance();
+
+  void Register(const std::string& name, ChaincodeFactory factory);
+  /// NotFound if the name is unknown.
+  Result<std::unique_ptr<Chaincode>> Create(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+
+ private:
+  std::map<std::string, ChaincodeFactory> factories_;
+};
+
+}  // namespace bb::vm
+
+#endif  // BLOCKBENCH_VM_NATIVE_H_

@@ -1,0 +1,73 @@
+// Program: assembled contract bytecode — instruction stream, string pool
+// and the exported-function table (the contract's ABI).
+
+#ifndef BLOCKBENCH_VM_PROGRAM_H_
+#define BLOCKBENCH_VM_PROGRAM_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bb::vm {
+
+enum class Op : uint8_t {
+  // Stack.
+  kPushInt,   // imm: int64 literal
+  kPushStr,   // imm: string pool index
+  kPop,
+  kDup,       // imm: depth (0 = top)
+  kSwap,      // imm: depth (>= 1); swaps top with stack[top - depth]
+  // Arithmetic (ints). Pops b, a; pushes a OP b.
+  kAdd, kSub, kMul, kDiv, kMod, kNeg,
+  // Comparison / logic. Push 1 or 0.
+  kLt, kGt, kLe, kGe, kEq, kNe, kNot, kAnd, kOr,
+  // Control flow. imm: instruction index (resolved from labels).
+  kJump,
+  kJumpI,     // pops cond; jumps when truthy
+  // VM memory: a growable array of Values.
+  kMLoad,     // pops addr; pushes mem[addr]
+  kMStore,    // pops value, addr; mem[addr] = value
+  kMSize,     // pushes current memory size
+  // Contract storage (persistent, journaled).
+  kSLoad,     // pops key(str); pushes stored Value (int 0 when absent)
+  kSStore,    // pops value, key(str)
+  kSExists,   // pops key; pushes 1/0
+  kSDelete,   // pops key
+  // Transaction environment.
+  kCaller,    // pushes sender address (str)
+  kTxValue,   // pushes attached amount (int)
+  kArg,       // imm: argument index; pushes tx arg
+  kNumArgs,
+  // Currency: pops amount(int), to(str); transfers from the contract.
+  kSend,
+  // Strings.
+  kConcat,    // pops b, a; pushes a + b (strings or ints coerced)
+  kToStr,     // pops int; pushes decimal string
+  kStrLen,
+  // Termination.
+  kReturn,    // pops return value; halts Ok
+  kRevert,    // pops message value; halts Reverted (state rolled back)
+  kStop,      // halts Ok, return value int 0
+};
+
+const char* OpName(Op op);
+
+struct Instruction {
+  Op op;
+  int64_t imm = 0;
+};
+
+struct Program {
+  std::vector<Instruction> code;
+  std::vector<std::string> string_pool;
+  /// Exported entry points: function name -> instruction index.
+  std::map<std::string, size_t> functions;
+
+  /// Rough byte size of the deployed code (for block/tx sizing).
+  size_t CodeSize() const { return code.size() * 9; }
+};
+
+}  // namespace bb::vm
+
+#endif  // BLOCKBENCH_VM_PROGRAM_H_

@@ -1,0 +1,34 @@
+#include "vm/value.h"
+
+#include <charconv>
+
+namespace bb::vm {
+
+std::string Value::Serialize() const {
+  if (is_int()) {
+    return "i" + std::to_string(AsInt());
+  }
+  return "s" + AsStr();
+}
+
+Result<Value> Value::Deserialize(const std::string& data) {
+  if (data.empty()) return Status::Corruption("empty value encoding");
+  if (data[0] == 's') return Value(data.substr(1));
+  if (data[0] == 'i') {
+    int64_t v = 0;
+    auto [ptr, ec] =
+        std::from_chars(data.data() + 1, data.data() + data.size(), v);
+    if (ec != std::errc() || ptr != data.data() + data.size()) {
+      return Status::Corruption("bad int value encoding");
+    }
+    return Value(v);
+  }
+  return Status::Corruption("unknown value tag");
+}
+
+std::string Value::ToDisplayString() const {
+  if (is_int()) return std::to_string(AsInt());
+  return "\"" + AsStr() + "\"";
+}
+
+}  // namespace bb::vm

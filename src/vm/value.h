@@ -1,0 +1,59 @@
+// Value: the dynamically-typed word manipulated by the contract VM.
+//
+// Real EVM words are 256-bit; contract-visible data in the BLOCKBENCH
+// workloads is integers and short byte strings, so Value is a tagged
+// int64/string. The *memory accounting* of boxed VM words (what made geth
+// use 22 GB to sort 10M integers) is modelled separately via
+// VmOptions::word_overhead_bytes.
+
+#ifndef BLOCKBENCH_VM_VALUE_H_
+#define BLOCKBENCH_VM_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/status.h"
+
+namespace bb::vm {
+
+class Value {
+ public:
+  Value() : v_(int64_t{0}) {}
+  Value(int64_t i) : v_(i) {}                 // NOLINT
+  Value(int i) : v_(int64_t{i}) {}            // NOLINT
+  Value(std::string s) : v_(std::move(s)) {}  // NOLINT
+  Value(const char* s) : v_(std::string(s)) {}  // NOLINT
+
+  bool is_int() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_str() const { return !is_int(); }
+
+  int64_t AsInt() const { return std::get<int64_t>(v_); }
+  const std::string& AsStr() const { return std::get<std::string>(v_); }
+
+  /// Truthiness: nonzero int or non-empty string.
+  bool Truthy() const {
+    return is_int() ? AsInt() != 0 : !AsStr().empty();
+  }
+
+  /// Bytes this value occupies beyond a fixed word (string payload).
+  size_t HeapBytes() const { return is_str() ? AsStr().size() : 0; }
+
+  bool operator==(const Value& o) const { return v_ == o.v_; }
+
+  /// Wire form: "i<decimal>" or "s<bytes>". Round-trips exactly.
+  std::string Serialize() const;
+  static Result<Value> Deserialize(const std::string& data);
+
+  std::string ToDisplayString() const;
+
+ private:
+  std::variant<int64_t, std::string> v_;
+};
+
+using Args = std::vector<Value>;
+
+}  // namespace bb::vm
+
+#endif  // BLOCKBENCH_VM_VALUE_H_

@@ -1,0 +1,96 @@
+// Analytics workload (data-model microbench): OLAP-style queries over
+// historical blockchain data.
+//
+//   Q1: total transaction value committed between block i and block j.
+//   Q2: per-block balance aggregate for one account between i and j —
+//       implemented over getBalance(account, block) RPCs on the
+//       versioned-state platforms, and as a single VersionKVStore
+//       chaincode query on Hyperledger (Fig 20), whose bucket state model
+//       has no historical reads.
+
+#ifndef BLOCKBENCH_WORKLOADS_ANALYTICS_H_
+#define BLOCKBENCH_WORKLOADS_ANALYTICS_H_
+
+#include "core/connector.h"
+#include "platform/rpc.h"
+#include "sim/node.h"
+
+namespace bb::workloads {
+
+struct AnalyticsConfig {
+  uint64_t num_accounts = 10'000;
+  uint64_t num_blocks = 10'000;
+  uint64_t txs_per_block = 3;
+  /// Fraction of transfers touching the designated hot account
+  /// (account 0), the target of Q2.
+  double hot_account_fraction = 0.3;
+  int64_t max_transfer = 100;
+  /// Concurrent getBalance requests for Q2 (balance lookups are
+  /// independent; block fetches in Q1 stay sequential like the paper's
+  /// driver).
+  size_t q2_pipeline = 3;
+  uint64_t seed = 99;
+};
+
+/// Preloads the chain with `num_blocks` of random transfers. On EVM
+/// platforms the transfers are plain value-moving transactions; on the
+/// native platform they are VersionKVStore sendValue invocations
+/// (contract name "analytics").
+Status SetupAnalyticsChain(platform::Platform* platform,
+                           const AnalyticsConfig& config);
+
+/// The hot account's name ("acct0").
+std::string AnalyticsHotAccount();
+
+/// A sequential query client. Start a query, then drive the simulation
+/// until done() — see RunAnalyticsQuery().
+class AnalyticsClient : public sim::Node {
+ public:
+  AnalyticsClient(sim::NodeId id, sim::Network* network, sim::NodeId server,
+                  AnalyticsConfig config);
+
+  /// Q1 over blocks (from, to].
+  void StartQ1(uint64_t from_block, uint64_t to_block);
+  /// Q2 for `account` over (from, to]. use_chaincode selects the
+  /// Hyperledger single-RPC path.
+  void StartQ2(const std::string& account, uint64_t from_block,
+               uint64_t to_block, bool use_chaincode);
+
+  bool done() const { return done_; }
+  int64_t result() const { return result_; }
+  /// Virtual seconds from Start*() to completion.
+  double latency() const { return finish_time_ - start_time_; }
+  uint64_t rpcs_issued() const { return rpcs_issued_; }
+
+  double HandleMessage(const sim::Message& msg) override;
+
+ private:
+  void SendNextQ1();
+  void PumpQ2();
+  void Finish();
+
+  sim::NodeId server_;
+  AnalyticsConfig config_;
+
+  enum class Mode { kIdle, kQ1, kQ2Balance, kQ2Chaincode } mode_ = Mode::kIdle;
+  std::string account_;
+  uint64_t cursor_ = 0;
+  uint64_t end_ = 0;
+  size_t inflight_ = 0;
+  bool done_ = true;
+  int64_t result_ = 0;
+  bool result_valid_ = false;
+  double start_time_ = 0;
+  double finish_time_ = 0;
+  uint64_t rpcs_issued_ = 0;
+  uint64_t next_req_ = 1;
+};
+
+/// Drives the simulation in small steps until the client finishes (or
+/// max_wait virtual seconds elapse). Returns the query latency.
+double RunAnalyticsQuery(sim::Simulation* sim, AnalyticsClient* client,
+                         double max_wait = 600);
+
+}  // namespace bb::workloads
+
+#endif  // BLOCKBENCH_WORKLOADS_ANALYTICS_H_

@@ -1,0 +1,41 @@
+// The smart contracts of Table 1. Every contract exists in two builds:
+// an EVM-assembly source (the "Solidity version", run by the Ethereum and
+// Parity models) and a native chaincode class (the "Golang version", run
+// by the Hyperledger model). Both implement identical state semantics —
+// the differential tests rely on this.
+
+#ifndef BLOCKBENCH_WORKLOADS_CONTRACTS_H_
+#define BLOCKBENCH_WORKLOADS_CONTRACTS_H_
+
+#include <string>
+
+namespace bb::workloads {
+
+// --- EVM assembly sources -----------------------------------------------
+const std::string& KvStoreCasm();        // YCSB key-value store
+const std::string& SmallbankCasm();      // OLTP bank procedures
+const std::string& EtherIdCasm();        // domain-name registrar
+const std::string& DoublerCasm();        // the Fig 2 pyramid scheme
+const std::string& WavesPresaleCasm();   // token crowd-sale
+const std::string& DoNothingCasm();      // consensus-layer microbench
+const std::string& IoHeavyCasm();        // bulk random reads/writes
+const std::string& CpuHeavyCasm();       // in-VM quicksort
+
+// --- Native chaincode registry names -------------------------------------
+// Registered in ChaincodeRegistry by RegisterAllChaincodes() (called at
+// static init; callable again harmlessly).
+inline constexpr char kKvStoreChaincode[] = "cc_kvstore";
+inline constexpr char kSmallbankChaincode[] = "cc_smallbank";
+inline constexpr char kEtherIdChaincode[] = "cc_etherid";
+inline constexpr char kDoublerChaincode[] = "cc_doubler";
+inline constexpr char kWavesPresaleChaincode[] = "cc_wavespresale";
+inline constexpr char kDoNothingChaincode[] = "cc_donothing";
+inline constexpr char kIoHeavyChaincode[] = "cc_ioheavy";
+inline constexpr char kCpuHeavyChaincode[] = "cc_cpuheavy";
+inline constexpr char kVersionKvChaincode[] = "cc_versionkv";
+
+void RegisterAllChaincodes();
+
+}  // namespace bb::workloads
+
+#endif  // BLOCKBENCH_WORKLOADS_CONTRACTS_H_

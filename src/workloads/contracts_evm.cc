@@ -1,0 +1,717 @@
+#include "workloads/contracts.h"
+
+// EVM-assembly contract sources. Stack-effect comments show
+// bottom -> top after the instruction.
+
+namespace bb::workloads {
+
+const std::string& KvStoreCasm() {
+  static const std::string kSrc = R"(
+; YCSB key-value store contract.
+.func write
+  ARG 0                ; key
+  ARG 1                ; key value
+  SSTORE
+  STOP
+.func read
+  ARG 0
+  SLOAD
+  RETURN
+.func remove
+  ARG 0
+  SDELETE
+  STOP
+.func readmodifywrite
+  ARG 0
+  SLOAD
+  POP
+  ARG 0
+  ARG 1
+  SSTORE
+  STOP
+)";
+  return kSrc;
+}
+
+const std::string& SmallbankCasm() {
+  static const std::string kSrc = R"(
+; Smallbank OLTP contract. Accounts keep a savings ("s_<acct>") and a
+; checking ("c_<acct>") balance.
+.func getBalance          ; (acct) -> savings + checking
+  PUSHS "s_"
+  ARG 0
+  CONCAT
+  SLOAD
+  PUSHS "c_"
+  ARG 0
+  CONCAT
+  SLOAD
+  ADD
+  RETURN
+.func depositChecking     ; (acct, amount)
+  PUSHS "c_"
+  ARG 0
+  CONCAT                 ; key
+  DUP 0
+  SLOAD                  ; key bal
+  ARG 1
+  ADD                    ; key bal+v
+  SSTORE
+  STOP
+.func transactSavings     ; (acct, amount) - reverts if result < 0
+  PUSHS "s_"
+  ARG 0
+  CONCAT
+  DUP 0
+  SLOAD
+  ARG 1
+  ADD                    ; key newbal
+  DUP 0
+  PUSH 0
+  LT                     ; key newbal (newbal<0)
+  JUMPI ts_fail
+  SSTORE
+  STOP
+ts_fail:
+  PUSHS "insufficient savings"
+  REVERT
+.func sendPayment         ; (from, to, amount) - reverts on overdraft
+  PUSHS "c_"
+  ARG 0
+  CONCAT                 ; ka
+  DUP 0
+  SLOAD                  ; ka bal
+  ARG 2
+  SUB                    ; ka newa
+  DUP 0
+  PUSH 0
+  LT
+  JUMPI sp_fail          ; ka newa
+  SSTORE
+  PUSHS "c_"
+  ARG 1
+  CONCAT
+  DUP 0
+  SLOAD
+  ARG 2
+  ADD
+  SSTORE
+  STOP
+sp_fail:
+  PUSHS "insufficient funds"
+  REVERT
+.func writeCheck          ; (acct, amount)
+  PUSHS "c_"
+  ARG 0
+  CONCAT
+  DUP 0
+  SLOAD
+  ARG 1
+  SUB
+  SSTORE
+  STOP
+.func amalgamate          ; (from, to): move all funds of from into to's checking
+  PUSHS "s_"
+  ARG 0
+  CONCAT                 ; ks
+  DUP 0
+  SLOAD                  ; ks s
+  SWAP 1                 ; s ks
+  PUSH 0
+  SSTORE                 ; s
+  PUSHS "c_"
+  ARG 0
+  CONCAT                 ; s kc
+  DUP 0
+  SLOAD                  ; s kc c
+  SWAP 1                 ; s c kc
+  PUSH 0
+  SSTORE                 ; s c
+  ADD                    ; total
+  PUSHS "c_"
+  ARG 1
+  CONCAT                 ; total kb
+  DUP 0
+  SLOAD                  ; total kb bal
+  DUP 2                  ; total kb bal total
+  ADD                    ; total kb bal+total
+  SSTORE                 ; total
+  POP
+  STOP
+)";
+  return kSrc;
+}
+
+const std::string& EtherIdCasm() {
+  static const std::string kSrc = R"(
+; EtherId domain-name registrar. Domains: owner "d_<dom>", price
+; "p_<dom>"; user balances "b_<user>" (pre-allocated by the workload).
+.func register            ; (domain, price)
+  PUSHS "d_"
+  ARG 0
+  CONCAT                 ; kd
+  DUP 0
+  SEXISTS
+  JUMPI reg_exists       ; kd
+  DUP 0
+  CALLER
+  SSTORE                 ; kd
+  POP
+  PUSHS "p_"
+  ARG 0
+  CONCAT
+  ARG 1
+  SSTORE
+  STOP
+reg_exists:
+  PUSHS "domain taken"
+  REVERT
+.func buy                 ; (domain): pay the current owner the price
+  PUSHS "p_"
+  ARG 0
+  CONCAT
+  SLOAD                  ; price
+  PUSHS "b_"
+  CALLER
+  CONCAT                 ; price kb
+  DUP 0
+  SLOAD                  ; price kb bal
+  DUP 2                  ; price kb bal price
+  SWAP 1                 ; price kb price bal
+  GT                     ; price kb (price>bal)
+  JUMPI buy_fail
+  DUP 0
+  SLOAD                  ; price kb bal
+  DUP 2                  ; price kb bal price
+  SUB                    ; price kb bal-price
+  SSTORE                 ; price
+  PUSHS "b_"
+  PUSHS "d_"
+  ARG 0
+  CONCAT
+  SLOAD                  ; price "b_" owner
+  CONCAT                 ; price kowner
+  DUP 0
+  SLOAD                  ; price kowner obal
+  DUP 2                  ; price kowner obal price
+  ADD
+  SSTORE                 ; price
+  POP
+  PUSHS "d_"
+  ARG 0
+  CONCAT
+  CALLER
+  SSTORE
+  STOP
+buy_fail:
+  PUSHS "insufficient balance"
+  REVERT
+.func setPrice            ; (domain, price): owner-only modification
+  PUSHS "d_"
+  ARG 0
+  CONCAT
+  SLOAD                  ; owner
+  CALLER
+  NE
+  JUMPI setp_fail
+  PUSHS "p_"
+  ARG 0
+  CONCAT
+  ARG 1
+  SSTORE
+  STOP
+setp_fail:
+  PUSHS "not owner"
+  REVERT
+.func ownerOf             ; (domain) -> owner
+  PUSHS "d_"
+  ARG 0
+  CONCAT
+  SLOAD
+  RETURN
+)";
+  return kSrc;
+}
+
+const std::string& DoublerCasm() {
+  static const std::string kSrc = R"(
+; Doubler pyramid scheme (Fig 2). Participants: address "a_<i>",
+; contribution "m_<i>"; counters "n", "payout"; pool "balance".
+.func enter
+  PUSHS "n"
+  SLOAD                  ; n
+  DUP 0
+  PUSHS "a_"
+  SWAP 1
+  CONCAT                 ; n "a_n"
+  CALLER
+  SSTORE                 ; n
+  DUP 0
+  PUSHS "m_"
+  SWAP 1
+  CONCAT
+  TXVALUE
+  SSTORE                 ; n
+  PUSH 1
+  ADD
+  PUSHS "n"
+  SWAP 1
+  SSTORE
+  PUSHS "balance"
+  DUP 0
+  SLOAD
+  TXVALUE
+  ADD
+  SSTORE
+payout_loop:
+  PUSHS "payout"
+  SLOAD                  ; idx
+  DUP 0
+  PUSHS "n"
+  SLOAD                  ; idx idx n
+  GE                     ; idx (idx>=n)
+  JUMPI done_pop
+  DUP 0
+  PUSHS "m_"
+  SWAP 1
+  CONCAT
+  SLOAD                  ; idx amt
+  DUP 0
+  PUSH 2
+  MUL                    ; idx amt 2amt
+  PUSHS "balance"
+  SLOAD                  ; idx amt 2amt bal
+  SWAP 1                 ; idx amt bal 2amt
+  GT                     ; idx amt (bal>2amt)
+  NOT
+  JUMPI done_pop2
+  DUP 0
+  PUSH 2
+  MUL                    ; idx amt pay
+  DUP 2                  ; idx amt pay idx
+  PUSHS "a_"
+  SWAP 1
+  CONCAT                 ; idx amt pay a_idx
+  SLOAD                  ; idx amt pay addr
+  SWAP 1                 ; idx amt addr pay
+  SEND                   ; idx amt
+  PUSHS "balance"
+  DUP 0
+  SLOAD                  ; idx amt kbal bal
+  DUP 2                  ; idx amt kbal bal amt
+  PUSH 2
+  MUL
+  SUB                    ; idx amt kbal bal-pay
+  SSTORE                 ; idx amt
+  POP                    ; idx
+  PUSH 1
+  ADD
+  PUSHS "payout"
+  SWAP 1
+  SSTORE
+  JUMP payout_loop
+done_pop2:
+  POP
+done_pop:
+  POP
+  STOP
+.func participants       ; () -> number of participants
+  PUSHS "n"
+  SLOAD
+  RETURN
+)";
+  return kSrc;
+}
+
+const std::string& WavesPresaleCasm() {
+  static const std::string kSrc = R"(
+; WavesPresale token crowd-sale: sale owner "so_<id>", tokens "st_<id>",
+; aggregate "total".
+.func addSale             ; (id, tokens)
+  PUSHS "so_"
+  ARG 0
+  CONCAT
+  DUP 0
+  SEXISTS
+  JUMPI ws_exists
+  CALLER
+  SSTORE
+  PUSHS "st_"
+  ARG 0
+  CONCAT
+  ARG 1
+  SSTORE
+  PUSHS "total"
+  DUP 0
+  SLOAD
+  ARG 1
+  ADD
+  SSTORE
+  STOP
+ws_exists:
+  PUSHS "sale exists"
+  REVERT
+.func transferSale        ; (id, newOwner): owner-only
+  PUSHS "so_"
+  ARG 0
+  CONCAT                 ; k
+  DUP 0
+  SLOAD                  ; k owner
+  CALLER
+  NE
+  JUMPI ws_notown
+  ARG 1
+  SSTORE
+  STOP
+ws_notown:
+  PUSHS "not owner"
+  REVERT
+.func getSale             ; (id) -> tokens
+  PUSHS "st_"
+  ARG 0
+  CONCAT
+  SLOAD
+  RETURN
+.func totalSold
+  PUSHS "total"
+  SLOAD
+  RETURN
+)";
+  return kSrc;
+}
+
+const std::string& DoNothingCasm() {
+  static const std::string kSrc = R"(
+; DoNothing: accepts a transaction and returns immediately.
+.func nop
+  STOP
+)";
+  return kSrc;
+}
+
+const std::string& IoHeavyCasm() {
+  static const std::string kSrc = R"(
+; IOHeavy: bulk random state writes and reads. Keys "k_<num>", values are
+; a 100-byte constant payload (matching the paper's 100-byte values).
+.func writes              ; (start, count)
+  PUSH 0                 ; i
+iow_loop:
+  DUP 0
+  ARG 1
+  GE
+  JUMPI iow_done         ; i
+  DUP 0
+  ARG 0
+  ADD                    ; i keynum
+  PUSHS "k_"
+  SWAP 1
+  CONCAT                 ; i key
+  PUSHS "0123456789012345678901234567890123456789012345678901234567890123456789012345678901234567890123456789"
+  SSTORE                 ; i
+  PUSH 1
+  ADD
+  JUMP iow_loop
+iow_done:
+  POP
+  STOP
+.func reads               ; (start, count)
+  PUSH 0
+ior_loop:
+  DUP 0
+  ARG 1
+  GE
+  JUMPI ior_done
+  DUP 0
+  ARG 0
+  ADD
+  PUSHS "k_"
+  SWAP 1
+  CONCAT
+  SLOAD
+  POP
+  PUSH 1
+  ADD
+  JUMP ior_loop
+ior_done:
+  POP
+  STOP
+)";
+  return kSrc;
+}
+
+const std::string& CpuHeavyCasm() {
+  // In-VM iterative quicksort (Hoare partition, middle pivot) over an
+  // array initialized in descending order. Memory layout for sort(n):
+  //   mem[0..n-1]  the array
+  //   mem[n]       frame stack pointer
+  //   mem[n+1]     lo     mem[n+2] hi    mem[n+3] i
+  //   mem[n+4]     j      mem[n+5] pivot
+  //   mem[n+6...]  frame stack: [hi, lo] per frame
+  static const std::string kSrc = R"(
+.func sort                ; (n) -> mem[0] after sorting (== 1)
+  PUSH 0                 ; i
+init_loop:
+  DUP 0
+  ARG 0
+  GE
+  JUMPI init_done        ; i
+  DUP 0                  ; i i(addr)
+  ARG 0
+  DUP 2
+  SUB                    ; i i n-i
+  MSTORE                 ; i
+  PUSH 1
+  ADD
+  JUMP init_loop
+init_done:
+  POP
+  ; sp = n+6
+  ARG 0
+  ARG 0
+  PUSH 6
+  ADD
+  MSTORE
+  ; push initial frame (0, n-1)
+  PUSH 0
+  ARG 0
+  PUSH 1
+  SUB                    ; lo hi
+  ARG 0
+  MLOAD                  ; lo hi sp
+  DUP 0
+  PUSH 1
+  ADD                    ; lo hi sp sp1
+  SWAP 2                 ; lo sp1 sp hi
+  MSTORE                 ; lo sp1
+  SWAP 1                 ; sp1 lo
+  MSTORE
+  ARG 0
+  ARG 0
+  MLOAD
+  PUSH 2
+  ADD
+  MSTORE                 ; sp += 2
+main_loop:
+  ARG 0
+  MLOAD
+  ARG 0
+  PUSH 6
+  ADD
+  GT                     ; sp > base?
+  NOT
+  JUMPI sort_done
+  ; pop frame -> lo hi
+  ARG 0
+  MLOAD
+  PUSH 2
+  SUB                    ; fb (frame base)
+  DUP 0
+  PUSH 1
+  ADD
+  MLOAD                  ; fb lo
+  SWAP 1                 ; lo fb
+  DUP 0
+  MLOAD                  ; lo fb hi
+  SWAP 1                 ; lo hi fb
+  ARG 0
+  SWAP 1                 ; lo hi n fb
+  MSTORE                 ; lo hi      (sp -= 2)
+  ; if lo >= hi: continue
+  DUP 1
+  DUP 1                  ; lo hi lo hi
+  GE
+  JUMPI skip_pop2        ; lo hi
+  ; spill lo, hi
+  ARG 0
+  PUSH 2
+  ADD                    ; lo hi a_hi
+  SWAP 1
+  MSTORE                 ; lo
+  ARG 0
+  PUSH 1
+  ADD
+  SWAP 1
+  MSTORE
+  ; pivot = mem[(lo+hi)/2]
+  ARG 0
+  PUSH 5
+  ADD                    ; a_piv
+  ARG 0
+  PUSH 1
+  ADD
+  MLOAD                  ; a_piv lo
+  ARG 0
+  PUSH 2
+  ADD
+  MLOAD                  ; a_piv lo hi
+  ADD
+  PUSH 2
+  DIV                    ; a_piv mid
+  MLOAD                  ; a_piv mem[mid]
+  MSTORE
+  ; i = lo-1, j = hi+1
+  ARG 0
+  PUSH 3
+  ADD
+  ARG 0
+  PUSH 1
+  ADD
+  MLOAD
+  PUSH 1
+  SUB
+  MSTORE
+  ARG 0
+  PUSH 4
+  ADD
+  ARG 0
+  PUSH 2
+  ADD
+  MLOAD
+  PUSH 1
+  ADD
+  MSTORE
+hoare_loop:
+i_loop:
+  ; i++
+  ARG 0
+  PUSH 3
+  ADD
+  DUP 0
+  MLOAD
+  PUSH 1
+  ADD
+  MSTORE
+  ; while mem[i] < pivot
+  ARG 0
+  PUSH 3
+  ADD
+  MLOAD
+  MLOAD                  ; mem[i]
+  ARG 0
+  PUSH 5
+  ADD
+  MLOAD                  ; mem[i] pivot
+  LT
+  JUMPI i_loop
+j_loop:
+  ; j--
+  ARG 0
+  PUSH 4
+  ADD
+  DUP 0
+  MLOAD
+  PUSH 1
+  SUB
+  MSTORE
+  ; while mem[j] > pivot
+  ARG 0
+  PUSH 4
+  ADD
+  MLOAD
+  MLOAD
+  ARG 0
+  PUSH 5
+  ADD
+  MLOAD
+  GT
+  JUMPI j_loop
+  ; if i >= j: partition done
+  ARG 0
+  PUSH 3
+  ADD
+  MLOAD
+  ARG 0
+  PUSH 4
+  ADD
+  MLOAD
+  GE
+  JUMPI part_done
+  ; swap mem[i] <-> mem[j]
+  ARG 0
+  PUSH 3
+  ADD
+  MLOAD
+  MLOAD                  ; vi
+  ARG 0
+  PUSH 4
+  ADD
+  MLOAD
+  MLOAD                  ; vi vj
+  ARG 0
+  PUSH 3
+  ADD
+  MLOAD                  ; vi vj ai
+  SWAP 1                 ; vi ai vj
+  MSTORE                 ; vi
+  ARG 0
+  PUSH 4
+  ADD
+  MLOAD                  ; vi aj
+  SWAP 1                 ; aj vi
+  MSTORE
+  JUMP hoare_loop
+part_done:
+  ; push (lo, j)
+  ARG 0
+  PUSH 1
+  ADD
+  MLOAD                  ; lo
+  ARG 0
+  PUSH 4
+  ADD
+  MLOAD                  ; lo j
+  ARG 0
+  MLOAD                  ; lo j sp
+  DUP 0
+  PUSH 1
+  ADD
+  SWAP 2                 ; lo sp1 sp j
+  MSTORE                 ; lo sp1
+  SWAP 1
+  MSTORE
+  ARG 0
+  ARG 0
+  MLOAD
+  PUSH 2
+  ADD
+  MSTORE
+  ; push (j+1, hi)
+  ARG 0
+  PUSH 4
+  ADD
+  MLOAD
+  PUSH 1
+  ADD                    ; j+1
+  ARG 0
+  PUSH 2
+  ADD
+  MLOAD                  ; j+1 hi
+  ARG 0
+  MLOAD
+  DUP 0
+  PUSH 1
+  ADD
+  SWAP 2
+  MSTORE
+  SWAP 1
+  MSTORE
+  ARG 0
+  ARG 0
+  MLOAD
+  PUSH 2
+  ADD
+  MSTORE
+  JUMP main_loop
+skip_pop2:
+  POP
+  POP
+  JUMP main_loop
+sort_done:
+  PUSH 0
+  MLOAD
+  RETURN
+)";
+  return kSrc;
+}
+
+}  // namespace bb::workloads

@@ -1,0 +1,483 @@
+#include <algorithm>
+#include <vector>
+
+#include "workloads/contracts.h"
+
+#include "vm/native.h"
+
+// Native ("Golang version") chaincode. Each class talks to the ledger
+// only through GetState/PutState on the stub, mirroring the restricted
+// Fabric development interface the paper describes. State encodings match
+// the EVM contracts exactly (vm::Value wire form), so both builds of a
+// contract are differentially testable.
+
+namespace bb::workloads {
+
+namespace {
+
+using vm::Chaincode;
+using vm::HostInterface;
+using vm::TxContext;
+using vm::Value;
+
+// Shared helpers: integer state slots default to 0 when absent.
+int64_t GetInt(HostInterface* stub, const std::string& key) {
+  std::string raw;
+  if (!stub->GetState(key, &raw).ok()) return 0;
+  auto v = Value::Deserialize(raw);
+  return v.ok() && v->is_int() ? v->AsInt() : 0;
+}
+
+void PutInt(HostInterface* stub, const std::string& key, int64_t v) {
+  stub->PutState(key, Value(v).Serialize());
+}
+
+std::string GetStr(HostInterface* stub, const std::string& key) {
+  std::string raw;
+  if (!stub->GetState(key, &raw).ok()) return "";
+  auto v = Value::Deserialize(raw);
+  return v.ok() && v->is_str() ? v->AsStr() : "";
+}
+
+void PutStr(HostInterface* stub, const std::string& key,
+            const std::string& v) {
+  stub->PutState(key, Value(v).Serialize());
+}
+
+Status NeedArgs(const TxContext& ctx, size_t n) {
+  if (ctx.args.size() < n) {
+    return Status::InvalidArgument(ctx.function + ": missing arguments");
+  }
+  return Status::Ok();
+}
+
+std::string ArgStr(const TxContext& ctx, size_t i) {
+  const Value& v = ctx.args[i];
+  return v.is_str() ? v.AsStr() : std::to_string(v.AsInt());
+}
+
+int64_t ArgInt(const TxContext& ctx, size_t i) {
+  const Value& v = ctx.args[i];
+  return v.is_int() ? v.AsInt() : 0;
+}
+
+// --- YCSB key-value store ---------------------------------------------------
+
+class KvStoreChaincode : public Chaincode {
+ public:
+  Status Invoke(const TxContext& ctx, HostInterface* stub,
+                Value* result) override {
+    if (ctx.function == "write") {
+      BB_RETURN_IF_ERROR(NeedArgs(ctx, 2));
+      stub->PutState(ArgStr(ctx, 0), ctx.args[1].Serialize());
+      *result = Value(int64_t{0});
+      return Status::Ok();
+    }
+    if (ctx.function == "read") {
+      BB_RETURN_IF_ERROR(NeedArgs(ctx, 1));
+      std::string raw;
+      if (!stub->GetState(ArgStr(ctx, 0), &raw).ok()) {
+        *result = Value(int64_t{0});
+        return Status::Ok();
+      }
+      auto v = Value::Deserialize(raw);
+      if (!v.ok()) return v.status();
+      *result = std::move(*v);
+      return Status::Ok();
+    }
+    if (ctx.function == "remove") {
+      BB_RETURN_IF_ERROR(NeedArgs(ctx, 1));
+      stub->DeleteState(ArgStr(ctx, 0));
+      *result = Value(int64_t{0});
+      return Status::Ok();
+    }
+    if (ctx.function == "readmodifywrite") {
+      BB_RETURN_IF_ERROR(NeedArgs(ctx, 2));
+      std::string raw;
+      stub->GetState(ArgStr(ctx, 0), &raw);
+      stub->PutState(ArgStr(ctx, 0), ctx.args[1].Serialize());
+      *result = Value(int64_t{0});
+      return Status::Ok();
+    }
+    return Status::InvalidArgument("kvstore: unknown function " + ctx.function);
+  }
+};
+
+// --- Smallbank ---------------------------------------------------------------
+
+class SmallbankChaincode : public Chaincode {
+ public:
+  Status Invoke(const TxContext& ctx, HostInterface* stub,
+                Value* result) override {
+    *result = Value(int64_t{0});
+    if (ctx.function == "getBalance") {
+      BB_RETURN_IF_ERROR(NeedArgs(ctx, 1));
+      std::string a = ArgStr(ctx, 0);
+      *result = Value(GetInt(stub, "s_" + a) + GetInt(stub, "c_" + a));
+      return Status::Ok();
+    }
+    if (ctx.function == "depositChecking") {
+      BB_RETURN_IF_ERROR(NeedArgs(ctx, 2));
+      std::string k = "c_" + ArgStr(ctx, 0);
+      PutInt(stub, k, GetInt(stub, k) + ArgInt(ctx, 1));
+      return Status::Ok();
+    }
+    if (ctx.function == "transactSavings") {
+      BB_RETURN_IF_ERROR(NeedArgs(ctx, 2));
+      std::string k = "s_" + ArgStr(ctx, 0);
+      int64_t nb = GetInt(stub, k) + ArgInt(ctx, 1);
+      if (nb < 0) return Status::Reverted("insufficient savings");
+      PutInt(stub, k, nb);
+      return Status::Ok();
+    }
+    if (ctx.function == "sendPayment") {
+      BB_RETURN_IF_ERROR(NeedArgs(ctx, 3));
+      std::string ka = "c_" + ArgStr(ctx, 0);
+      std::string kb = "c_" + ArgStr(ctx, 1);
+      int64_t v = ArgInt(ctx, 2);
+      int64_t na = GetInt(stub, ka) - v;
+      if (na < 0) return Status::Reverted("insufficient funds");
+      PutInt(stub, ka, na);
+      PutInt(stub, kb, GetInt(stub, kb) + v);
+      return Status::Ok();
+    }
+    if (ctx.function == "writeCheck") {
+      BB_RETURN_IF_ERROR(NeedArgs(ctx, 2));
+      std::string k = "c_" + ArgStr(ctx, 0);
+      PutInt(stub, k, GetInt(stub, k) - ArgInt(ctx, 1));
+      return Status::Ok();
+    }
+    if (ctx.function == "amalgamate") {
+      BB_RETURN_IF_ERROR(NeedArgs(ctx, 2));
+      std::string a = ArgStr(ctx, 0), b = ArgStr(ctx, 1);
+      int64_t total = GetInt(stub, "s_" + a) + GetInt(stub, "c_" + a);
+      PutInt(stub, "s_" + a, 0);
+      PutInt(stub, "c_" + a, 0);
+      PutInt(stub, "c_" + b, GetInt(stub, "c_" + b) + total);
+      return Status::Ok();
+    }
+    return Status::InvalidArgument("smallbank: unknown function " +
+                                   ctx.function);
+  }
+};
+
+// --- EtherId -------------------------------------------------------------------
+// Two key-value namespaces, as the paper describes the Hyperledger port:
+// domain data ("d_", "p_") and account balances ("b_").
+
+class EtherIdChaincode : public Chaincode {
+ public:
+  Status Invoke(const TxContext& ctx, HostInterface* stub,
+                Value* result) override {
+    *result = Value(int64_t{0});
+    if (ctx.function == "register") {
+      BB_RETURN_IF_ERROR(NeedArgs(ctx, 2));
+      std::string kd = "d_" + ArgStr(ctx, 0);
+      std::string tmp;
+      if (stub->GetState(kd, &tmp).ok()) {
+        return Status::Reverted("domain taken");
+      }
+      PutStr(stub, kd, ctx.sender);
+      PutInt(stub, "p_" + ArgStr(ctx, 0), ArgInt(ctx, 1));
+      return Status::Ok();
+    }
+    if (ctx.function == "buy") {
+      BB_RETURN_IF_ERROR(NeedArgs(ctx, 1));
+      std::string dom = ArgStr(ctx, 0);
+      int64_t price = GetInt(stub, "p_" + dom);
+      std::string kb = "b_" + ctx.sender;
+      int64_t bal = GetInt(stub, kb);
+      if (price > bal) return Status::Reverted("insufficient balance");
+      PutInt(stub, kb, bal - price);
+      std::string owner = GetStr(stub, "d_" + dom);
+      if (owner.empty()) owner = "0";  // EVM build coerces int 0 the same way
+      std::string ko = "b_" + owner;
+      PutInt(stub, ko, GetInt(stub, ko) + price);
+      PutStr(stub, "d_" + dom, ctx.sender);
+      return Status::Ok();
+    }
+    if (ctx.function == "setPrice") {
+      BB_RETURN_IF_ERROR(NeedArgs(ctx, 2));
+      std::string dom = ArgStr(ctx, 0);
+      if (GetStr(stub, "d_" + dom) != ctx.sender) {
+        return Status::Reverted("not owner");
+      }
+      PutInt(stub, "p_" + dom, ArgInt(ctx, 1));
+      return Status::Ok();
+    }
+    if (ctx.function == "ownerOf") {
+      BB_RETURN_IF_ERROR(NeedArgs(ctx, 1));
+      *result = Value(GetStr(stub, "d_" + ArgStr(ctx, 0)));
+      return Status::Ok();
+    }
+    return Status::InvalidArgument("etherid: unknown function " +
+                                   ctx.function);
+  }
+};
+
+// --- Doubler --------------------------------------------------------------------
+// The paper notes list operations must be translated into key-value
+// semantics, "making the chaincode more bulky than the Ethereum
+// counterpart" — the explicit indexed keys below are that translation.
+
+class DoublerChaincode : public Chaincode {
+ public:
+  Status Invoke(const TxContext& ctx, HostInterface* stub,
+                Value* result) override {
+    *result = Value(int64_t{0});
+    if (ctx.function == "participants") {
+      *result = Value(GetInt(stub, "n"));
+      return Status::Ok();
+    }
+    if (ctx.function != "enter") {
+      return Status::InvalidArgument("doubler: unknown function " +
+                                     ctx.function);
+    }
+    int64_t n = GetInt(stub, "n");
+    PutStr(stub, "a_" + std::to_string(n), ctx.sender);
+    PutInt(stub, "m_" + std::to_string(n), ctx.value);
+    PutInt(stub, "n", n + 1);
+    int64_t balance = GetInt(stub, "balance") + ctx.value;
+    PutInt(stub, "balance", balance);
+
+    int64_t payout = GetInt(stub, "payout");
+    while (payout < n + 1) {
+      int64_t amt = GetInt(stub, "m_" + std::to_string(payout));
+      if (balance <= 2 * amt) break;
+      int64_t pay = 2 * amt;
+      stub->Transfer(GetStr(stub, "a_" + std::to_string(payout)), pay);
+      balance -= pay;
+      PutInt(stub, "balance", balance);
+      ++payout;
+      PutInt(stub, "payout", payout);
+    }
+    return Status::Ok();
+  }
+};
+
+// --- WavesPresale ----------------------------------------------------------------
+
+class WavesPresaleChaincode : public Chaincode {
+ public:
+  Status Invoke(const TxContext& ctx, HostInterface* stub,
+                Value* result) override {
+    *result = Value(int64_t{0});
+    if (ctx.function == "addSale") {
+      BB_RETURN_IF_ERROR(NeedArgs(ctx, 2));
+      std::string id = ArgStr(ctx, 0);
+      std::string tmp;
+      if (stub->GetState("so_" + id, &tmp).ok()) {
+        return Status::Reverted("sale exists");
+      }
+      PutStr(stub, "so_" + id, ctx.sender);
+      PutInt(stub, "st_" + id, ArgInt(ctx, 1));
+      PutInt(stub, "total", GetInt(stub, "total") + ArgInt(ctx, 1));
+      return Status::Ok();
+    }
+    if (ctx.function == "transferSale") {
+      BB_RETURN_IF_ERROR(NeedArgs(ctx, 2));
+      std::string id = ArgStr(ctx, 0);
+      if (GetStr(stub, "so_" + id) != ctx.sender) {
+        return Status::Reverted("not owner");
+      }
+      PutStr(stub, "so_" + id, ArgStr(ctx, 1));
+      return Status::Ok();
+    }
+    if (ctx.function == "getSale") {
+      BB_RETURN_IF_ERROR(NeedArgs(ctx, 1));
+      *result = Value(GetInt(stub, "st_" + ArgStr(ctx, 0)));
+      return Status::Ok();
+    }
+    if (ctx.function == "totalSold") {
+      *result = Value(GetInt(stub, "total"));
+      return Status::Ok();
+    }
+    return Status::InvalidArgument("wavespresale: unknown function " +
+                                   ctx.function);
+  }
+};
+
+// --- DoNothing -------------------------------------------------------------------
+
+class DoNothingChaincode : public Chaincode {
+ public:
+  Status Invoke(const TxContext& ctx, HostInterface*, Value* result) override {
+    (void)ctx;
+    *result = Value(int64_t{0});
+    return Status::Ok();
+  }
+};
+
+// --- IOHeavy ---------------------------------------------------------------------
+
+class IoHeavyChaincode : public Chaincode {
+ public:
+  Status Invoke(const TxContext& ctx, HostInterface* stub,
+                Value* result) override {
+    *result = Value(int64_t{0});
+    // Must match the EVM build's payload byte-for-byte (differential
+    // tests compare final state).
+    static const std::string kPayload =
+        "01234567890123456789012345678901234567890123456789"
+        "01234567890123456789012345678901234567890123456789";
+    if (ctx.function == "writes") {
+      BB_RETURN_IF_ERROR(NeedArgs(ctx, 2));
+      int64_t start = ArgInt(ctx, 0), count = ArgInt(ctx, 1);
+      for (int64_t i = 0; i < count; ++i) {
+        PutStr(stub, "k_" + std::to_string(start + i), kPayload);
+      }
+      return Status::Ok();
+    }
+    if (ctx.function == "reads") {
+      BB_RETURN_IF_ERROR(NeedArgs(ctx, 2));
+      int64_t start = ArgInt(ctx, 0), count = ArgInt(ctx, 1);
+      std::string raw;
+      for (int64_t i = 0; i < count; ++i) {
+        stub->GetState("k_" + std::to_string(start + i), &raw);
+      }
+      return Status::Ok();
+    }
+    return Status::InvalidArgument("ioheavy: unknown function " +
+                                   ctx.function);
+  }
+};
+
+// --- CPUHeavy --------------------------------------------------------------------
+// Native machine code inside the "Docker image": the same quicksort the
+// EVM build runs, compiled.
+
+class CpuHeavyChaincode : public Chaincode {
+ public:
+  Status Invoke(const TxContext& ctx, HostInterface*,
+                Value* result) override {
+    if (ctx.function != "sort") {
+      return Status::InvalidArgument("cpuheavy: unknown function " +
+                                     ctx.function);
+    }
+    BB_RETURN_IF_ERROR(NeedArgs(ctx, 1));
+    int64_t n = ArgInt(ctx, 0);
+    if (n < 1) return Status::InvalidArgument("sort: n must be >= 1");
+    std::vector<int64_t> a(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) a[size_t(i)] = n - i;
+    Quicksort(a);
+    *result = Value(a[0]);
+    return Status::Ok();
+  }
+
+ private:
+  static void Quicksort(std::vector<int64_t>& a) {
+    std::vector<std::pair<int64_t, int64_t>> stack;
+    stack.emplace_back(0, int64_t(a.size()) - 1);
+    while (!stack.empty()) {
+      auto [lo, hi] = stack.back();
+      stack.pop_back();
+      if (lo >= hi) continue;
+      int64_t pivot = a[size_t((lo + hi) / 2)];
+      int64_t i = lo - 1, j = hi + 1;
+      while (true) {
+        do { ++i; } while (a[size_t(i)] < pivot);
+        do { --j; } while (a[size_t(j)] > pivot);
+        if (i >= j) break;
+        std::swap(a[size_t(i)], a[size_t(j)]);
+      }
+      stack.emplace_back(lo, j);
+      stack.emplace_back(j + 1, hi);
+    }
+  }
+};
+
+// --- VersionKVStore (Hyperledger only, Fig 20) -----------------------------------
+// Keeps every version of an account's balance keyed account:version with
+// the committing block recorded, so analytical Q2 can run server-side in
+// one round trip despite the bucket state model having no history.
+
+class VersionKvChaincode : public Chaincode {
+ public:
+  Status Invoke(const TxContext& ctx, HostInterface* stub,
+                Value* result) override {
+    *result = Value(int64_t{0});
+    if (ctx.function == "sendValue") {
+      BB_RETURN_IF_ERROR(NeedArgs(ctx, 3));
+      std::string from = ArgStr(ctx, 0), to = ArgStr(ctx, 1);
+      int64_t v = ArgInt(ctx, 2);
+      AppendVersion(stub, from, -v, int64_t(ctx.block_height));
+      AppendVersion(stub, to, v, int64_t(ctx.block_height));
+      return Status::Ok();
+    }
+    if (ctx.function == "init") {
+      BB_RETURN_IF_ERROR(NeedArgs(ctx, 2));
+      AppendVersion(stub, ArgStr(ctx, 0), ArgInt(ctx, 1),
+                    int64_t(ctx.block_height));
+      return Status::Ok();
+    }
+    if (ctx.function == "maxBalanceInRange") {
+      // Q2: largest balance of `account` committed in (start, end].
+      BB_RETURN_IF_ERROR(NeedArgs(ctx, 3));
+      std::string account = ArgStr(ctx, 0);
+      int64_t start = ArgInt(ctx, 1), end = ArgInt(ctx, 2);
+      int64_t version = GetInt(stub, account + ":latest");
+      int64_t best = 0;
+      bool found = false;
+      while (version >= 1) {
+        std::string base = account + ":" + std::to_string(version);
+        int64_t commit_block = GetInt(stub, base + ":blk");
+        if (commit_block < start) break;
+        if (commit_block <= end) {
+          int64_t bal = GetInt(stub, base + ":bal");
+          if (!found || bal > best) best = bal;
+          found = true;
+        }
+        --version;
+      }
+      *result = Value(best);
+      return Status::Ok();
+    }
+    return Status::InvalidArgument("versionkv: unknown function " +
+                                   ctx.function);
+  }
+
+ private:
+  static void AppendVersion(HostInterface* stub, const std::string& account,
+                            int64_t delta, int64_t block) {
+    int64_t version = GetInt(stub, account + ":latest");
+    int64_t balance =
+        version >= 1
+            ? GetInt(stub, account + ":" + std::to_string(version) + ":bal")
+            : 0;
+    ++version;
+    std::string base = account + ":" + std::to_string(version);
+    PutInt(stub, base + ":bal", balance + delta);
+    PutInt(stub, base + ":blk", block);
+    PutInt(stub, account + ":latest", version);
+  }
+};
+
+bool g_registered = false;
+
+}  // namespace
+
+void RegisterAllChaincodes() {
+  if (g_registered) return;
+  g_registered = true;
+  auto& reg = vm::ChaincodeRegistry::Instance();
+  reg.Register(kKvStoreChaincode,
+               [] { return std::make_unique<KvStoreChaincode>(); });
+  reg.Register(kSmallbankChaincode,
+               [] { return std::make_unique<SmallbankChaincode>(); });
+  reg.Register(kEtherIdChaincode,
+               [] { return std::make_unique<EtherIdChaincode>(); });
+  reg.Register(kDoublerChaincode,
+               [] { return std::make_unique<DoublerChaincode>(); });
+  reg.Register(kWavesPresaleChaincode,
+               [] { return std::make_unique<WavesPresaleChaincode>(); });
+  reg.Register(kDoNothingChaincode,
+               [] { return std::make_unique<DoNothingChaincode>(); });
+  reg.Register(kIoHeavyChaincode,
+               [] { return std::make_unique<IoHeavyChaincode>(); });
+  reg.Register(kCpuHeavyChaincode,
+               [] { return std::make_unique<CpuHeavyChaincode>(); });
+  reg.Register(kVersionKvChaincode,
+               [] { return std::make_unique<VersionKvChaincode>(); });
+}
+
+}  // namespace bb::workloads

@@ -1,0 +1,25 @@
+#include "workloads/donothing.h"
+
+#include "workloads/contracts.h"
+
+namespace bb::workloads {
+
+DoNothingWorkload::DoNothingWorkload() { RegisterAllChaincodes(); }
+
+Status DoNothingWorkload::Setup(platform::Platform* platform) {
+  BB_RETURN_IF_ERROR(platform->DeployWorkloadContract(
+      "donothing", DoNothingCasm(), kDoNothingChaincode));
+  return platform->FinalizeGenesis();
+}
+
+chain::Transaction DoNothingWorkload::NextTransaction(uint32_t client_id,
+                                                      Rng& rng) {
+  (void)client_id;
+  (void)rng;
+  chain::Transaction tx;
+  tx.contract = "donothing";
+  tx.function = "nop";
+  return tx;
+}
+
+}  // namespace bb::workloads

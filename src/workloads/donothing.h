@@ -1,0 +1,22 @@
+// DoNothing workload (consensus-layer microbench): transactions that hit
+// a contract which returns immediately, isolating consensus cost.
+
+#ifndef BLOCKBENCH_WORKLOADS_DONOTHING_H_
+#define BLOCKBENCH_WORKLOADS_DONOTHING_H_
+
+#include "core/connector.h"
+
+namespace bb::workloads {
+
+class DoNothingWorkload : public core::WorkloadConnector {
+ public:
+  DoNothingWorkload();
+
+  Status Setup(platform::Platform* platform) override;
+  chain::Transaction NextTransaction(uint32_t client_id, Rng& rng) override;
+  std::string name() const override { return "donothing"; }
+};
+
+}  // namespace bb::workloads
+
+#endif  // BLOCKBENCH_WORKLOADS_DONOTHING_H_

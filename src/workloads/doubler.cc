@@ -1,0 +1,29 @@
+#include "workloads/doubler.h"
+
+#include "workloads/contracts.h"
+
+namespace bb::workloads {
+
+DoublerWorkload::DoublerWorkload(DoublerConfig config) : config_(config) {
+  RegisterAllChaincodes();
+}
+
+Status DoublerWorkload::Setup(platform::Platform* platform) {
+  BB_RETURN_IF_ERROR(platform->DeployWorkloadContract(
+      config_.contract, DoublerCasm(), kDoublerChaincode));
+  return platform->FinalizeGenesis();
+}
+
+chain::Transaction DoublerWorkload::NextTransaction(uint32_t client_id,
+                                                    Rng& rng) {
+  (void)client_id;
+  chain::Transaction tx;
+  tx.contract = config_.contract;
+  tx.function = "enter";
+  tx.value = int64_t(
+      rng.Range(uint64_t(config_.min_contribution),
+                uint64_t(config_.max_contribution)));
+  return tx;
+}
+
+}  // namespace bb::workloads

@@ -1,0 +1,31 @@
+// Doubler workload: participants repeatedly enter the Fig 2 pyramid
+// scheme with random contributions.
+
+#ifndef BLOCKBENCH_WORKLOADS_DOUBLER_H_
+#define BLOCKBENCH_WORKLOADS_DOUBLER_H_
+
+#include "core/connector.h"
+
+namespace bb::workloads {
+
+struct DoublerConfig {
+  int64_t min_contribution = 10;
+  int64_t max_contribution = 1000;
+  std::string contract = "doubler";
+};
+
+class DoublerWorkload : public core::WorkloadConnector {
+ public:
+  explicit DoublerWorkload(DoublerConfig config = {});
+
+  Status Setup(platform::Platform* platform) override;
+  chain::Transaction NextTransaction(uint32_t client_id, Rng& rng) override;
+  std::string name() const override { return "doubler"; }
+
+ private:
+  DoublerConfig config_;
+};
+
+}  // namespace bb::workloads
+
+#endif  // BLOCKBENCH_WORKLOADS_DOUBLER_H_

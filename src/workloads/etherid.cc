@@ -1,0 +1,58 @@
+#include "workloads/etherid.h"
+
+#include "workloads/contracts.h"
+
+namespace bb::workloads {
+
+EtherIdWorkload::EtherIdWorkload(EtherIdConfig config)
+    : config_(config), next_new_domain_(config.preregistered_domains) {
+  RegisterAllChaincodes();
+}
+
+Status EtherIdWorkload::Setup(platform::Platform* platform) {
+  BB_RETURN_IF_ERROR(platform->DeployWorkloadContract(
+      config_.contract, EtherIdCasm(), kEtherIdChaincode));
+  // Pre-allocate user accounts with balances (the contract's
+  // pre-allocation function, run at genesis).
+  for (uint64_t c = 0; c < config_.max_clients; ++c) {
+    std::string user = "client" + std::to_string(c);
+    BB_RETURN_IF_ERROR(platform->PreloadState(
+        config_.contract, "b_" + user,
+        vm::Value(config_.initial_balance).Serialize()));
+  }
+  // Pre-register a pool of domains owned by a genesis user.
+  for (uint64_t d = 0; d < config_.preregistered_domains; ++d) {
+    BB_RETURN_IF_ERROR(
+        platform->PreloadState(config_.contract, "d_" + DomainName(d),
+                               vm::Value(std::string("genesis")).Serialize()));
+    BB_RETURN_IF_ERROR(platform->PreloadState(
+        config_.contract, "p_" + DomainName(d),
+        vm::Value(int64_t(d % 1000 + 1)).Serialize()));
+  }
+  return platform->FinalizeGenesis();
+}
+
+chain::Transaction EtherIdWorkload::NextTransaction(uint32_t client_id,
+                                                    Rng& rng) {
+  (void)client_id;
+  chain::Transaction tx;
+  tx.contract = config_.contract;
+  double p = rng.NextDouble();
+  if (p < config_.p_register) {
+    // Each registration targets a fresh name; collisions across clients
+    // are tolerated (the contract reverts, which the framework counts).
+    uint64_t d = next_new_domain_ + rng.Uniform(1'000'000'000);
+    tx.function = "register";
+    tx.args = {vm::Value(DomainName(d)), vm::Value(int64_t(rng.Range(1, 500)))};
+  } else if (p < config_.p_register + config_.p_buy) {
+    tx.function = "buy";
+    tx.args = {vm::Value(DomainName(rng.Uniform(config_.preregistered_domains)))};
+  } else {
+    tx.function = "setPrice";
+    tx.args = {vm::Value(DomainName(rng.Uniform(config_.preregistered_domains))),
+               vm::Value(int64_t(rng.Range(1, 500)))};
+  }
+  return tx;
+}
+
+}  // namespace bb::workloads

@@ -1,0 +1,41 @@
+// EtherId workload: domain-name registrar operations (creation,
+// ownership transfer by purchase, modification), with user accounts
+// pre-allocated with balances as the paper's port does.
+
+#ifndef BLOCKBENCH_WORKLOADS_ETHERID_H_
+#define BLOCKBENCH_WORKLOADS_ETHERID_H_
+
+#include "core/connector.h"
+
+namespace bb::workloads {
+
+struct EtherIdConfig {
+  uint64_t preregistered_domains = 5'000;
+  uint64_t max_clients = 64;
+  int64_t initial_balance = 1'000'000'000;
+  double p_register = 0.3;
+  double p_buy = 0.4;
+  double p_set_price = 0.3;
+  std::string contract = "etherid";
+};
+
+class EtherIdWorkload : public core::WorkloadConnector {
+ public:
+  explicit EtherIdWorkload(EtherIdConfig config = {});
+
+  Status Setup(platform::Platform* platform) override;
+  chain::Transaction NextTransaction(uint32_t client_id, Rng& rng) override;
+  std::string name() const override { return "etherid"; }
+
+  static std::string DomainName(uint64_t n) {
+    return "dom" + std::to_string(n);
+  }
+
+ private:
+  EtherIdConfig config_;
+  uint64_t next_new_domain_;
+};
+
+}  // namespace bb::workloads
+
+#endif  // BLOCKBENCH_WORKLOADS_ETHERID_H_

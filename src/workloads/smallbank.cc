@@ -1,0 +1,72 @@
+#include "workloads/smallbank.h"
+
+#include "workloads/contracts.h"
+
+namespace bb::workloads {
+
+SmallbankWorkload::SmallbankWorkload(SmallbankConfig config)
+    : config_(config) {
+  RegisterAllChaincodes();
+}
+
+Status SmallbankWorkload::Setup(platform::Platform* platform) {
+  BB_RETURN_IF_ERROR(platform->DeployWorkloadContract(
+      config_.contract, SmallbankCasm(), kSmallbankChaincode));
+  for (uint64_t i = 0; i < config_.num_accounts; ++i) {
+    std::string a = AccountName(i);
+    vm::Value bal(config_.initial_balance);
+    BB_RETURN_IF_ERROR(
+        platform->PreloadState(config_.contract, "s_" + a, bal.Serialize()));
+    BB_RETURN_IF_ERROR(
+        platform->PreloadState(config_.contract, "c_" + a, bal.Serialize()));
+  }
+  return platform->FinalizeGenesis();
+}
+
+chain::Transaction SmallbankWorkload::NextTransaction(uint32_t client_id,
+                                                      Rng& rng) {
+  (void)client_id;
+  chain::Transaction tx;
+  tx.contract = config_.contract;
+
+  std::string a = AccountName(rng.Uniform(config_.num_accounts));
+  std::string b = AccountName(rng.Uniform(config_.num_accounts));
+  int64_t amount = int64_t(rng.Range(1, 100));
+
+  double p = rng.NextDouble();
+  double acc = config_.p_transact_savings;
+  if (p < acc) {
+    tx.function = "transactSavings";
+    tx.args = {vm::Value(a), vm::Value(amount)};
+    return tx;
+  }
+  acc += config_.p_deposit_checking;
+  if (p < acc) {
+    tx.function = "depositChecking";
+    tx.args = {vm::Value(a), vm::Value(amount)};
+    return tx;
+  }
+  acc += config_.p_send_payment;
+  if (p < acc) {
+    tx.function = "sendPayment";
+    tx.args = {vm::Value(a), vm::Value(b), vm::Value(amount)};
+    return tx;
+  }
+  acc += config_.p_write_check;
+  if (p < acc) {
+    tx.function = "writeCheck";
+    tx.args = {vm::Value(a), vm::Value(amount)};
+    return tx;
+  }
+  acc += config_.p_amalgamate;
+  if (p < acc) {
+    tx.function = "amalgamate";
+    tx.args = {vm::Value(a), vm::Value(b)};
+    return tx;
+  }
+  tx.function = "getBalance";
+  tx.args = {vm::Value(a)};
+  return tx;
+}
+
+}  // namespace bb::workloads

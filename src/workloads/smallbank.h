@@ -1,0 +1,41 @@
+// Smallbank OLTP workload (macro benchmark): the standard six banking
+// procedures over preloaded savings/checking accounts.
+
+#ifndef BLOCKBENCH_WORKLOADS_SMALLBANK_H_
+#define BLOCKBENCH_WORKLOADS_SMALLBANK_H_
+
+#include "core/connector.h"
+
+namespace bb::workloads {
+
+struct SmallbankConfig {
+  uint64_t num_accounts = 10'000;
+  int64_t initial_balance = 100'000;
+  /// Procedure mix (must sum to <= 1; remainder goes to getBalance).
+  double p_transact_savings = 0.15;
+  double p_deposit_checking = 0.15;
+  double p_send_payment = 0.25;
+  double p_write_check = 0.15;
+  double p_amalgamate = 0.15;
+  std::string contract = "smallbank";
+};
+
+class SmallbankWorkload : public core::WorkloadConnector {
+ public:
+  explicit SmallbankWorkload(SmallbankConfig config = {});
+
+  Status Setup(platform::Platform* platform) override;
+  chain::Transaction NextTransaction(uint32_t client_id, Rng& rng) override;
+  std::string name() const override { return "smallbank"; }
+
+  static std::string AccountName(uint64_t n) {
+    return "acct" + std::to_string(n);
+  }
+
+ private:
+  SmallbankConfig config_;
+};
+
+}  // namespace bb::workloads
+
+#endif  // BLOCKBENCH_WORKLOADS_SMALLBANK_H_

@@ -1,0 +1,56 @@
+#include "workloads/wavespresale.h"
+
+#include "workloads/contracts.h"
+
+namespace bb::workloads {
+
+WavesPresaleWorkload::WavesPresaleWorkload(WavesPresaleConfig config)
+    : config_(config) {
+  RegisterAllChaincodes();
+}
+
+Status WavesPresaleWorkload::Setup(platform::Platform* platform) {
+  BB_RETURN_IF_ERROR(platform->DeployWorkloadContract(
+      config_.contract, WavesPresaleCasm(), kWavesPresaleChaincode));
+  int64_t total = 0;
+  for (uint64_t i = 0; i < config_.preloaded_sales; ++i) {
+    std::string id = "sale" + std::to_string(i);
+    BB_RETURN_IF_ERROR(
+        platform->PreloadState(config_.contract, "so_" + id,
+                               vm::Value(std::string("genesis")).Serialize()));
+    int64_t tokens = int64_t(i % 500 + 1);
+    BB_RETURN_IF_ERROR(platform->PreloadState(
+        config_.contract, "st_" + id, vm::Value(tokens).Serialize()));
+    total += tokens;
+  }
+  BB_RETURN_IF_ERROR(platform->PreloadState(config_.contract, "total",
+                                            vm::Value(total).Serialize()));
+  return platform->FinalizeGenesis();
+}
+
+chain::Transaction WavesPresaleWorkload::NextTransaction(uint32_t client_id,
+                                                         Rng& rng) {
+  chain::Transaction tx;
+  tx.contract = config_.contract;
+  double p = rng.NextDouble();
+  if (p < config_.p_add_sale) {
+    // Fresh ids partitioned per client to avoid collisions.
+    uint64_t id = uint64_t(client_id) * 1'000'000'000ULL +
+                  config_.preloaded_sales + rng.Uniform(1'000'000'000ULL);
+    tx.function = "addSale";
+    tx.args = {vm::Value("sale" + std::to_string(id)),
+               vm::Value(int64_t(rng.Range(1, 1000)))};
+  } else if (p < config_.p_add_sale + config_.p_transfer) {
+    tx.function = "transferSale";
+    tx.args = {
+        vm::Value("sale" + std::to_string(rng.Uniform(config_.preloaded_sales))),
+        vm::Value("client" + std::to_string(rng.Uniform(64)))};
+  } else {
+    tx.function = "getSale";
+    tx.args = {vm::Value(
+        "sale" + std::to_string(rng.Uniform(config_.preloaded_sales)))};
+  }
+  return tx;
+}
+
+}  // namespace bb::workloads

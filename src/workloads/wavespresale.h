@@ -1,0 +1,32 @@
+// WavesPresale workload: digital token sales — new sales, ownership
+// transfers of previous sales, and sale-record queries.
+
+#ifndef BLOCKBENCH_WORKLOADS_WAVESPRESALE_H_
+#define BLOCKBENCH_WORKLOADS_WAVESPRESALE_H_
+
+#include "core/connector.h"
+
+namespace bb::workloads {
+
+struct WavesPresaleConfig {
+  uint64_t preloaded_sales = 2'000;
+  double p_add_sale = 0.5;
+  double p_transfer = 0.3;  // remainder: getSale queries
+  std::string contract = "wavespresale";
+};
+
+class WavesPresaleWorkload : public core::WorkloadConnector {
+ public:
+  explicit WavesPresaleWorkload(WavesPresaleConfig config = {});
+
+  Status Setup(platform::Platform* platform) override;
+  chain::Transaction NextTransaction(uint32_t client_id, Rng& rng) override;
+  std::string name() const override { return "wavespresale"; }
+
+ private:
+  WavesPresaleConfig config_;
+};
+
+}  // namespace bb::workloads
+
+#endif  // BLOCKBENCH_WORKLOADS_WAVESPRESALE_H_

@@ -1,0 +1,92 @@
+#include "workloads/ycsb.h"
+
+#include <cstdio>
+
+#include "workloads/contracts.h"
+
+namespace bb::workloads {
+
+YcsbWorkload::YcsbWorkload(YcsbConfig config) : config_(config) {
+  if (config_.zipfian) {
+    zipf_ = std::make_unique<ScrambledZipfian>(config_.record_count,
+                                               config_.zipf_theta);
+  }
+  RegisterAllChaincodes();
+}
+
+YcsbWorkload::~YcsbWorkload() = default;
+
+std::string YcsbWorkload::KeyFor(uint64_t n) {
+  char buf[32];  // "user" + up to 20 digits (insert ids are 64-bit)
+  std::snprintf(buf, sizeof(buf), "user%08llu", (unsigned long long)n);
+  return buf;
+}
+
+Status YcsbWorkload::Setup(platform::Platform* platform) {
+  BB_RETURN_IF_ERROR(platform->DeployWorkloadContract(
+      config_.contract, KvStoreCasm(), kKvStoreChaincode));
+  Rng rng(0x5cb5);
+  for (uint64_t i = 0; i < config_.record_count; ++i) {
+    vm::Value v(rng.AsciiString(config_.value_size));
+    BB_RETURN_IF_ERROR(
+        platform->PreloadState(config_.contract, KeyFor(i), v.Serialize()));
+  }
+  return platform->FinalizeGenesis();
+}
+
+uint64_t YcsbWorkload::NextKeyNum(Rng& rng) {
+  if (zipf_ != nullptr) return zipf_->Next(rng);
+  return rng.Uniform(config_.record_count);
+}
+
+chain::Transaction YcsbWorkload::NextTransaction(uint32_t client_id,
+                                                 Rng& rng) {
+  chain::Transaction tx;
+  tx.contract = config_.contract;
+  double p = rng.NextDouble();
+  double acc = config_.read_proportion;
+  if (p < acc) {
+    tx.function = "read";
+    tx.args = {vm::Value(KeyFor(NextKeyNum(rng)))};
+    return tx;
+  }
+  acc += config_.update_proportion;
+  if (p < acc) {
+    tx.function = "write";
+    tx.args = {vm::Value(KeyFor(NextKeyNum(rng))),
+               vm::Value(rng.AsciiString(config_.value_size))};
+    return tx;
+  }
+  acc += config_.rmw_proportion;
+  if (p < acc) {
+    tx.function = "readmodifywrite";
+    tx.args = {vm::Value(KeyFor(NextKeyNum(rng))),
+               vm::Value(rng.AsciiString(config_.value_size))};
+    return tx;
+  }
+  acc += config_.insert_proportion;
+  if (p < acc) {
+    if (insert_counters_.size() <= client_id) {
+      insert_counters_.resize(client_id + 1, 0);
+    }
+    // Fresh keys partitioned per client so concurrent inserts never
+    // collide: id = record_count + client * 2^32 + counter.
+    uint64_t id = config_.record_count +
+                  (uint64_t(client_id) << 32) + insert_counters_[client_id]++;
+    tx.function = "write";
+    tx.args = {vm::Value(KeyFor(id)),
+               vm::Value(rng.AsciiString(config_.value_size))};
+    return tx;
+  }
+  acc += config_.delete_proportion;
+  if (p < acc) {
+    tx.function = "remove";
+    tx.args = {vm::Value(KeyFor(NextKeyNum(rng)))};
+    return tx;
+  }
+  tx.function = "read";
+  tx.args = {vm::Value(KeyFor(NextKeyNum(rng)))};
+  return tx;
+}
+
+}  // namespace bb::workloads

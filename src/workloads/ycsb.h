@@ -1,0 +1,55 @@
+// YCSB key-value workload (macro benchmark), following the YCSB driver:
+// preloads record_count records, then issues a configurable read/update/
+// read-modify-write mix over a uniform or (scrambled) Zipfian key
+// distribution.
+
+#ifndef BLOCKBENCH_WORKLOADS_YCSB_H_
+#define BLOCKBENCH_WORKLOADS_YCSB_H_
+
+#include <memory>
+
+#include "core/connector.h"
+
+namespace bb::workloads {
+
+struct YcsbConfig {
+  uint64_t record_count = 20'000;
+  double read_proportion = 0.5;
+  double update_proportion = 0.5;
+  double rmw_proportion = 0.0;
+  /// Inserts create fresh keys (client-partitioned id space); deletes
+  /// remove previously loaded records. Remainder after all proportions
+  /// falls back to reads.
+  double insert_proportion = 0.0;
+  double delete_proportion = 0.0;
+  size_t value_size = 100;
+  bool zipfian = true;
+  double zipf_theta = 0.99;
+  /// Contract deployment name.
+  std::string contract = "ycsb";
+};
+
+class YcsbWorkload : public core::WorkloadConnector {
+ public:
+  explicit YcsbWorkload(YcsbConfig config = {});
+  ~YcsbWorkload() override;
+
+  Status Setup(platform::Platform* platform) override;
+  chain::Transaction NextTransaction(uint32_t client_id, Rng& rng) override;
+  std::string name() const override { return "ycsb"; }
+
+  /// Key for record `n` ("userXXXXXXXX").
+  static std::string KeyFor(uint64_t n);
+
+ private:
+  uint64_t NextKeyNum(Rng& rng);
+
+  YcsbConfig config_;
+  std::unique_ptr<ScrambledZipfian> zipf_;
+  /// Next fresh key id per client (inserts).
+  std::vector<uint64_t> insert_counters_;
+};
+
+}  // namespace bb::workloads
+
+#endif  // BLOCKBENCH_WORKLOADS_YCSB_H_

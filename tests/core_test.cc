@@ -1,0 +1,164 @@
+// Core-framework tests: DriverClient submission/polling/rejection
+// behaviour, closed-loop mode, driver reporting, and platform RPC
+// endpoints — the machinery between workloads and platforms.
+
+#include <gtest/gtest.h>
+
+#include "core/driver.h"
+#include "platform/platform.h"
+#include "workloads/donothing.h"
+#include "workloads/ycsb.h"
+
+namespace bb::core {
+namespace {
+
+struct Fixture {
+  std::unique_ptr<sim::Simulation> sim;
+  std::unique_ptr<platform::Platform> platform;
+  std::unique_ptr<WorkloadConnector> workload;
+
+  explicit Fixture(platform::PlatformOptions opts, size_t servers = 2) {
+    sim = std::make_unique<sim::Simulation>(3);
+    platform = std::make_unique<platform::Platform>(sim.get(), opts, servers);
+    workloads::YcsbConfig yc;
+    yc.record_count = 100;
+    workload = std::make_unique<workloads::YcsbWorkload>(yc);
+    EXPECT_TRUE(workload->Setup(platform.get()).ok());
+  }
+};
+
+TEST(DriverClientTest, OpenLoopGeneratesAtConfiguredRate) {
+  Fixture f(platform::HyperledgerOptions());
+  DriverConfig dc;
+  dc.num_clients = 1;
+  dc.request_rate = 25;
+  dc.duration = 20;
+  dc.drain = 5;
+  Driver d(f.platform.get(), f.workload.get(), dc);
+  d.Run();
+  // ~25 tx/s for 20 s.
+  EXPECT_NEAR(double(d.stats().total_submitted()), 500, 30);
+}
+
+TEST(DriverClientTest, ClosedLoopBoundsOutstanding) {
+  Fixture f(platform::HyperledgerOptions());
+  DriverConfig dc;
+  dc.num_clients = 1;
+  dc.request_rate = 0;       // pure closed loop
+  dc.max_outstanding = 16;   // the window
+  dc.duration = 30;
+  dc.drain = 10;
+  Driver d(f.platform.get(), f.workload.get(), dc);
+  d.Run();
+  EXPECT_GT(d.stats().total_committed(), 50u);
+  // Outstanding never exceeded the window: submitted - committed <= 16
+  // once drained.
+  EXPECT_LE(d.client(0).outstanding(), 16u);
+}
+
+TEST(DriverClientTest, RejectionsEnterBacklogAndRetry) {
+  // Parity's admission rate limit (10 tx/s per server) rejects the
+  // excess; the client must keep them and retry, not lose them.
+  Fixture f(platform::ParityOptions());
+  DriverConfig dc;
+  dc.num_clients = 1;
+  dc.request_rate = 50;  // 5x the admission limit
+  dc.duration = 30;
+  dc.drain = 30;
+  Driver d(f.platform.get(), f.workload.get(), dc);
+  d.Run();
+  EXPECT_GT(d.stats().total_rejected(), 100u);
+  EXPECT_GT(d.stats().total_committed(), 100u);
+  // Rejected transactions are retried from the backlog, not dropped:
+  // everything generated is accounted for.
+  EXPECT_EQ(d.client(0).generated(),
+            d.client(0).outstanding() + d.client(0).backlog() +
+                d.stats().total_committed());
+}
+
+TEST(DriverClientTest, LatencyMeasuredFromSubmission) {
+  Fixture f(platform::HyperledgerOptions());
+  DriverConfig dc;
+  dc.num_clients = 1;
+  dc.request_rate = 10;
+  dc.duration = 30;
+  dc.drain = 10;
+  Driver d(f.platform.get(), f.workload.get(), dc);
+  d.Run();
+  ASSERT_GT(d.stats().latencies().count(), 0u);
+  // PBFT at low load commits within ~1-2 s; never negative or absurd.
+  EXPECT_GT(d.stats().latencies().min(), 0.0);
+  EXPECT_LT(d.stats().latencies().Percentile(99), 5.0);
+}
+
+TEST(DriverTest, ReportWindowsAreHonored) {
+  Fixture f(platform::HyperledgerOptions());
+  DriverConfig dc;
+  dc.num_clients = 2;
+  dc.request_rate = 20;
+  dc.duration = 30;
+  dc.drain = 10;
+  Driver d(f.platform.get(), f.workload.get(), dc);
+  d.Run();
+  auto all = d.Report(0, 30);
+  auto none = d.Report(35, 40);  // load ended; drain only
+  EXPECT_GT(all.throughput, 10.0);
+  EXPECT_LT(none.throughput, all.throughput);
+}
+
+TEST(DriverTest, ClientsSpreadAcrossServers) {
+  Fixture f(platform::HyperledgerOptions(), /*servers=*/3);
+  DriverConfig dc;
+  dc.num_clients = 6;
+  dc.request_rate = 5;
+  dc.duration = 20;
+  dc.drain = 10;
+  Driver d(f.platform.get(), f.workload.get(), dc);
+  d.Run();
+  // All servers saw admissions (clients map i % servers).
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_GT(f.platform->node(i).meter().total_net_bytes(), 0u);
+  }
+  EXPECT_GT(d.stats().total_committed(), 100u);
+}
+
+TEST(PlatformRpcTest, GetBlocksReturnsOnlyConfirmed) {
+  // Ethereum confirms 2 blocks below the tip; the poll must never
+  // return unconfirmed blocks.
+  Fixture f(platform::EthereumOptions());
+  DriverConfig dc;
+  dc.num_clients = 1;
+  dc.request_rate = 10;
+  dc.duration = 60;
+  dc.drain = 10;
+  Driver d(f.platform.get(), f.workload.get(), dc);
+  d.Run();
+  auto& node = f.platform->node(0);
+  EXPECT_LE(node.ConfirmedHeight() + node.options().confirmation_depth,
+            node.chain().head_height());
+}
+
+TEST(PlatformRpcTest, QueryContractDiscardsWrites) {
+  Fixture f(platform::HyperledgerOptions());
+  f.platform->Start();
+  auto& node = f.platform->node(0);
+  double cpu = 0;
+  // The YCSB "write" function mutates state; via the query path the
+  // mutation must not stick.
+  auto r = node.QueryContract(
+      "ycsb", "write", {vm::Value("qkey"), vm::Value("qval")}, &cpu);
+  ASSERT_TRUE(r.ok());
+  std::string out;
+  EXPECT_TRUE(node.state().Get("ycsb", "qkey", &out).IsNotFound());
+  EXPECT_GT(cpu, 0.0);
+}
+
+TEST(PlatformRpcTest, UnknownContractQueryFails) {
+  Fixture f(platform::HyperledgerOptions());
+  double cpu = 0;
+  auto r = f.platform->node(0).QueryContract("nope", "f", {}, &cpu);
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace bb::core

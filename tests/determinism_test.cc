@@ -1,0 +1,156 @@
+// Determinism tests: identical seeds must reproduce identical experiment
+// outcomes bit-for-bit — the property that makes every figure in this
+// repo reproducible — and the disassembler must round-trip programs.
+
+#include <gtest/gtest.h>
+
+#include "core/driver.h"
+#include "platform/platform.h"
+#include "vm/assembler.h"
+#include "vm/disasm.h"
+#include "vm/interpreter.h"
+#include "workloads/contracts.h"
+#include "workloads/ycsb.h"
+
+namespace bb {
+namespace {
+
+struct Outcome {
+  uint64_t committed;
+  uint64_t submitted;
+  double latency_p50;
+  Hash256 head;
+
+  bool operator==(const Outcome& o) const {
+    return committed == o.committed && submitted == o.submitted &&
+           latency_p50 == o.latency_p50 && head == o.head;
+  }
+};
+
+Outcome RunOnce(platform::PlatformOptions opts, uint64_t seed) {
+  sim::Simulation sim(seed);
+  platform::Platform p(&sim, opts, 4);
+  workloads::YcsbConfig yc;
+  yc.record_count = 300;
+  workloads::YcsbWorkload wl(yc);
+  EXPECT_TRUE(wl.Setup(&p).ok());
+  core::DriverConfig dc;
+  dc.num_clients = 3;
+  dc.request_rate = 15;
+  dc.duration = 40;
+  dc.drain = 15;
+  dc.seed = seed * 31 + 1;
+  core::Driver d(&p, &wl, dc);
+  d.Run();
+  Outcome o;
+  o.committed = d.stats().total_committed();
+  o.submitted = d.stats().total_submitted();
+  o.latency_p50 = d.stats().latencies().Percentile(50);
+  o.head = p.node(0).chain().head();
+  return o;
+}
+
+class DeterminismTest : public testing::TestWithParam<const char*> {};
+
+TEST_P(DeterminismTest, SameSeedSameOutcome) {
+  platform::PlatformOptions opts =
+      std::string(GetParam()) == "ethereum" ? platform::EthereumOptions()
+      : std::string(GetParam()) == "parity" ? platform::ParityOptions()
+      : std::string(GetParam()) == "erisdb" ? platform::ErisDbOptions()
+      : std::string(GetParam()) == "corda"  ? platform::CordaOptions()
+                                            : platform::HyperledgerOptions();
+  Outcome a = RunOnce(opts, 12345);
+  Outcome b = RunOnce(opts, 12345);
+  EXPECT_TRUE(a == b) << GetParam() << ": committed " << a.committed << " vs "
+                      << b.committed;
+  EXPECT_GT(a.committed, 0u);
+}
+
+TEST_P(DeterminismTest, DifferentSeedDifferentTrace) {
+  // Not a strict requirement, but if two seeds produce identical chains
+  // the RNG plumbing is almost certainly broken.
+  platform::PlatformOptions opts =
+      std::string(GetParam()) == "ethereum" ? platform::EthereumOptions()
+      : std::string(GetParam()) == "parity" ? platform::ParityOptions()
+      : std::string(GetParam()) == "erisdb" ? platform::ErisDbOptions()
+      : std::string(GetParam()) == "corda"  ? platform::CordaOptions()
+                                            : platform::HyperledgerOptions();
+  Outcome a = RunOnce(opts, 1);
+  Outcome b = RunOnce(opts, 2);
+  EXPECT_FALSE(a.head == b.head) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Platforms, DeterminismTest,
+                         testing::Values("ethereum", "parity", "hyperledger",
+                                         "erisdb", "corda"));
+
+// --- Disassembler round-trip -------------------------------------------------------
+
+class DisasmRoundTripTest : public testing::TestWithParam<const char*> {};
+
+TEST_P(DisasmRoundTripTest, ReassemblesToEquivalentProgram) {
+  const std::string* src = nullptr;
+  std::string name = GetParam();
+  if (name == "kvstore") src = &workloads::KvStoreCasm();
+  if (name == "smallbank") src = &workloads::SmallbankCasm();
+  if (name == "etherid") src = &workloads::EtherIdCasm();
+  if (name == "doubler") src = &workloads::DoublerCasm();
+  if (name == "wavespresale") src = &workloads::WavesPresaleCasm();
+  if (name == "cpuheavy") src = &workloads::CpuHeavyCasm();
+  if (name == "ioheavy") src = &workloads::IoHeavyCasm();
+  ASSERT_NE(src, nullptr);
+
+  auto p1 = vm::Assemble(*src);
+  ASSERT_TRUE(p1.ok());
+  std::string listing = vm::Disassemble(*p1);
+  auto p2 = vm::Assemble(listing);
+  ASSERT_TRUE(p2.ok()) << p2.status().ToString() << "\n" << listing;
+
+  // Equivalent: same instruction stream and same entry points.
+  ASSERT_EQ(p1->code.size(), p2->code.size());
+  for (size_t i = 0; i < p1->code.size(); ++i) {
+    EXPECT_EQ(int(p1->code[i].op), int(p2->code[i].op)) << "at " << i;
+    if (p1->code[i].op == vm::Op::kPushStr) {
+      EXPECT_EQ(p1->string_pool[size_t(p1->code[i].imm)],
+                p2->string_pool[size_t(p2->code[i].imm)]);
+    } else {
+      EXPECT_EQ(p1->code[i].imm, p2->code[i].imm) << "at " << i;
+    }
+  }
+  EXPECT_EQ(p1->functions, p2->functions);
+}
+
+INSTANTIATE_TEST_SUITE_P(Contracts, DisasmRoundTripTest,
+                         testing::Values("kvstore", "smallbank", "etherid",
+                                         "doubler", "wavespresale", "cpuheavy",
+                                         "ioheavy"));
+
+TEST(DisasmTest, RendersStringsEscaped) {
+  auto p = vm::Assemble("PUSHS \"a\\\"b\\n\"\nRETURN\n");
+  ASSERT_TRUE(p.ok());
+  std::string listing = vm::Disassemble(*p);
+  EXPECT_NE(listing.find("\\\""), std::string::npos);
+  EXPECT_NE(listing.find("\\n"), std::string::npos);
+  auto p2 = vm::Assemble(listing);
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(p2->string_pool[0], "a\"b\n");
+}
+
+// --- VM execution determinism --------------------------------------------------------
+
+TEST(VmDeterminismTest, SortIsDeterministic) {
+  auto prog = vm::Assemble(workloads::CpuHeavyCasm());
+  ASSERT_TRUE(prog.ok());
+  vm::TxContext ctx;
+  ctx.function = "sort";
+  ctx.args = {vm::Value(2000)};
+  vm::MapHost h1, h2;
+  auto r1 = vm::Interpreter().Execute(*prog, ctx, &h1);
+  auto r2 = vm::Interpreter().Execute(*prog, ctx, &h2);
+  EXPECT_EQ(r1.gas_used, r2.gas_used);
+  EXPECT_EQ(r1.ops_executed, r2.ops_executed);
+  EXPECT_TRUE(r1.return_value == r2.return_value);
+}
+
+}  // namespace
+}  // namespace bb

@@ -1,0 +1,97 @@
+// Crash-recovery tests: a node that crashes and restarts must catch up
+// with the chain (the sync path), on every consensus engine; plus the
+// StatsCollector CSV export.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/driver.h"
+#include "platform/platform.h"
+#include "workloads/ycsb.h"
+
+namespace bb {
+namespace {
+
+struct RecoveryRig {
+  std::unique_ptr<sim::Simulation> sim;
+  std::unique_ptr<platform::Platform> platform;
+  std::unique_ptr<workloads::YcsbWorkload> workload;
+  std::unique_ptr<core::Driver> driver;
+
+  RecoveryRig(platform::PlatformOptions opts, size_t servers) {
+    sim = std::make_unique<sim::Simulation>(17);
+    platform = std::make_unique<platform::Platform>(sim.get(), opts, servers);
+    workloads::YcsbConfig yc;
+    yc.record_count = 200;
+    workload = std::make_unique<workloads::YcsbWorkload>(yc);
+    EXPECT_TRUE(workload->Setup(platform.get()).ok());
+    core::DriverConfig dc;
+    dc.num_clients = 2;
+    dc.request_rate = 15;
+    dc.duration = 120;
+    dc.drain = 30;
+    driver = std::make_unique<core::Driver>(platform.get(), workload.get(),
+                                            dc);
+  }
+};
+
+class CrashRecoveryTest : public testing::TestWithParam<const char*> {};
+
+TEST_P(CrashRecoveryTest, RestartedNodeCatchesUp) {
+  platform::PlatformOptions opts =
+      std::string(GetParam()) == "ethereum" ? platform::EthereumOptions()
+      : std::string(GetParam()) == "parity" ? platform::ParityOptions()
+      : std::string(GetParam()) == "erisdb" ? platform::ErisDbOptions()
+      : std::string(GetParam()) == "corda"  ? platform::CordaOptions()
+                                            : platform::HyperledgerOptions();
+  RecoveryRig rig(opts, 5);
+  // Node 4 is down during [20 s, 60 s); it must resynchronize after.
+  rig.sim->At(20, [&] { rig.platform->network().Crash(4); });
+  rig.sim->At(60, [&] { rig.platform->network().Restart(4); });
+  rig.driver->Run();
+
+  uint64_t healthy = rig.platform->node(0).chain().head_height();
+  uint64_t restarted = rig.platform->node(4).chain().head_height();
+  ASSERT_GT(healthy, 10u);
+  // Caught up to within a few blocks of the tip.
+  EXPECT_GE(restarted + 5, healthy)
+      << GetParam() << ": restarted node at " << restarted << " of "
+      << healthy;
+}
+
+INSTANTIATE_TEST_SUITE_P(Platforms, CrashRecoveryTest,
+                         testing::Values("ethereum", "parity", "hyperledger",
+                                         "erisdb", "corda"));
+
+TEST(StatsCsvTest, WritesParseableSeries) {
+  RecoveryRig rig(platform::HyperledgerOptions(), 3);
+  rig.driver->Run();
+  std::string path = testing::TempDir() + "/bb_stats.csv";
+  ASSERT_TRUE(rig.driver->stats().WriteCsv(path, 150).ok());  // incl. drain
+
+  std::ifstream in(path);
+  ASSERT_TRUE(bool(in));
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "second,submitted,committed,queue,backlog");
+  size_t rows = 0;
+  double committed_total = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++rows;
+    // second,submitted,committed,...
+    auto c1 = line.find(',');
+    auto c2 = line.find(',', c1 + 1);
+    auto c3 = line.find(',', c2 + 1);
+    committed_total += std::atof(line.substr(c2 + 1, c3 - c2 - 1).c_str());
+  }
+  EXPECT_EQ(rows, 150u);
+  EXPECT_DOUBLE_EQ(committed_total,
+                   double(rig.driver->stats().total_committed()));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace bb

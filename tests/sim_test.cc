@@ -1,0 +1,304 @@
+// Simulator tests: virtual clock ordering, network delivery/latency,
+// fault injection (crash, partition, drops, corruption), bounded inboxes,
+// serial message processing under CPU cost, and resource meters.
+
+#include <gtest/gtest.h>
+
+#include "sim/network.h"
+#include "sim/node.h"
+#include "sim/simulation.h"
+
+namespace bb::sim {
+namespace {
+
+TEST(SimulationTest, EventsFireInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.At(3.0, [&] { order.push_back(3); });
+  sim.At(1.0, [&] { order.push_back(1); });
+  sim.At(2.0, [&] { order.push_back(2); });
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.Now(), 3.0);
+}
+
+TEST(SimulationTest, SameTimeIsFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.At(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.RunToCompletion();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[size_t(i)], i);
+}
+
+TEST(SimulationTest, RunUntilStopsAtBoundary) {
+  Simulation sim;
+  int fired = 0;
+  sim.At(1.0, [&] { ++fired; });
+  sim.At(5.0, [&] { ++fired; });
+  sim.RunUntil(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.Now(), 2.0);
+  sim.RunUntil(10.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulationTest, EventsCanScheduleEvents) {
+  Simulation sim;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 5) sim.After(1.0, tick);
+  };
+  sim.After(1.0, tick);
+  sim.RunToCompletion();
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(sim.Now(), 5.0);
+}
+
+// A node that counts messages and can charge CPU per message.
+class EchoNode : public Node {
+ public:
+  EchoNode(NodeId id, Network* net, double cost = 0)
+      : Node(id, net), cost_(cost) {}
+
+  double HandleMessage(const Message& msg) override {
+    ++received_;
+    last_type_ = msg.type;
+    last_corrupted_ = msg.corrupted;
+    receive_times_.push_back(Now());
+    return cost_;
+  }
+
+  int received_ = 0;
+  std::string last_type_;
+  bool last_corrupted_ = false;
+  std::vector<double> receive_times_;
+
+ private:
+  double cost_;
+};
+
+struct TestNet {
+  Simulation sim;
+  Network net;
+  EchoNode a, b, c;
+
+  explicit TestNet(NetworkConfig cfg = {}, double cost = 0)
+      : sim(1), net(&sim, cfg), a(0, &net, cost), b(1, &net, cost),
+        c(2, &net, cost) {}
+};
+
+Message Msg(NodeId from, NodeId to, uint64_t bytes = 100) {
+  Message m;
+  m.from = from;
+  m.to = to;
+  m.type = "test";
+  m.size_bytes = bytes;
+  return m;
+}
+
+TEST(NetworkTest, DeliversWithLatency) {
+  NetworkConfig cfg;
+  cfg.base_latency = 0.01;
+  cfg.jitter = 0;
+  cfg.bandwidth_bytes_per_sec = 0;
+  TestNet t(cfg);
+  ASSERT_TRUE(t.net.Send(Msg(0, 1)));
+  t.sim.RunToCompletion();
+  EXPECT_EQ(t.b.received_, 1);
+  EXPECT_DOUBLE_EQ(t.b.receive_times_[0], 0.01);
+}
+
+TEST(NetworkTest, BandwidthDelaysLargeMessages) {
+  NetworkConfig cfg;
+  cfg.base_latency = 0.001;
+  cfg.jitter = 0;
+  cfg.bandwidth_bytes_per_sec = 1e6;  // 1 MB/s
+  TestNet t(cfg);
+  t.net.Send(Msg(0, 1, 1'000'000));  // 1 MB -> +1 s
+  t.sim.RunToCompletion();
+  ASSERT_EQ(t.b.received_, 1);
+  EXPECT_NEAR(t.b.receive_times_[0], 1.001, 1e-9);
+}
+
+TEST(NetworkTest, BroadcastReachesAllButSender) {
+  TestNet t;
+  t.net.Broadcast(0, "test", std::any{}, 10);
+  t.sim.RunToCompletion();
+  EXPECT_EQ(t.a.received_, 0);
+  EXPECT_EQ(t.b.received_, 1);
+  EXPECT_EQ(t.c.received_, 1);
+}
+
+TEST(NetworkTest, CrashedNodeGetsNothing) {
+  TestNet t;
+  t.net.Crash(1);
+  EXPECT_FALSE(t.net.Send(Msg(0, 1)));
+  t.sim.RunToCompletion();
+  EXPECT_EQ(t.b.received_, 0);
+  EXPECT_TRUE(t.net.IsCrashed(1));
+  EXPECT_EQ(t.net.messages_dropped(), 1u);
+}
+
+TEST(NetworkTest, CrashedSenderCannotSend) {
+  TestNet t;
+  t.net.Crash(0);
+  EXPECT_FALSE(t.net.Send(Msg(0, 1)));
+  t.sim.RunToCompletion();
+  EXPECT_EQ(t.b.received_, 0);
+}
+
+TEST(NetworkTest, RestartResumesDelivery) {
+  TestNet t;
+  t.net.Crash(1);
+  t.net.Send(Msg(0, 1));
+  t.net.Restart(1);
+  t.net.Send(Msg(0, 1));
+  t.sim.RunToCompletion();
+  EXPECT_EQ(t.b.received_, 1);
+}
+
+TEST(NetworkTest, PartitionBlocksCrossTraffic) {
+  TestNet t;
+  t.net.Partition({0});  // {0} vs {1, 2}
+  EXPECT_FALSE(t.net.Send(Msg(0, 1)));
+  EXPECT_TRUE(t.net.Send(Msg(1, 2)));
+  t.sim.RunToCompletion();
+  EXPECT_EQ(t.b.received_, 0);
+  EXPECT_EQ(t.c.received_, 1);
+  t.net.HealPartition();
+  EXPECT_TRUE(t.net.Send(Msg(0, 1)));
+  t.sim.RunToCompletion();
+  EXPECT_EQ(t.b.received_, 1);
+}
+
+TEST(NetworkTest, PartitionDropsInFlightMessages) {
+  NetworkConfig cfg;
+  cfg.base_latency = 1.0;
+  cfg.jitter = 0;
+  TestNet t(cfg);
+  t.net.Send(Msg(0, 1));  // will arrive at t=1
+  t.sim.RunUntil(0.5);
+  t.net.Partition({0});
+  t.sim.RunToCompletion();
+  EXPECT_EQ(t.b.received_, 0);  // dropped at delivery time
+}
+
+TEST(NetworkTest, DropProbabilityOneDropsEverything) {
+  NetworkConfig cfg;
+  cfg.drop_probability = 1.0;
+  TestNet t(cfg);
+  for (int i = 0; i < 20; ++i) t.net.Send(Msg(0, 1));
+  t.sim.RunToCompletion();
+  EXPECT_EQ(t.b.received_, 0);
+  EXPECT_EQ(t.net.messages_dropped(), 20u);
+}
+
+TEST(NetworkTest, CorruptionFlagsMessages) {
+  NetworkConfig cfg;
+  cfg.corrupt_probability = 1.0;
+  TestNet t(cfg);
+  t.net.Send(Msg(0, 1));
+  t.sim.RunToCompletion();
+  ASSERT_EQ(t.b.received_, 1);
+  EXPECT_TRUE(t.b.last_corrupted_);
+}
+
+TEST(NetworkTest, InjectedDelayAddsLatency) {
+  NetworkConfig cfg;
+  cfg.base_latency = 0.001;
+  cfg.jitter = 0;
+  cfg.bandwidth_bytes_per_sec = 0;
+  TestNet t(cfg);
+  t.net.InjectDelay(0.5);
+  t.net.Send(Msg(0, 1));
+  t.sim.RunToCompletion();
+  ASSERT_EQ(t.b.received_, 1);
+  EXPECT_NEAR(t.b.receive_times_[0], 0.501, 1e-9);
+}
+
+TEST(NetworkTest, BoundedInboxRejectsOverflow) {
+  NetworkConfig cfg;
+  cfg.base_latency = 0.001;
+  cfg.jitter = 0;
+  cfg.inbox_capacity = 4;
+  // Receiver takes 1 s per message, so the inbox fills up.
+  TestNet t(cfg, /*cost=*/1.0);
+  for (int i = 0; i < 20; ++i) t.net.Send(Msg(0, 1));
+  t.sim.RunToCompletion();
+  // Some were dropped for channel-full; the receiver processed only what
+  // fit through the bounded channel.
+  EXPECT_LT(t.b.received_, 20);
+  EXPECT_GT(t.net.messages_dropped(), 0u);
+}
+
+TEST(NodeTest, SerialProcessingUnderCpuCost) {
+  NetworkConfig cfg;
+  cfg.base_latency = 0.001;
+  cfg.jitter = 0;
+  TestNet t(cfg, /*cost=*/0.1);
+  t.net.Send(Msg(0, 1));
+  t.net.Send(Msg(0, 1));
+  t.net.Send(Msg(0, 1));
+  t.sim.RunToCompletion();
+  ASSERT_EQ(t.b.received_, 3);
+  // Second message processed only after the first's 0.1 s of CPU.
+  EXPECT_NEAR(t.b.receive_times_[1] - t.b.receive_times_[0], 0.1, 1e-6);
+  EXPECT_NEAR(t.b.receive_times_[2] - t.b.receive_times_[1], 0.1, 1e-6);
+}
+
+TEST(NodeTest, MeterAccumulatesCpuAndBytes) {
+  NetworkConfig cfg;
+  cfg.base_latency = 0.001;
+  cfg.jitter = 0;
+  TestNet t(cfg, /*cost=*/0.25);
+  t.net.Send(Msg(0, 1, 5000));
+  t.sim.RunToCompletion();
+  EXPECT_DOUBLE_EQ(t.b.meter().total_cpu(), 0.25);
+  EXPECT_EQ(t.b.meter().total_net_bytes(), 5000u);
+  EXPECT_EQ(t.a.meter().total_net_bytes(), 5000u);  // sender side
+  EXPECT_GT(t.b.meter().CpuUtilizationAt(0), 0.0);
+}
+
+
+TEST(NodeTest, ClassLimitBoundsOnlyMatchingMessages) {
+  NetworkConfig cfg;
+  cfg.base_latency = 0.001;
+  cfg.jitter = 0;
+  TestNet t(cfg, /*cost=*/1.0);  // slow consumer: messages queue up
+  t.b.SetInboxClassLimit("pbft_", 3);
+  // 10 consensus-class messages: only ~3 fit in the bounded channel
+  // (plus the one being processed).
+  for (int i = 0; i < 10; ++i) {
+    Message m = Msg(0, 1);
+    m.type = "pbft_commit";
+    t.net.Send(std::move(m));
+  }
+  // 10 ordinary messages are NOT subject to the class bound.
+  for (int i = 0; i < 10; ++i) t.net.Send(Msg(0, 1));
+  t.sim.RunToCompletion();
+  EXPECT_GT(t.b.class_dropped(), 0u);
+  int pbft_seen = 0, other_seen = t.b.received_;
+  // received_ counts both; infer: total delivered = received_;
+  // all 10 ordinary ones must have arrived.
+  EXPECT_GE(other_seen, 10);
+  EXPECT_LT(other_seen, 20);
+  (void)pbft_seen;
+}
+
+TEST(NodeTest, CrashClearsInbox) {
+  NetworkConfig cfg;
+  cfg.base_latency = 0.001;
+  cfg.jitter = 0;
+  TestNet t(cfg, /*cost=*/1.0);
+  for (int i = 0; i < 5; ++i) t.net.Send(Msg(0, 1));
+  t.sim.RunUntil(0.5);  // first message being processed, rest queued
+  int before = t.b.received_;
+  t.net.Crash(1);
+  t.sim.RunToCompletion();
+  EXPECT_EQ(t.b.received_, before);  // queued messages voided
+}
+
+}  // namespace
+}  // namespace bb::sim

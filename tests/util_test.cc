@@ -1,0 +1,355 @@
+// Unit tests for the util module: Status/Result, Slice, SHA-256 (FIPS
+// vectors), hex, codec round-trips, RNG determinism and distribution
+// sanity, histogram percentiles and time series.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "util/codec.h"
+#include "util/hex.h"
+#include "util/histogram.h"
+#include "util/random.h"
+#include "util/sha256.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace bb {
+namespace {
+
+// --- Status / Result ---------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing key");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.ToString(), "NotFound: missing key");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= int(StatusCode::kInternal); ++c) {
+    EXPECT_STRNE(StatusCodeName(StatusCode(c)), "Unknown");
+  }
+}
+
+TEST(ResultTest, ValueAccess) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.ValueOr(0), 42);
+}
+
+TEST(ResultTest, ErrorPropagates) {
+  Result<int> r(Status::Corruption("bad"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+// --- Slice ---------------------------------------------------------------------
+
+TEST(SliceTest, BasicViews) {
+  std::string s = "hello world";
+  Slice sl(s);
+  EXPECT_EQ(sl.size(), 11u);
+  EXPECT_TRUE(sl.starts_with("hello"));
+  EXPECT_FALSE(sl.starts_with("world"));
+  sl.remove_prefix(6);
+  EXPECT_EQ(sl.ToString(), "world");
+}
+
+TEST(SliceTest, Comparison) {
+  EXPECT_TRUE(Slice("abc") == Slice("abc"));
+  EXPECT_TRUE(Slice("abc") != Slice("abd"));
+  EXPECT_LT(Slice("abc").compare(Slice("abd")), 0);
+  EXPECT_LT(Slice("ab").compare(Slice("abc")), 0);
+  EXPECT_GT(Slice("abd").compare(Slice("abc")), 0);
+}
+
+// --- SHA-256 ---------------------------------------------------------------------
+
+TEST(Sha256Test, Fips180EmptyString) {
+  EXPECT_EQ(Sha256::Digest("").ToHex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Fips180Abc) {
+  EXPECT_EQ(Sha256::Digest("abc").ToHex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, Fips180TwoBlockMessage) {
+  EXPECT_EQ(
+      Sha256::Digest("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")
+          .ToHex(),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionA) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk);
+  EXPECT_EQ(h.Finish().ToHex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalEqualsOneShot) {
+  std::string data = "The quick brown fox jumps over the lazy dog";
+  for (size_t split = 0; split <= data.size(); ++split) {
+    Sha256 h;
+    h.Update(data.substr(0, split));
+    h.Update(data.substr(split));
+    EXPECT_EQ(h.Finish(), Sha256::Digest(data)) << "split=" << split;
+  }
+}
+
+TEST(Sha256Test, HashStructHelpers) {
+  Hash256 z = Hash256::Zero();
+  EXPECT_TRUE(z.IsZero());
+  Hash256 h = Sha256::Digest("x");
+  EXPECT_FALSE(h.IsZero());
+  EXPECT_EQ(h.ShortHex(), h.ToHex().substr(0, 8));
+  EXPECT_NE(h.Prefix64(), 0u);
+}
+
+// --- Hex -----------------------------------------------------------------------
+
+TEST(HexTest, RoundTrip) {
+  const char raw[] = {'\x00', '\x01', '\xfe', '\xff'};
+  std::string bytes(raw, 4);
+  std::string hex = BytesToHex(bytes.data(), 4);
+  EXPECT_EQ(hex, "0001feff");
+  auto back = HexToBytes(hex);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, bytes);
+}
+
+TEST(HexTest, RejectsOddLength) {
+  EXPECT_FALSE(HexToBytes("abc").ok());
+}
+
+TEST(HexTest, RejectsNonHex) {
+  EXPECT_FALSE(HexToBytes("zz").ok());
+}
+
+// --- Codec ------------------------------------------------------------------------
+
+TEST(CodecTest, FixedRoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0xdeadbeef);
+  PutFixed64(&buf, 0x0123456789abcdefULL);
+  Slice in(buf);
+  uint32_t a;
+  uint64_t b;
+  ASSERT_TRUE(GetFixed32(&in, &a).ok());
+  ASSERT_TRUE(GetFixed64(&in, &b).ok());
+  EXPECT_EQ(a, 0xdeadbeef);
+  EXPECT_EQ(b, 0x0123456789abcdefULL);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodecTest, VarintRoundTrip) {
+  std::string buf;
+  std::vector<uint64_t> values = {0, 1, 127, 128, 16383, 16384,
+                                  UINT64_MAX, 1ULL << 63};
+  for (uint64_t v : values) PutVarint64(&buf, v);
+  Slice in(buf);
+  for (uint64_t v : values) {
+    uint64_t got;
+    ASSERT_TRUE(GetVarint64(&in, &got).ok());
+    EXPECT_EQ(got, v);
+  }
+}
+
+TEST(CodecTest, VarintLengthMatchesEncoding) {
+  for (uint64_t v : {uint64_t{0}, uint64_t{127}, uint64_t{128},
+                     uint64_t{99999}, UINT64_MAX}) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    EXPECT_EQ(buf.size(), VarintLength(v));
+  }
+}
+
+TEST(CodecTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, std::string(1000, 'x'));
+  Slice in(buf);
+  std::string s;
+  ASSERT_TRUE(GetLengthPrefixed(&in, &s).ok());
+  EXPECT_EQ(s, "hello");
+  ASSERT_TRUE(GetLengthPrefixed(&in, &s).ok());
+  EXPECT_EQ(s, "");
+  ASSERT_TRUE(GetLengthPrefixed(&in, &s).ok());
+  EXPECT_EQ(s, std::string(1000, 'x'));
+}
+
+TEST(CodecTest, TruncationDetected) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  buf.resize(3);
+  Slice in(buf);
+  std::string s;
+  EXPECT_FALSE(GetLengthPrefixed(&in, &s).ok());
+}
+
+// --- Rng -----------------------------------------------------------------------
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.Uniform(10), 10u);
+    uint64_t v = r.Range(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng r(11);
+  for (int i = 0; i < 10000; ++i) {
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng r(13);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.Exponential(2.5);
+  EXPECT_NEAR(sum / n, 2.5, 0.05);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng r(17);
+  double sum = 0, sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    double v = r.Gaussian(10, 3);
+    sum += v;
+    sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 3, 0.1);
+}
+
+TEST(RngTest, ForkIndependence) {
+  Rng a(42);
+  Rng b = a.Fork();
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(ZipfianTest, InRangeAndSkewed) {
+  Rng r(23);
+  ZipfianGenerator z(1000, 0.99);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) {
+    uint64_t v = z.Next(r);
+    ASSERT_LT(v, 1000u);
+    counts[v]++;
+  }
+  // Rank 0 should be far more popular than rank 500.
+  EXPECT_GT(counts[0], 20 * std::max(counts[500], 1));
+}
+
+TEST(ScrambledZipfianTest, SpreadsHotKeys) {
+  Rng r(29);
+  ScrambledZipfian z(1000);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) counts[z.Next(r)]++;
+  // The hottest key should not be key 0 with overwhelming likelihood
+  // (scrambling moved it), and all draws must stay in range.
+  for (const auto& [k, v] : counts) {
+    EXPECT_LT(k, 1000u);
+    (void)v;
+  }
+}
+
+// --- Histogram ----------------------------------------------------------------
+
+TEST(HistogramTest, Percentiles) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Add(i);
+  EXPECT_DOUBLE_EQ(h.min(), 1);
+  EXPECT_DOUBLE_EQ(h.max(), 100);
+  EXPECT_NEAR(h.Percentile(50), 50.5, 0.01);
+  EXPECT_NEAR(h.Percentile(95), 95.05, 0.01);
+  EXPECT_NEAR(h.Mean(), 50.5, 1e-9);
+}
+
+TEST(HistogramTest, EmptyIsSafe) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  a.Add(1);
+  b.Add(3);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 2);
+}
+
+TEST(HistogramTest, CdfMonotone) {
+  Histogram h;
+  Rng r(31);
+  for (int i = 0; i < 5000; ++i) h.Add(r.NextDouble());
+  auto cdf = h.Cdf(50);
+  ASSERT_FALSE(cdf.empty());
+  for (size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+    EXPECT_GE(cdf[i].second, cdf[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(TimeSeriesTest, BinningAndSums) {
+  TimeSeries ts(1.0);
+  ts.Add(0.5, 1);
+  ts.Add(0.9, 2);
+  ts.Add(2.1, 5);
+  EXPECT_DOUBLE_EQ(ts.SumAt(0), 3);
+  EXPECT_DOUBLE_EQ(ts.SumAt(1), 0);
+  EXPECT_DOUBLE_EQ(ts.SumAt(2), 5);
+}
+
+TEST(TimeSeriesTest, ObserveCarriesForward) {
+  TimeSeries ts(1.0);
+  ts.Observe(0.5, 10);
+  ts.Observe(3.5, 20);
+  EXPECT_DOUBLE_EQ(ts.ValueAt(0), 10);
+  EXPECT_DOUBLE_EQ(ts.ValueAt(2), 10);  // carried forward
+  EXPECT_DOUBLE_EQ(ts.ValueAt(3), 20);
+}
+
+}  // namespace
+}  // namespace bb

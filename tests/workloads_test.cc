@@ -1,0 +1,288 @@
+// Workload-connector tests: every Table-1 workload deploys and produces
+// executable transactions on every platform; the analytics chain
+// preloads deterministically and Q1/Q2 agree across data models; the
+// H-Store baseline executes and coordinates 2PC.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "baseline/hstore.h"
+#include "core/driver.h"
+#include "platform/platform.h"
+#include "workloads/analytics.h"
+#include "workloads/contracts.h"
+#include "workloads/donothing.h"
+#include "workloads/doubler.h"
+#include "workloads/etherid.h"
+#include "workloads/smallbank.h"
+#include "workloads/wavespresale.h"
+#include "workloads/ycsb.h"
+
+namespace bb {
+namespace {
+
+using platform::Platform;
+
+std::unique_ptr<core::WorkloadConnector> MakeWorkload(const std::string& w) {
+  if (w == "ycsb") {
+    workloads::YcsbConfig c;
+    c.record_count = 200;
+    return std::make_unique<workloads::YcsbWorkload>(c);
+  }
+  if (w == "smallbank") {
+    workloads::SmallbankConfig c;
+    c.num_accounts = 100;
+    return std::make_unique<workloads::SmallbankWorkload>(c);
+  }
+  if (w == "etherid") {
+    workloads::EtherIdConfig c;
+    c.preregistered_domains = 50;
+    return std::make_unique<workloads::EtherIdWorkload>(c);
+  }
+  if (w == "doubler") return std::make_unique<workloads::DoublerWorkload>();
+  if (w == "wavespresale") {
+    workloads::WavesPresaleConfig c;
+    c.preloaded_sales = 50;
+    return std::make_unique<workloads::WavesPresaleWorkload>(c);
+  }
+  return std::make_unique<workloads::DoNothingWorkload>();
+}
+
+struct Combo {
+  std::string platform;
+  std::string workload;
+};
+
+class WorkloadMatrixTest
+    : public testing::TestWithParam<std::tuple<const char*, const char*>> {};
+
+TEST_P(WorkloadMatrixTest, CommitsSuccessfully) {
+  auto [pname, wname] = GetParam();
+  platform::PlatformOptions opts =
+      std::string(pname) == "ethereum" ? platform::EthereumOptions()
+      : std::string(pname) == "parity" ? platform::ParityOptions()
+                                       : platform::HyperledgerOptions();
+  sim::Simulation sim(5);
+  Platform p(&sim, opts, 4);
+  auto wl = MakeWorkload(wname);
+  ASSERT_TRUE(wl->Setup(&p).ok()) << pname << "/" << wname;
+  core::DriverConfig dc;
+  dc.num_clients = 2;
+  dc.request_rate = 10;
+  dc.duration = 40;
+  dc.drain = 20;
+  core::Driver d(&p, wl.get(), dc);
+  d.Run();
+  EXPECT_GT(d.stats().total_committed(), 20u) << pname << "/" << wname;
+  // Executed (possibly with application-level reverts), never zero.
+  uint64_t exec = 0;
+  for (size_t i = 0; i < p.num_servers(); ++i) {
+    exec += p.node(i).txs_executed() + p.node(i).txs_failed();
+  }
+  EXPECT_GT(exec, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, WorkloadMatrixTest,
+    testing::Combine(testing::Values("ethereum", "parity", "hyperledger"),
+                     testing::Values("ycsb", "smallbank", "etherid",
+                                     "doubler", "wavespresale", "donothing")));
+
+
+TEST(YcsbMixTest, AllOperationTypesGenerated) {
+  workloads::YcsbConfig c;
+  c.record_count = 100;
+  c.read_proportion = 0.3;
+  c.update_proportion = 0.3;
+  c.rmw_proportion = 0.1;
+  c.insert_proportion = 0.2;
+  c.delete_proportion = 0.1;
+  workloads::YcsbWorkload wl(c);
+  Rng rng(42);
+  std::map<std::string, int> counts;
+  std::set<std::string> insert_keys;
+  for (int i = 0; i < 5000; ++i) {
+    auto tx = wl.NextTransaction(i % 3, rng);
+    counts[tx.function]++;
+    if (tx.function == "write" && tx.args[0].AsStr().size() > 12) {
+      // Fresh insert keys are longer than the preloaded "userXXXXXXXX".
+      EXPECT_TRUE(insert_keys.insert(tx.args[0].AsStr()).second)
+          << "insert keys must never repeat";
+    }
+  }
+  EXPECT_NEAR(counts["read"], 1500, 200);
+  EXPECT_NEAR(counts["readmodifywrite"], 500, 150);
+  EXPECT_NEAR(counts["remove"], 500, 150);
+  EXPECT_GT(counts["write"], 2000);  // updates + inserts
+}
+
+// --- Analytics -------------------------------------------------------------------
+
+class AnalyticsTest : public testing::Test {
+ protected:
+  workloads::AnalyticsConfig cfg_;
+
+  void SetUp() override {
+    cfg_.num_blocks = 200;
+    cfg_.num_accounts = 50;
+    cfg_.txs_per_block = 3;
+  }
+
+  struct QueryResults {
+    int64_t q1;
+    int64_t q2;
+    uint64_t q1_rpcs;
+    uint64_t q2_rpcs;
+  };
+
+  QueryResults RunQueries(platform::PlatformOptions opts, bool chaincode_q2) {
+    sim::Simulation sim(3);
+    Platform p(&sim, opts, 1);
+    EXPECT_TRUE(workloads::SetupAnalyticsChain(&p, cfg_).ok());
+    p.Start();
+    workloads::AnalyticsClient client(1, &p.network(), 0, cfg_);
+    uint64_t head = p.node(0).chain().head_height();
+    EXPECT_EQ(head, cfg_.num_blocks);
+
+    // Query a range that is confirmed on every platform (the deepest
+    // confirmation depth is 3 blocks).
+    QueryResults r;
+    client.StartQ1(head - 104, head - 4);
+    workloads::RunAnalyticsQuery(&sim, &client);
+    r.q1 = client.result();
+    r.q1_rpcs = client.rpcs_issued();
+    client.StartQ2(workloads::AnalyticsHotAccount(), head - 104, head - 4,
+                   chaincode_q2);
+    workloads::RunAnalyticsQuery(&sim, &client);
+    r.q2 = client.result();
+    r.q2_rpcs = client.rpcs_issued();
+    return r;
+  }
+};
+
+TEST_F(AnalyticsTest, ResultsAgreeAcrossDataModels) {
+  auto eth = RunQueries(platform::EthereumOptions(), false);
+  auto par = RunQueries(platform::ParityOptions(), false);
+  auto hl = RunQueries(platform::HyperledgerOptions(), true);
+  EXPECT_GT(eth.q1, 0);
+  EXPECT_EQ(eth.q1, par.q1);
+  EXPECT_EQ(eth.q1, hl.q1);
+  EXPECT_EQ(eth.q2, par.q2);
+  EXPECT_EQ(eth.q2, hl.q2);
+}
+
+TEST_F(AnalyticsTest, HyperledgerQ2IsOneRpc) {
+  auto hl = RunQueries(platform::HyperledgerOptions(), true);
+  EXPECT_EQ(hl.q2_rpcs, 1u);
+  EXPECT_EQ(hl.q1_rpcs, 100u);
+  auto eth = RunQueries(platform::EthereumOptions(), false);
+  EXPECT_EQ(eth.q2_rpcs, 100u);
+}
+
+TEST_F(AnalyticsTest, BucketStateRefusesHistoricalReads) {
+  sim::Simulation sim(3);
+  Platform p(&sim, platform::HyperledgerOptions(), 1);
+  ASSERT_TRUE(workloads::SetupAnalyticsChain(&p, cfg_).ok());
+  EXPECT_FALSE(p.node(0).state().supports_versioned_reads());
+}
+
+// --- H-Store baseline ----------------------------------------------------------------
+
+TEST(HStoreTest, SinglePartitionTxnsCommit) {
+  sim::Simulation sim(2);
+  baseline::HStoreOptions opts;
+  baseline::HStoreCluster cluster(&sim, opts);
+  core::StatsCollector stats(1);
+  baseline::HStoreClient client(
+      sim::NodeId(opts.num_sites), &cluster, 0,
+      [](Rng& rng) {
+        baseline::HsTransaction t;
+        t.ops.push_back(
+            {true, "key" + std::to_string(rng.Uniform(100)), "val"});
+        return t;
+      },
+      &stats, 1000, 10, 99);
+  client.Start();
+  sim.RunUntil(12);
+  EXPECT_GT(stats.total_committed(), 9000u);
+  // Sub-millisecond latency (no coordination).
+  EXPECT_LT(stats.latencies().Percentile(50), 0.002);
+}
+
+TEST(HStoreTest, MultiPartitionTxnsRunTwoPhaseCommit) {
+  sim::Simulation sim(2);
+  baseline::HStoreOptions opts;
+  baseline::HStoreCluster cluster(&sim, opts);
+  core::StatsCollector stats(1);
+  baseline::HStoreClient client(
+      sim::NodeId(opts.num_sites), &cluster, 0,
+      [](Rng& rng) {
+        baseline::HsTransaction t;
+        // Touch many keys: almost certainly multi-partition.
+        for (int i = 0; i < 6; ++i) {
+          t.ops.push_back(
+              {true, "key" + std::to_string(rng.Uniform(10000)), "val"});
+        }
+        return t;
+      },
+      &stats, 200, 10, 99);
+  client.Start();
+  sim.RunUntil(12);
+  EXPECT_GT(stats.total_committed(), 1500u);
+  // 2PC costs more than the single-partition fast path.
+  EXPECT_GT(stats.latencies().Percentile(50), 0.0005);
+}
+
+TEST(HStoreTest, DataLandsOnOwningPartition) {
+  sim::Simulation sim(2);
+  baseline::HStoreOptions opts;
+  baseline::HStoreCluster cluster(&sim, opts);
+  core::StatsCollector stats(1);
+  baseline::HStoreClient client(
+      sim::NodeId(opts.num_sites), &cluster, 0,
+      [](Rng& rng) {
+        baseline::HsTransaction t;
+        t.ops.push_back(
+            {true, "key" + std::to_string(rng.Uniform(500)), "val"});
+        return t;
+      },
+      &stats, 500, 5, 99);
+  client.Start();
+  sim.RunUntil(8);
+  size_t total_keys = 0;
+  size_t populated_sites = 0;
+  for (size_t i = 0; i < cluster.num_sites(); ++i) {
+    total_keys += cluster.site(i).num_keys();
+    if (cluster.site(i).num_keys() > 0) ++populated_sites;
+  }
+  EXPECT_GT(total_keys, 300u);
+  EXPECT_GT(populated_sites, cluster.num_sites() / 2);
+}
+
+// --- StatsCollector --------------------------------------------------------------------
+
+TEST(StatsCollectorTest, ThroughputWindow) {
+  core::StatsCollector s(1);
+  for (int t = 0; t < 10; ++t) {
+    for (int i = 0; i < 5; ++i) s.RecordCommit(t + 0.1 * i, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(s.Throughput(0, 10), 5.0);
+  EXPECT_DOUBLE_EQ(s.Throughput(2, 4), 5.0);
+  EXPECT_DOUBLE_EQ(s.Throughput(4, 4), 0.0);
+}
+
+TEST(StatsCollectorTest, QueueObservationsSumAcrossClients) {
+  core::StatsCollector s(3);
+  s.ObserveQueue(1.0, 0, 10, 2);
+  s.ObserveQueue(1.2, 1, 20, 0);
+  s.ObserveQueue(1.4, 2, 30, 1);
+  EXPECT_DOUBLE_EQ(s.QueueLengthAt(1), 60);
+  EXPECT_DOUBLE_EQ(s.BacklogAt(1), 3);
+  // Carried forward.
+  EXPECT_DOUBLE_EQ(s.QueueLengthAt(5), 60);
+}
+
+}  // namespace
+}  // namespace bb

@@ -1,0 +1,148 @@
+// bbasm: contract developer tool — assemble, disassemble, or execute a
+// contract assembly file against an in-memory ledger.
+//
+//   bbasm check file.casm              assemble, report errors/stats
+//   bbasm dis file.casm                assemble then disassemble (listing)
+//   bbasm run file.casm FN [ARG...]    execute FN; int args as-is, others
+//                                      as strings; prints the receipt
+//   bbasm run --engine=geth|parity|default ...   pick a VM profile
+//
+// Built-in contracts from the benchmark suite can be referenced as
+// @ycsb @smallbank @etherid @doubler @wavespresale @donothing @ioheavy
+// @cpuheavy instead of a file path.
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "platform/options.h"
+#include "vm/assembler.h"
+#include "vm/disasm.h"
+#include "vm/interpreter.h"
+#include "workloads/contracts.h"
+
+using namespace bb;
+
+namespace {
+
+int Fail(const std::string& msg) {
+  std::fprintf(stderr, "bbasm: %s\n", msg.c_str());
+  return 1;
+}
+
+bool LoadSource(const std::string& ref, std::string* out) {
+  if (!ref.empty() && ref[0] == '@') {
+    std::string name = ref.substr(1);
+    if (name == "ycsb") *out = workloads::KvStoreCasm();
+    else if (name == "smallbank") *out = workloads::SmallbankCasm();
+    else if (name == "etherid") *out = workloads::EtherIdCasm();
+    else if (name == "doubler") *out = workloads::DoublerCasm();
+    else if (name == "wavespresale") *out = workloads::WavesPresaleCasm();
+    else if (name == "donothing") *out = workloads::DoNothingCasm();
+    else if (name == "ioheavy") *out = workloads::IoHeavyCasm();
+    else if (name == "cpuheavy") *out = workloads::CpuHeavyCasm();
+    else return false;
+    return true;
+  }
+  std::ifstream in(ref);
+  if (!in) return false;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+bool LooksLikeInt(const std::string& s) {
+  if (s.empty()) return false;
+  size_t i = (s[0] == '-') ? 1 : 0;
+  if (i == s.size()) return false;
+  for (; i < s.size(); ++i) {
+    if (!std::isdigit(uint8_t(s[i]))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: bbasm check|dis|run SOURCE [--engine=E] [FN ARG...]\n"
+                 "SOURCE: a .casm file or a built-in like @smallbank\n");
+    return 2;
+  }
+  std::string cmd = argv[1];
+  std::string source_ref = argv[2];
+  std::string source;
+  if (!LoadSource(source_ref, &source)) {
+    return Fail("cannot load " + source_ref);
+  }
+
+  auto program = vm::Assemble(source);
+  if (!program.ok()) {
+    return Fail("assembly failed: " + program.status().ToString());
+  }
+
+  if (cmd == "check") {
+    std::printf("%zu instructions, %zu strings, %zu functions:\n",
+                program->code.size(), program->string_pool.size(),
+                program->functions.size());
+    for (const auto& [name, idx] : program->functions) {
+      std::printf("  %-20s @ %zu\n", name.c_str(), idx);
+    }
+    return 0;
+  }
+
+  if (cmd == "dis") {
+    std::fputs(vm::Disassemble(*program).c_str(), stdout);
+    return 0;
+  }
+
+  if (cmd != "run") return Fail("unknown command " + cmd);
+
+  vm::VmOptions vm_opts;
+  int argi = 3;
+  if (argi < argc && std::strncmp(argv[argi], "--engine=", 9) == 0) {
+    std::string engine = argv[argi] + 9;
+    if (engine == "geth") vm_opts = platform::EthereumOptions().vm;
+    else if (engine == "parity") vm_opts = platform::ParityOptions().vm;
+    else if (engine != "default") return Fail("unknown engine " + engine);
+    ++argi;
+  }
+  if (argi >= argc) return Fail("run needs a function name");
+
+  vm::TxContext ctx;
+  ctx.sender = "bbasm";
+  ctx.function = argv[argi++];
+  for (; argi < argc; ++argi) {
+    std::string arg = argv[argi];
+    if (LooksLikeInt(arg)) {
+      ctx.args.emplace_back(int64_t(std::atoll(arg.c_str())));
+    } else {
+      ctx.args.emplace_back(arg);
+    }
+  }
+
+  vm::MapHost host;
+  auto receipt = vm::Interpreter(vm_opts).Execute(*program, ctx, &host);
+  std::printf("status:   %s\n", receipt.status.ToString().c_str());
+  std::printf("return:   %s\n", receipt.return_value.ToDisplayString().c_str());
+  std::printf("gas:      %llu\n", (unsigned long long)receipt.gas_used);
+  std::printf("ops:      %llu\n", (unsigned long long)receipt.ops_executed);
+  std::printf("peak mem: %llu bytes (accounted)\n",
+              (unsigned long long)receipt.peak_memory_bytes);
+  std::printf("storage:  %llu reads, %llu writes\n",
+              (unsigned long long)receipt.storage_reads,
+              (unsigned long long)receipt.storage_writes);
+  if (!host.state().empty()) {
+    std::printf("state after execution:\n");
+    for (const auto& [k, v] : host.state()) {
+      auto val = vm::Value::Deserialize(v);
+      std::printf("  %-24s = %s\n", k.c_str(),
+                  val.ok() ? val->ToDisplayString().c_str() : "<raw>");
+    }
+  }
+  return receipt.status.ok() ? 0 : 1;
+}

@@ -1,0 +1,210 @@
+// bbench: the command-line front end to the framework — pick a platform,
+// a workload and a load shape, get the paper's metrics. The CLI analogue
+// of the paper's "Driver takes as input a workload and user-defined
+// configuration, executes it on the blockchain and outputs running
+// statistics".
+//
+//   bbench --platform=hyperledger --workload=ycsb --servers=8 ...
+//     --clients=8 --rate=100 --duration=120
+//
+// Optional fault/attack injection:
+//   --crash=ID@T          crash server ID at time T (repeatable)
+//   --partition=T0:T1     split the network in half during [T0, T1)
+//   --delay=SECONDS       inject one-way network delay
+//   --corrupt=P           corrupt each message with probability P
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/driver.h"
+#include "platform/platform.h"
+#include "workloads/donothing.h"
+#include "workloads/doubler.h"
+#include "workloads/etherid.h"
+#include "workloads/smallbank.h"
+#include "workloads/wavespresale.h"
+#include "workloads/ycsb.h"
+
+using namespace bb;
+
+namespace {
+
+struct Args {
+  std::string platform = "hyperledger";
+  std::string workload = "ycsb";
+  size_t servers = 8;
+  size_t clients = 8;
+  double rate = 100;
+  double duration = 120;
+  double warmup = 10;
+  uint64_t seed = 42;
+  size_t max_outstanding = 0;
+  std::vector<std::pair<size_t, double>> crashes;  // (server, time)
+  double partition_start = -1, partition_end = -1;
+  double delay = 0;
+  double corrupt = 0;
+  bool timeline = false;
+};
+
+void Usage() {
+  std::fprintf(stderr, R"(usage: bbench [options]
+  --platform=ethereum|parity|hyperledger|erisdb|corda
+  --workload=ycsb|smallbank|etherid|doubler|wavespresale|donothing
+  --servers=N --clients=N --rate=TXS --duration=SEC --warmup=SEC
+  --max-outstanding=N (closed-loop window; 0 = open loop)
+  --seed=N
+  --crash=ID@T (repeatable)  --partition=T0:T1
+  --delay=SEC  --corrupt=PROB
+  --timeline (print committed tx per second)
+)");
+}
+
+bool Parse(int argc, char** argv, Args* a) {
+  for (int i = 1; i < argc; ++i) {
+    std::string s = argv[i];
+    auto eat = [&](const char* k, std::string* out) {
+      std::string key = std::string("--") + k + "=";
+      if (s.rfind(key, 0) == 0) {
+        *out = s.substr(key.size());
+        return true;
+      }
+      return false;
+    };
+    std::string v;
+    if (eat("platform", &v)) a->platform = v;
+    else if (eat("workload", &v)) a->workload = v;
+    else if (eat("servers", &v)) a->servers = size_t(std::atoll(v.c_str()));
+    else if (eat("clients", &v)) a->clients = size_t(std::atoll(v.c_str()));
+    else if (eat("rate", &v)) a->rate = std::atof(v.c_str());
+    else if (eat("duration", &v)) a->duration = std::atof(v.c_str());
+    else if (eat("warmup", &v)) a->warmup = std::atof(v.c_str());
+    else if (eat("seed", &v)) a->seed = uint64_t(std::atoll(v.c_str()));
+    else if (eat("max-outstanding", &v))
+      a->max_outstanding = size_t(std::atoll(v.c_str()));
+    else if (eat("delay", &v)) a->delay = std::atof(v.c_str());
+    else if (eat("corrupt", &v)) a->corrupt = std::atof(v.c_str());
+    else if (eat("crash", &v)) {
+      auto at = v.find('@');
+      if (at == std::string::npos) return false;
+      a->crashes.emplace_back(size_t(std::atoll(v.substr(0, at).c_str())),
+                              std::atof(v.substr(at + 1).c_str()));
+    } else if (eat("partition", &v)) {
+      auto colon = v.find(':');
+      if (colon == std::string::npos) return false;
+      a->partition_start = std::atof(v.substr(0, colon).c_str());
+      a->partition_end = std::atof(v.substr(colon + 1).c_str());
+    } else if (s == "--timeline") {
+      a->timeline = true;
+    } else if (s == "--help" || s == "-h") {
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", s.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+platform::PlatformOptions PlatformFor(const std::string& name) {
+  if (name == "ethereum") return platform::EthereumOptions();
+  if (name == "parity") return platform::ParityOptions();
+  if (name == "hyperledger") return platform::HyperledgerOptions();
+  if (name == "erisdb") return platform::ErisDbOptions();
+  if (name == "corda") return platform::CordaOptions();
+  std::fprintf(stderr, "unknown platform: %s\n", name.c_str());
+  std::exit(2);
+}
+
+std::unique_ptr<core::WorkloadConnector> WorkloadFor(const std::string& name) {
+  if (name == "ycsb") return std::make_unique<workloads::YcsbWorkload>();
+  if (name == "smallbank")
+    return std::make_unique<workloads::SmallbankWorkload>();
+  if (name == "etherid") return std::make_unique<workloads::EtherIdWorkload>();
+  if (name == "doubler") return std::make_unique<workloads::DoublerWorkload>();
+  if (name == "wavespresale")
+    return std::make_unique<workloads::WavesPresaleWorkload>();
+  if (name == "donothing")
+    return std::make_unique<workloads::DoNothingWorkload>();
+  std::fprintf(stderr, "unknown workload: %s\n", name.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args a;
+  if (!Parse(argc, argv, &a)) {
+    Usage();
+    return 2;
+  }
+
+  sim::Simulation sim(a.seed);
+  platform::Platform chain(&sim, PlatformFor(a.platform), a.servers, a.seed);
+  auto workload = WorkloadFor(a.workload);
+  Status s = workload->Setup(&chain);
+  if (!s.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  if (a.delay > 0) chain.network().InjectDelay(a.delay);
+  if (a.corrupt > 0) chain.network().SetCorruptProbability(a.corrupt);
+  for (auto [id, t] : a.crashes) {
+    if (id >= a.servers) {
+      std::fprintf(stderr, "--crash server id out of range\n");
+      return 2;
+    }
+    sim.At(t, [&chain, id = id] { chain.network().Crash(sim::NodeId(id)); });
+  }
+  if (a.partition_start >= 0) {
+    std::vector<sim::NodeId> half;
+    for (size_t i = 0; i < a.servers / 2; ++i) half.push_back(sim::NodeId(i));
+    sim.At(a.partition_start,
+           [&chain, half] { chain.network().Partition(half); });
+    sim.At(a.partition_end, [&chain] { chain.network().HealPartition(); });
+  }
+
+  core::DriverConfig dc;
+  dc.num_clients = a.clients;
+  dc.request_rate = a.rate;
+  dc.max_outstanding = a.max_outstanding;
+  dc.duration = a.duration;
+  dc.warmup = a.warmup;
+  dc.seed = a.seed;
+  core::Driver driver(&chain, workload.get(), dc);
+
+  std::printf("bbench: %s / %s, %zu servers, %zu clients, %.0f tx/s/client, "
+              "%.0f s\n",
+              a.platform.c_str(), a.workload.c_str(), a.servers, a.clients,
+              a.rate, a.duration);
+  driver.Run();
+
+  auto r = driver.Report();
+  std::printf("\nresults (measured over [%.0f s, %.0f s)):\n", a.warmup,
+              a.duration);
+  std::printf("  throughput    %10.1f tx/s\n", r.throughput);
+  std::printf("  latency       mean %.3f s  p50 %.3f s  p95 %.3f s  p99 "
+              "%.3f s\n",
+              r.latency_mean, r.latency_p50, r.latency_p95, r.latency_p99);
+  std::printf("  submitted     %10llu\n", (unsigned long long)r.submitted);
+  std::printf("  committed     %10llu\n", (unsigned long long)r.committed);
+  std::printf("  rejected      %10llu\n", (unsigned long long)r.rejected);
+  std::printf("  blocks        %10llu on the main branch, %llu orphaned\n",
+              (unsigned long long)chain.node(0).chain().main_chain_blocks(),
+              (unsigned long long)chain.node(0).chain().orphaned_blocks());
+
+  if (a.timeline) {
+    std::printf("\ncommitted per second:\n");
+    for (size_t t = 0; t < size_t(a.duration); t += 5) {
+      double sum = 0;
+      for (size_t u = t; u < t + 5; ++u) {
+        sum += driver.stats().CommittedInSecond(u);
+      }
+      std::printf("  t=%4zu  %8.0f tx (%6.0f tx/s)\n", t, sum, sum / 5);
+    }
+  }
+  return 0;
+}
