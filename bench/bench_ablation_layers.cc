@@ -1,0 +1,83 @@
+// Layer-stack ablation: sweep consensus x state-tree x execution over the
+// YCSB workload, one throughput/latency row per stack — the experiment
+// family the paper's four-layer taxonomy (§3) enables. Attribution works
+// by differencing rows: e.g. PBFT+trie+evm vs PBFT+bucket+native isolates
+// the Hyperledger data/execution layers under identical ordering, and
+// swapping only the consensus column reprices ordering under an identical
+// data/execution stack (the Fig 14-style decomposition).
+//
+// Stacks are built through the PlatformRegistry's spec grammar
+// ("pbft+trie+evm"), so every row here is runnable verbatim via
+//   bbench --platform=<stack> --workload=ycsb
+//
+// Default: the 10 trie/bucket x evm/native combinations per consensus
+// engine with chain-based and BFT consensus; --full adds the noop
+// execution layer (consensus+data in isolation).
+
+#include "common.h"
+
+using namespace bb;
+using namespace bb::bench;
+
+namespace {
+
+core::BenchReport RunStack(const platform::PlatformOptions& options,
+                           double duration) {
+  MacroConfig cfg;
+  cfg.options = options;
+  cfg.servers = 4;
+  cfg.clients = 4;
+  cfg.rate = 30;
+  cfg.duration = duration;
+  cfg.drain = 20;
+  cfg.warmup = 10;
+  cfg.ycsb_records = 1000;
+  MacroRun run(cfg);
+  return run.Run();
+}
+
+void PrintRow(const std::string& name, const core::BenchReport& r) {
+  std::printf("%-38s %10.1f %10.3f %10.3f %10llu\n", name.c_str(),
+              r.throughput, r.latency_p50, r.latency_p95,
+              (unsigned long long)r.committed);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool full = HasFlag(argc, argv, "--full");
+  double duration = full ? 120 : 60;
+
+  const char* consensus[] = {"pow", "poa", "pbft", "tendermint", "raft"};
+  const char* trees[] = {"trie", "bucket"};
+  std::vector<const char*> engines = {"evm", "native"};
+  if (full) engines.push_back("noop");
+
+  PrintHeader("Layer ablation: consensus x state tree x execution, YCSB 4/4");
+  std::printf("%-38s %10s %10s %10s %10s\n", "stack", "tput tx/s", "p50 (s)",
+              "p95 (s)", "committed");
+
+  for (const char* c : consensus) {
+    for (const char* t : trees) {
+      for (const char* e : engines) {
+        std::string spec = std::string(c) + "+" + t + "+" + e;
+        auto options = platform::StackOptionsFromString(spec);
+        if (!options.ok()) {
+          std::fprintf(stderr, "skip %s: %s\n", spec.c_str(),
+                       options.status().ToString().c_str());
+          continue;
+        }
+        PrintRow(spec, RunStack(*options, duration));
+      }
+    }
+    std::printf("\n");
+  }
+
+  PrintHeader("Canonical registry stacks (calibrated models), same load");
+  for (const auto& name : platform::PlatformRegistry::Instance().Names()) {
+    auto options = platform::PlatformRegistry::Instance().Make(name);
+    PrintRow(name + " (" + platform::ToString(options->stack) + ")",
+             RunStack(*options, duration));
+  }
+  return 0;
+}

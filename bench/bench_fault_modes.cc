@@ -23,12 +23,6 @@ namespace {
 const char* kAllPlatforms[] = {"ethereum", "parity", "hyperledger", "erisdb",
                                "corda"};
 
-platform::PlatformOptions OptionsForExt(const std::string& name) {
-  if (name == "erisdb") return platform::ErisDbOptions();
-  if (name == "corda") return platform::CordaOptions();
-  return OptionsFor(name);
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -41,7 +35,7 @@ int main(int argc, char** argv) {
   for (const char* p : kAllPlatforms) {
     for (double delay : {0.0, 0.05, 0.2, 0.5}) {
       MacroConfig cfg;
-      cfg.options = OptionsForExt(p);
+      cfg.options = OptionsFor(p);
       cfg.rate = 40;
       cfg.duration = duration;
       MacroRun run(cfg);
@@ -63,7 +57,7 @@ int main(int argc, char** argv) {
   for (const char* p : kAllPlatforms) {
     for (double frac : {0.0, 0.02, 0.10, 0.25}) {
       MacroConfig cfg;
-      cfg.options = OptionsForExt(p);
+      cfg.options = OptionsFor(p);
       cfg.rate = 40;
       cfg.duration = duration;
       MacroRun run(cfg);

@@ -12,6 +12,7 @@
 
 #include "core/driver.h"
 #include "platform/platform.h"
+#include "platform/registry.h"
 #include "workloads/donothing.h"
 #include "workloads/smallbank.h"
 #include "workloads/ycsb.h"
@@ -29,12 +30,16 @@ inline const char* WorkloadName(WorkloadKind w) {
   return "?";
 }
 
+/// Resolves a registered platform name or a "pbft+trie+evm"-style stack
+/// spec via the PlatformRegistry.
 inline platform::PlatformOptions OptionsFor(const std::string& name) {
-  if (name == "ethereum") return platform::EthereumOptions();
-  if (name == "parity") return platform::ParityOptions();
-  if (name == "hyperledger") return platform::HyperledgerOptions();
-  std::fprintf(stderr, "unknown platform %s\n", name.c_str());
-  std::abort();
+  auto opts = platform::StackOptionsFromString(name);
+  if (!opts.ok()) {
+    std::fprintf(stderr, "unknown platform %s: %s\n", name.c_str(),
+                 opts.status().ToString().c_str());
+    std::abort();
+  }
+  return *opts;
 }
 
 inline const char* kPlatforms[] = {"ethereum", "parity", "hyperledger"};

@@ -3,61 +3,25 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-
-#include "storage/memkv.h"
+#include <cstdio>
+#include <cstdlib>
 
 namespace bb::platform {
 
-namespace {
-chain::Block MakeGenesis() {
-  chain::Block g;  // all-zero header; identical on every node
-  return g;
-}
-}  // namespace
-
 PlatformNode::PlatformNode(sim::NodeId id, sim::Network* network,
                            PlatformOptions options, uint64_t seed)
-    : sim::Node(id, network),
-      options_(std::move(options)),
-      chain_(MakeGenesis()),
-      interpreter_(options_.vm) {
-  switch (options_.state_model) {
-    case StateModelKind::kTrieDisk:
-      // The disk store is modelled as an unbounded MemKv unless a data
-      // dir is configured; the IOHeavy experiment builds DiskKv directly.
-      store_ = std::make_unique<storage::MemKv>(0);
-      state_ = std::make_unique<chain::TrieStateDb>(store_.get(),
-                                                    options_.trie_cache_entries);
-      break;
-    case StateModelKind::kTrieMem:
-      store_ = std::make_unique<storage::MemKv>(options_.state_mem_capacity);
-      state_ = std::make_unique<chain::TrieStateDb>(store_.get(),
-                                                    options_.trie_cache_entries);
-      break;
-    case StateModelKind::kBucketDisk:
-      store_ = std::make_unique<storage::MemKv>(0);
-      state_ = std::make_unique<chain::BucketStateDb>(store_.get());
-      break;
+    : sim::Node(id, network), options_(std::move(options)) {
+  auto stack =
+      LayerStack::Build(options_, seed, "node" + std::to_string(id));
+  if (!stack.ok()) {
+    // Platform::Validate() rejects bad specs before nodes are built, so
+    // only environment failures (disk backend I/O) reach here.
+    std::fprintf(stderr, "layer stack assembly failed: %s\n",
+                 stack.status().ToString().c_str());
+    std::abort();
   }
-  switch (options_.consensus) {
-    case ConsensusKind::kPow:
-      engine_ = std::make_unique<consensus::ProofOfWork>(options_.pow, seed);
-      break;
-    case ConsensusKind::kPoa:
-      engine_ = std::make_unique<consensus::ProofOfAuthority>(options_.poa);
-      break;
-    case ConsensusKind::kPbft:
-      engine_ = std::make_unique<consensus::Pbft>(options_.pbft);
-      break;
-    case ConsensusKind::kTendermint:
-      engine_ =
-          std::make_unique<consensus::Tendermint>(options_.tendermint);
-      break;
-    case ConsensusKind::kRaft:
-      engine_ = std::make_unique<consensus::Raft>(options_.raft, seed);
-      break;
-  }
-  exec_block_hash_ = chain_.head();
+  stack_ = std::move(*stack);
+  exec_block_hash_ = chain().head();
   if (options_.consensus_channel_capacity > 0) {
     SetInboxClassLimit("pbft_", options_.consensus_channel_capacity);
   }
@@ -67,47 +31,31 @@ PlatformNode::~PlatformNode() = default;
 
 Status PlatformNode::DeployContract(const std::string& name,
                                     const vm::Program& program) {
-  if (contracts_.count(name)) {
-    return Status::InvalidArgument("contract exists: " + name);
-  }
-  DeployedContract c;
-  c.engine = ExecEngineKind::kEvm;
-  c.program = program;
-  contracts_.emplace(name, std::move(c));
-  return Status::Ok();
+  return stack_->execution().DeployProgram(name, program);
 }
 
 Status PlatformNode::DeployChaincode(const std::string& name,
                                      const std::string& registered_as) {
-  if (contracts_.count(name)) {
-    return Status::InvalidArgument("contract exists: " + name);
-  }
-  auto cc = vm::ChaincodeRegistry::Instance().Create(registered_as);
-  if (!cc.ok()) return cc.status();
-  DeployedContract c;
-  c.engine = ExecEngineKind::kNative;
-  c.chaincode = std::move(*cc);
-  contracts_.emplace(name, std::move(c));
-  return Status::Ok();
+  return stack_->execution().DeployChaincode(name, registered_as);
 }
 
 Status PlatformNode::PreloadState(const std::string& contract,
                                   const std::string& key,
                                   const std::string& value) {
-  return state_->Put(contract, key, value);
+  return state().Put(contract, key, value);
 }
 
 Status PlatformNode::FinalizeGenesis() {
-  auto root = state_->Commit();
+  auto root = state().Commit();
   if (!root.ok()) return root.status();
-  block_state_roots_[chain_.head()] = *root;
+  block_state_roots_[chain().head()] = *root;
   return Status::Ok();
 }
 
 Status PlatformNode::DirectCommit(const std::vector<chain::Transaction>& txs) {
   chain::Block b;
-  b.header.parent = chain_.head();
-  b.header.height = chain_.head_height() + 1;
+  b.header.parent = chain().head();
+  b.header.height = chain().head_height() + 1;
   b.header.timestamp = Now();
   b.txs = txs;
   b.SealTxRoot();
@@ -116,11 +64,11 @@ Status PlatformNode::DirectCommit(const std::vector<chain::Transaction>& txs) {
   return Status::Ok();
 }
 
-void PlatformNode::Start() { engine_->Start(this); }
+void PlatformNode::Start() { engine().Start(this); }
 
-void PlatformNode::OnCrash() { engine_->OnCrash(); }
+void PlatformNode::OnCrash() { engine().OnCrash(); }
 
-void PlatformNode::OnRestart() { engine_->OnRestart(); }
+void PlatformNode::OnRestart() { engine().OnRestart(); }
 
 void PlatformNode::HostBroadcast(const std::string& type, std::any payload,
                                  uint64_t size_bytes) {
@@ -139,7 +87,7 @@ bool PlatformNode::HostSend(sim::NodeId to, const std::string& type,
 
 double PlatformNode::HandleMessage(const sim::Message& msg) {
   double cpu = 0;
-  if (engine_->HandleMessage(msg, &cpu)) return cpu;
+  if (engine().HandleMessage(msg, &cpu)) return cpu;
   if (msg.type == "client_tx") return HandleClientTx(msg);
   if (msg.type == "gossip_tx") return HandleGossipTx(msg);
   if (msg.type.starts_with("rpc_")) return HandleRpc(msg);
@@ -171,7 +119,7 @@ double PlatformNode::HandleClientTx(const sim::Message& msg) {
   if (options_.gossip_txs) {
     HostBroadcast("gossip_tx", m, m.tx.SizeBytes());
   }
-  engine_->OnNewTransactions();
+  engine().OnNewTransactions();
   return cpu;
 }
 
@@ -184,19 +132,19 @@ double PlatformNode::HandleGossipTx(const sim::Message& msg) {
       pool_.pending() >= options_.tx_pool_capacity) {
     return cpu;
   }
-  if (pool_.Add(m.tx)) engine_->OnNewTransactions();
+  if (pool_.Add(m.tx)) engine().OnNewTransactions();
   return cpu;
 }
 
 uint64_t PlatformNode::ConfirmedHeight() const {
-  uint64_t h = chain_.head_height();
+  uint64_t h = chain().head_height();
   return h > options_.confirmation_depth ? h - options_.confirmation_depth : 0;
 }
 
 BlockPtr PlatformNode::CachedBlockPtr(const Hash256& hash) {
   auto it = block_ptr_cache_.find(hash);
   if (it != block_ptr_cache_.end()) return it->second;
-  const chain::Block* b = chain_.GetBlock(hash);
+  const chain::Block* b = chain().GetBlock(hash);
   if (b == nullptr) return nullptr;
   auto ptr = std::make_shared<const chain::Block>(*b);
   block_ptr_cache_.emplace(hash, ptr);
@@ -214,7 +162,7 @@ double PlatformNode::HandleRpc(const sim::Message& msg) {
     reply.confirmed_height = ConfirmedHeight();
     uint64_t bytes = 100;
     for (const chain::Block* b :
-         chain_.CanonicalRange(m.from_height, reply.confirmed_height)) {
+         chain().CanonicalRange(m.from_height, reply.confirmed_height)) {
       BlockPtr ptr = CachedBlockPtr(b->HashOf());
       bytes += ptr->SizeBytes();
       reply.blocks.push_back(std::move(ptr));
@@ -229,7 +177,7 @@ double PlatformNode::HandleRpc(const sim::Message& msg) {
     reply.req_id = m.req_id;
     uint64_t bytes = 100;
     if (m.height <= ConfirmedHeight()) {
-      const chain::Block* b = chain_.CanonicalAt(m.height);
+      const chain::Block* b = chain().CanonicalAt(m.height);
       if (b != nullptr) {
         reply.block = CachedBlockPtr(b->HashOf());
         bytes += reply.block->SizeBytes();
@@ -242,12 +190,12 @@ double PlatformNode::HandleRpc(const sim::Message& msg) {
   if (msg.type == "rpc_getbalance") {
     const auto& m = std::any_cast<const RpcGetBalance&>(msg.payload);
     RpcBalance reply{m.req_id, false, 0};
-    const chain::Block* b = chain_.CanonicalAt(m.height);
-    if (b != nullptr && state_->supports_versioned_reads()) {
+    const chain::Block* b = chain().CanonicalAt(m.height);
+    if (b != nullptr && state().supports_versioned_reads()) {
       auto it = block_state_roots_.find(b->HashOf());
       if (it != block_state_roots_.end()) {
         std::string raw;
-        Status s = state_->GetAt(it->second, "__bal", m.account, &raw);
+        Status s = state().GetAt(it->second, "__bal", m.account, &raw);
         if (s.ok()) {
           reply.ok = true;
           reply.balance = std::strtoll(raw.c_str(), nullptr, 10);
@@ -284,28 +232,21 @@ Result<vm::Value> PlatformNode::QueryContract(const std::string& contract,
                                               const std::string& function,
                                               const vm::Args& args,
                                               double* cpu) {
-  auto it = contracts_.find(contract);
-  if (it == contracts_.end()) return Status::NotFound("no contract");
-  chain::StateHost host(state_.get(), contract);
+  ExecutionLayer& exec = stack_->execution();
+  if (!exec.HasContract(contract)) return Status::NotFound("no contract");
+  chain::StateHost host(&state(), contract);
   vm::TxContext ctx;
   ctx.sender = "query";
   ctx.function = function;
   ctx.args = args;
-  vm::ExecReceipt r;
-  if (it->second.engine == ExecEngineKind::kEvm) {
-    r = interpreter_.Execute(it->second.program, ctx, &host);
-    *cpu += options_.cost.tx_fixed_cpu +
-            double(r.gas_used) * options_.cost.seconds_per_gas;
-  } else {
-    r = native_.Execute(it->second.chaincode.get(), ctx, &host);
-    *cpu += options_.cost.tx_fixed_cpu +
-            double(r.storage_reads + r.storage_writes) *
-                options_.cost.native_op_cpu;
-  }
+  ExecOutcome out;
+  Status s = exec.Invoke(contract, ctx, &host, &out);
+  *cpu += options_.cost.tx_fixed_cpu + out.cpu;
   // Queries must not mutate state: drop any writes the call buffered.
-  state_->Abort();
-  if (!r.status.ok()) return r.status;
-  return r.return_value;
+  state().Abort();
+  if (!s.ok()) return s;
+  if (!out.receipt.status.ok()) return out.receipt.status;
+  return out.receipt.return_value;
 }
 
 std::optional<chain::Block> PlatformNode::BuildBlock(const Hash256& parent,
@@ -320,7 +261,7 @@ std::optional<chain::Block> PlatformNode::BuildBlock(const Hash256& parent,
     // is why Parity sails through the Fig 9 crash unharmed.
     double step = options_.poa.step_duration;
     double since_parent = step;
-    const chain::Block* parent_block = chain_.GetBlock(parent);
+    const chain::Block* parent_block = chain().GetBlock(parent);
     if (parent_block != nullptr && parent_block->header.height > 0) {
       since_parent = Now() - parent_block->header.timestamp;
     }
@@ -337,7 +278,7 @@ std::optional<chain::Block> PlatformNode::BuildBlock(const Hash256& parent,
   }
 
   if (options_.block_gas_limit > 0 &&
-      options_.exec_engine == ExecEngineKind::kEvm) {
+      stack_->execution().kind() == ExecEngineKind::kEvm) {
     // Gas-based packing: speculatively execute candidates against the
     // current state, stopping once the block's gas budget is spent.
     // Effects are discarded; the canonical execution happens at commit.
@@ -352,7 +293,7 @@ std::optional<chain::Block> PlatformNode::BuildBlock(const Hash256& parent,
       ++taken;
       if (gas_used >= options_.block_gas_limit) break;
     }
-    state_->Abort();
+    state().Abort();
     txs_executed_ = saved_exec;
     txs_failed_ = saved_failed;
     if (taken < batch.size()) {
@@ -377,7 +318,7 @@ std::optional<chain::Block> PlatformNode::BuildBlock(const Hash256& parent,
 }
 
 bool PlatformNode::CommitBlock(const chain::Block& block, double* cpu) {
-  auto r = chain_.AddBlock(block);
+  auto r = stack_->data().chain().AddBlock(block);
   if (r.duplicate) return true;
   if (!r.attached) return false;  // parked until the parent arrives
   if (r.head_changed) ExecuteCanonical(cpu);
@@ -387,17 +328,17 @@ bool PlatformNode::CommitBlock(const chain::Block& block, double* cpu) {
 double PlatformNode::ExecuteTx(const chain::Transaction& tx,
                                uint64_t* gas_out) {
   if (gas_out != nullptr) *gas_out = 0;
-  auto it = contracts_.find(tx.contract);
-  if (it == contracts_.end()) {
+  ExecutionLayer& exec = stack_->execution();
+  if (!exec.HasContract(tx.contract)) {
     // Plain value transfer: move balance from sender to recipient.
     if (tx.value != 0) {
-      chain::StateHost::Credit(state_.get(), tx.sender, -tx.value);
-      chain::StateHost::Credit(state_.get(), tx.contract, tx.value);
+      chain::StateHost::Credit(&state(), tx.sender, -tx.value);
+      chain::StateHost::Credit(&state(), tx.contract, tx.value);
     }
     ++txs_executed_;
     return options_.cost.tx_fixed_cpu;
   }
-  chain::StateHost host(state_.get(), tx.contract);
+  chain::StateHost host(&state(), tx.contract);
   vm::TxContext ctx;
   ctx.sender = tx.sender;
   ctx.value = tx.value;
@@ -405,21 +346,14 @@ double PlatformNode::ExecuteTx(const chain::Transaction& tx,
   ctx.args = tx.args;
   ctx.block_height = executing_height_;
 
-  double cpu = options_.cost.tx_fixed_cpu;
-  vm::ExecReceipt receipt;
-  if (it->second.engine == ExecEngineKind::kEvm) {
-    receipt = interpreter_.Execute(it->second.program, ctx, &host);
-    cpu += double(receipt.gas_used) * options_.cost.seconds_per_gas;
-    if (gas_out != nullptr) *gas_out = receipt.gas_used;
-  } else {
-    receipt = native_.Execute(it->second.chaincode.get(), ctx, &host);
-    cpu += double(receipt.storage_reads + receipt.storage_writes) *
-           options_.cost.native_op_cpu;
-  }
-  if (receipt.status.ok()) {
+  ExecOutcome out;
+  Status s = exec.Invoke(tx.contract, ctx, &host, &out);
+  double cpu = options_.cost.tx_fixed_cpu + out.cpu;
+  if (gas_out != nullptr) *gas_out = out.gas;
+  if (s.ok() && out.receipt.status.ok()) {
     ++txs_executed_;
     if (tx.value != 0) {
-      chain::StateHost::Credit(state_.get(), tx.contract, tx.value);
+      chain::StateHost::Credit(&state(), tx.contract, tx.value);
     }
   } else {
     ++txs_failed_;
@@ -428,43 +362,44 @@ double PlatformNode::ExecuteTx(const chain::Transaction& tx,
 }
 
 void PlatformNode::ExecuteCanonical(double* cpu) {
+  chain::ChainStore& chain = stack_->data().chain();
   // Rewind if the previously executed prefix left the canonical chain.
-  while (exec_height_ > 0 && !chain_.IsCanonical(exec_block_hash_)) {
-    const chain::Block* rolled = chain_.GetBlock(exec_block_hash_);
+  while (exec_height_ > 0 && !chain.IsCanonical(exec_block_hash_)) {
+    const chain::Block* rolled = chain.GetBlock(exec_block_hash_);
     assert(rolled != nullptr);
     for (const auto& tx : rolled->txs) committed_ids_.erase(tx.id);
     pool_.Requeue(rolled->txs);
     exec_block_hash_ = rolled->header.parent;
     --exec_height_;
   }
-  if (exec_height_ == 0) exec_block_hash_ = chain_.CanonicalAt(0)->HashOf();
+  if (exec_height_ == 0) exec_block_hash_ = chain.CanonicalAt(0)->HashOf();
 
   // Reset versioned state to the fork point (no-op when just extending).
-  if (state_->supports_versioned_reads()) {
+  if (state().supports_versioned_reads()) {
     auto root = block_state_roots_.find(exec_block_hash_);
     Hash256 target = root != block_state_roots_.end()
                          ? root->second
-                         : storage::MerklePatriciaTrie::EmptyRoot();
-    if (state_->current_root() != target) state_->ResetTo(target);
+                         : stack_->data().empty_state_root();
+    if (state().current_root() != target) state().ResetTo(target);
   }
 
   // Execute forward along the canonical chain.
-  uint64_t head = chain_.head_height();
+  uint64_t head = chain.head_height();
   for (uint64_t h = exec_height_ + 1; h <= head; ++h) {
-    const chain::Block* b = chain_.CanonicalAt(h);
+    const chain::Block* b = chain.CanonicalAt(h);
     assert(b != nullptr);
     executing_height_ = h;
     for (const auto& tx : b->txs) {
       *cpu += ExecuteTx(tx);
       committed_ids_.insert(tx.id);
     }
-    auto root = state_->Commit();
+    auto root = state().Commit();
     if (root.ok()) {
       block_state_roots_[b->HashOf()] = *root;
     } else {
       // Out-of-memory state (Parity at scale): the writes are lost but
       // the chain advances; record the stall.
-      state_->Abort();
+      state().Abort();
     }
     pool_.RemoveCommitted(b->txs);
     exec_height_ = h;

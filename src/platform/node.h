@@ -1,26 +1,24 @@
-// PlatformNode: one server of a platform model — the assembly of tx pool,
-// chain store, state DB, execution engine and consensus engine behind the
-// client-facing submission/RPC interface.
+// PlatformNode: one server of a platform model — glue between the
+// simulated network and an assembled LayerStack. The node owns the tx
+// pool and the client-facing submission/RPC interface, and forwards
+// sim::Node / consensus::ConsensusHost callbacks into its stack's
+// consensus, data and execution layers.
 
 #ifndef BLOCKBENCH_PLATFORM_NODE_H_
 #define BLOCKBENCH_PLATFORM_NODE_H_
 
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 
-#include "chain/chain_store.h"
-#include "chain/state_db.h"
 #include "chain/txpool.h"
 #include "consensus/engine.h"
+#include "platform/layers.h"
 #include "platform/options.h"
 #include "platform/rpc.h"
 #include "sim/node.h"
-#include "vm/interpreter.h"
-#include "vm/native.h"
 
 namespace bb::platform {
 
@@ -66,7 +64,9 @@ class PlatformNode : public sim::Node, public consensus::ConsensusHost {
                                          bool allow_empty,
                                          double* build_cpu) override;
   bool CommitBlock(const chain::Block& block, double* cpu) override;
-  const chain::ChainStore& chain_store() const override { return chain_; }
+  const chain::ChainStore& chain_store() const override {
+    return stack_->data().chain();
+  }
   size_t pending_txs() const override { return pool_.pending(); }
   void RequeueTxs(std::vector<chain::Transaction> txs) override;
   void ChargeBackground(double cpu_seconds) override {
@@ -75,9 +75,10 @@ class PlatformNode : public sim::Node, public consensus::ConsensusHost {
 
   // --- Introspection -----------------------------------------------------------
   const PlatformOptions& options() const { return options_; }
-  const chain::ChainStore& chain() const { return chain_; }
-  chain::StateDb& state() { return *state_; }
-  consensus::Engine& engine() { return *engine_; }
+  LayerStack& stack() { return *stack_; }
+  const chain::ChainStore& chain() const { return stack_->data().chain(); }
+  chain::StateDb& state() { return stack_->data().state(); }
+  consensus::Engine& engine() { return stack_->consensus().engine(); }
   /// Height below which blocks count as confirmed for clients.
   uint64_t ConfirmedHeight() const;
   uint64_t txs_executed() const { return txs_executed_; }
@@ -93,12 +94,6 @@ class PlatformNode : public sim::Node, public consensus::ConsensusHost {
                                   const vm::Args& args, double* cpu);
 
  private:
-  struct DeployedContract {
-    ExecEngineKind engine;
-    vm::Program program;                     // kEvm
-    std::unique_ptr<vm::Chaincode> chaincode;  // kNative
-  };
-
   double HandleClientTx(const sim::Message& msg);
   double HandleGossipTx(const sim::Message& msg);
   double HandleRpc(const sim::Message& msg);
@@ -115,14 +110,7 @@ class PlatformNode : public sim::Node, public consensus::ConsensusHost {
   size_t num_peers_ = 1;
 
   chain::TxPool pool_;
-  chain::ChainStore chain_;
-  std::unique_ptr<storage::KvStore> store_;
-  std::unique_ptr<chain::StateDb> state_;
-  std::unique_ptr<consensus::Engine> engine_;
-  vm::Interpreter interpreter_;
-  vm::NativeRuntime native_;
-
-  std::map<std::string, DeployedContract> contracts_;
+  std::unique_ptr<LayerStack> stack_;
 
   /// Height of the block currently being executed (for TxContext).
   uint64_t executing_height_ = 0;

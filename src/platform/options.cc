@@ -2,12 +2,98 @@
 
 namespace bb::platform {
 
+const char* ToString(ConsensusKind kind) {
+  switch (kind) {
+    case ConsensusKind::kPow: return "pow";
+    case ConsensusKind::kPoa: return "poa";
+    case ConsensusKind::kPbft: return "pbft";
+    case ConsensusKind::kTendermint: return "tendermint";
+    case ConsensusKind::kRaft: return "raft";
+  }
+  return "?";
+}
+
+const char* ToString(ExecEngineKind kind) {
+  switch (kind) {
+    case ExecEngineKind::kEvm: return "evm";
+    case ExecEngineKind::kNative: return "native";
+    case ExecEngineKind::kNoop: return "noop";
+  }
+  return "?";
+}
+
+const char* ToString(StateTreeKind kind) {
+  switch (kind) {
+    case StateTreeKind::kPatriciaTrie: return "trie";
+    case StateTreeKind::kBucketTree: return "bucket";
+  }
+  return "?";
+}
+
+const char* ToString(StorageBackendKind kind) {
+  switch (kind) {
+    case StorageBackendKind::kMemKv: return "memkv";
+    case StorageBackendKind::kDiskKv: return "diskkv";
+  }
+  return "?";
+}
+
+std::string ToString(const StackSpec& spec) {
+  std::string out = ToString(spec.consensus);
+  out += '+';
+  out += ToString(spec.state_tree);
+  out += '/';
+  out += ToString(spec.storage);
+  out += '+';
+  out += ToString(spec.exec_engine);
+  return out;
+}
+
+Status PlatformOptions::Validate() const {
+  auto bad = [&](const std::string& why) {
+    return Status::InvalidArgument("platform '" + name + "' (" +
+                                   ToString(stack) + "): " + why);
+  };
+  if (block_tx_limit == 0) {
+    return bad("block_tx_limit must be at least 1");
+  }
+  if (block_gas_limit > 0 && stack.exec_engine != ExecEngineKind::kEvm) {
+    return bad(
+        "gas-based block packing (block_gas_limit) requires the EVM "
+        "execution layer; the '" +
+        std::string(ToString(stack.exec_engine)) +
+        "' layer has no gas metering");
+  }
+  if (seal_sign_cpu > 0 && stack.consensus != ConsensusKind::kPoa) {
+    return bad(
+        "the per-transaction sealing budget (seal_sign_cpu) is defined by "
+        "the PoA step duration and requires the PoA consensus layer");
+  }
+  if (seal_budget_fraction <= 0 || seal_budget_fraction > 1) {
+    return bad("seal_budget_fraction must be in (0, 1]");
+  }
+  if (consensus_channel_capacity > 0 &&
+      stack.consensus != ConsensusKind::kPbft) {
+    return bad(
+        "consensus_channel_capacity bounds the \"pbft_*\" message class "
+        "and requires the PBFT consensus layer");
+  }
+  if (stack.storage == StorageBackendKind::kDiskKv && data_dir.empty()) {
+    return bad("the diskkv storage backend requires a non-empty data_dir");
+  }
+  if (admission_rate_limit < 0) {
+    return bad("admission_rate_limit must be >= 0");
+  }
+  return Status::Ok();
+}
+
 PlatformOptions EthereumOptions() {
   PlatformOptions o;
   o.name = "ethereum";
-  o.consensus = ConsensusKind::kPow;
-  o.exec_engine = ExecEngineKind::kEvm;
-  o.state_model = StateModelKind::kTrieDisk;
+  o.stack.consensus = ConsensusKind::kPow;
+  o.stack.exec_engine = ExecEngineKind::kEvm;
+  o.stack.state_tree = StateTreeKind::kPatriciaTrie;
+  o.stack.storage = StorageBackendKind::kMemKv;
 
   o.pow.base_block_interval = 2.5;  // the paper's tuned genesis difficulty
   o.pow.reference_nodes = 8;
@@ -42,9 +128,10 @@ PlatformOptions EthereumOptions() {
 PlatformOptions ParityOptions() {
   PlatformOptions o;
   o.name = "parity";
-  o.consensus = ConsensusKind::kPoa;
-  o.exec_engine = ExecEngineKind::kEvm;
-  o.state_model = StateModelKind::kTrieMem;
+  o.stack.consensus = ConsensusKind::kPoa;
+  o.stack.exec_engine = ExecEngineKind::kEvm;
+  o.stack.state_tree = StateTreeKind::kPatriciaTrie;
+  o.stack.storage = StorageBackendKind::kMemKv;
 
   o.poa.step_duration = 1.0;  // the paper sets stepDuration = 1
 
@@ -81,9 +168,10 @@ PlatformOptions ParityOptions() {
 PlatformOptions HyperledgerOptions() {
   PlatformOptions o;
   o.name = "hyperledger";
-  o.consensus = ConsensusKind::kPbft;
-  o.exec_engine = ExecEngineKind::kNative;
-  o.state_model = StateModelKind::kBucketDisk;
+  o.stack.consensus = ConsensusKind::kPbft;
+  o.stack.exec_engine = ExecEngineKind::kNative;
+  o.stack.state_tree = StateTreeKind::kBucketTree;
+  o.stack.storage = StorageBackendKind::kMemKv;
 
   o.pbft.batch_size = 500;  // the paper's default batchSize
   o.pbft.view_timeout = 3.0;
@@ -115,9 +203,10 @@ PlatformOptions HyperledgerOptions() {
 PlatformOptions ErisDbOptions() {
   PlatformOptions o;
   o.name = "erisdb";
-  o.consensus = ConsensusKind::kTendermint;
-  o.exec_engine = ExecEngineKind::kEvm;  // ErisDB runs Solidity on an EVM
-  o.state_model = StateModelKind::kTrieDisk;
+  o.stack.consensus = ConsensusKind::kTendermint;
+  o.stack.exec_engine = ExecEngineKind::kEvm;  // ErisDB runs Solidity on an EVM
+  o.stack.state_tree = StateTreeKind::kPatriciaTrie;
+  o.stack.storage = StorageBackendKind::kMemKv;
 
   o.tendermint.batch_size = 500;
   o.tendermint.round_timeout = 2.0;
@@ -137,11 +226,12 @@ PlatformOptions ErisDbOptions() {
 PlatformOptions CordaOptions() {
   PlatformOptions o;
   o.name = "corda";
-  o.consensus = ConsensusKind::kRaft;
+  o.stack.consensus = ConsensusKind::kRaft;
   // Corda runs contracts on the JVM; native-class execution speed and a
   // flat state model are the closest fit in this framework.
-  o.exec_engine = ExecEngineKind::kNative;
-  o.state_model = StateModelKind::kBucketDisk;
+  o.stack.exec_engine = ExecEngineKind::kNative;
+  o.stack.state_tree = StateTreeKind::kBucketTree;
+  o.stack.storage = StorageBackendKind::kMemKv;
 
   o.raft.batch_size = 500;
   o.block_tx_limit = 500;

@@ -1,6 +1,8 @@
-// Platform configuration: one options struct per layer, with factory
-// functions producing the calibrated Ethereum / Parity / Hyperledger
-// models the benchmarks run against.
+// Platform configuration: a declarative layer-stack description plus one
+// options struct per layer, with factory functions producing the
+// calibrated Ethereum / Parity / Hyperledger / ErisDB / Corda models the
+// benchmarks run against. The factories are registered by name in the
+// PlatformRegistry (platform/registry.h).
 
 #ifndef BLOCKBENCH_PLATFORM_OPTIONS_H_
 #define BLOCKBENCH_PLATFORM_OPTIONS_H_
@@ -13,13 +15,50 @@
 #include "consensus/poa.h"
 #include "consensus/pow.h"
 #include "sim/network.h"
+#include "util/status.h"
 #include "vm/interpreter.h"
 
 namespace bb::platform {
 
+// The paper's layer taxonomy (§3): each axis below is one independently
+// swappable layer, assembled into a LayerStack (platform/layers.h).
+
+/// Consensus layer: which agreement protocol orders blocks.
 enum class ConsensusKind { kPow, kPoa, kPbft, kTendermint, kRaft };
-enum class ExecEngineKind { kEvm, kNative };
-enum class StateModelKind { kTrieDisk, kTrieMem, kBucketDisk };
+/// Execution layer: how deployed contracts run. kNoop accepts any deploy
+/// and executes nothing — the consensus/data ablation baseline.
+enum class ExecEngineKind { kEvm, kNative, kNoop };
+/// Data layer, authenticated-structure axis: Patricia-Merkle trie
+/// (Ethereum/Parity; versioned reads) vs bucket-Merkle tree (Hyperledger;
+/// mutable in place).
+enum class StateTreeKind { kPatriciaTrie, kBucketTree };
+/// Data layer, backing-store axis: in-memory KV (capacity-bounded via
+/// state_mem_capacity) vs the append-log disk store (needs data_dir).
+enum class StorageBackendKind { kMemKv, kDiskKv };
+
+const char* ToString(ConsensusKind kind);
+const char* ToString(ExecEngineKind kind);
+const char* ToString(StateTreeKind kind);
+const char* ToString(StorageBackendKind kind);
+
+/// Declarative stack description: which concrete layer fills each slot.
+/// The five canonical platforms are just named StackSpec values plus
+/// calibration; mix-and-match specs (e.g. PBFT over the Ethereum data
+/// model) are equally valid — see registry.h.
+struct StackSpec {
+  ConsensusKind consensus = ConsensusKind::kPow;
+  StateTreeKind state_tree = StateTreeKind::kPatriciaTrie;
+  StorageBackendKind storage = StorageBackendKind::kMemKv;
+  ExecEngineKind exec_engine = ExecEngineKind::kEvm;
+
+  bool operator==(const StackSpec& o) const {
+    return consensus == o.consensus && state_tree == o.state_tree &&
+           storage == o.storage && exec_engine == o.exec_engine;
+  }
+};
+
+/// "pbft+bucket/memkv+native"-style rendering of a stack.
+std::string ToString(const StackSpec& spec);
 
 /// Maps execution receipts to virtual CPU seconds, so contract cost shows
 /// up in throughput/latency the way it did on the paper's testbed.
@@ -36,9 +75,8 @@ struct ExecCostModel {
 
 struct PlatformOptions {
   std::string name = "ethereum";
-  ConsensusKind consensus = ConsensusKind::kPow;
-  ExecEngineKind exec_engine = ExecEngineKind::kEvm;
-  StateModelKind state_model = StateModelKind::kTrieDisk;
+  /// Which concrete layer fills each slot of the stack.
+  StackSpec stack;
 
   consensus::PowConfig pow;
   consensus::PoaConfig poa;
@@ -95,16 +133,23 @@ struct PlatformOptions {
   ExecCostModel cost;
 
   /// State ------------------------------------------------------------------
-  /// Memory capacity for the in-memory state model (Parity); 0 = unlimited.
+  /// Memory capacity for the in-memory state backend (Parity); 0 = unlimited.
   uint64_t state_mem_capacity = 0;
   /// Trie node cache entries (Ethereum caches part of the state).
   size_t trie_cache_entries = 1 << 16;
-  /// Directory for disk-backed state stores; empty = keep state in memory
-  /// (macro benches) — IOHeavy passes a real directory.
+  /// Directory for the disk-backed state backend (StorageBackendKind::kDiskKv);
+  /// must be non-empty when that backend is selected.
   std::string data_dir;
 
   /// RPC --------------------------------------------------------------------
   double rpc_request_cpu = 2e-4;
+
+  /// Rejects inconsistent layer combinations (gas-based packing on a
+  /// non-EVM execution layer, a sealing budget without PoA, a disk
+  /// backend without a data_dir, ...) with a message naming the conflict.
+  /// Called by the Platform constructor — invalid stacks fail loudly at
+  /// assembly instead of silently falling back.
+  Status Validate() const;
 };
 
 /// geth v1.4.18-like model: PoW, EVM with heavyweight dispatch and boxed

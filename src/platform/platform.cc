@@ -1,5 +1,8 @@
 #include "platform/platform.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "vm/assembler.h"
 
 namespace bb::platform {
@@ -7,6 +10,14 @@ namespace bb::platform {
 Platform::Platform(sim::Simulation* sim, PlatformOptions options,
                    size_t num_servers, uint64_t seed)
     : sim_(sim), options_(std::move(options)) {
+  // Fail loudly on inconsistent layer combinations instead of silently
+  // falling back — every stack a Platform runs has passed Validate().
+  Status valid = options_.Validate();
+  if (!valid.ok()) {
+    std::fprintf(stderr, "invalid platform options: %s\n",
+                 valid.ToString().c_str());
+    std::abort();
+  }
   network_ = std::make_unique<sim::Network>(sim_, options_.net);
   Rng seeder(seed);
   for (size_t i = 0; i < num_servers; ++i) {
@@ -37,10 +48,16 @@ Status Platform::DeployChaincode(const std::string& name,
 Status Platform::DeployWorkloadContract(const std::string& name,
                                         const std::string& casm,
                                         const std::string& chaincode_name) {
-  if (options_.exec_engine == ExecEngineKind::kNative) {
-    return DeployChaincode(name, chaincode_name);
+  switch (options_.stack.exec_engine) {
+    case ExecEngineKind::kEvm:
+      return DeployContract(name, casm);
+    case ExecEngineKind::kNative:
+    case ExecEngineKind::kNoop:
+      // The noop layer accepts the chaincode deploy shape (no assembly
+      // needed) and executes nothing.
+      return DeployChaincode(name, chaincode_name);
   }
-  return DeployContract(name, casm);
+  return Status::InvalidArgument("unknown execution engine kind");
 }
 
 Status Platform::PreloadState(const std::string& contract,

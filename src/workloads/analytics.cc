@@ -16,8 +16,8 @@ std::string AnalyticsHotAccount() { return AccountName(0); }
 Status SetupAnalyticsChain(platform::Platform* platform,
                            const AnalyticsConfig& config) {
   RegisterAllChaincodes();
-  bool native =
-      platform->options().exec_engine == platform::ExecEngineKind::kNative;
+  bool native = platform->options().stack.exec_engine ==
+                platform::ExecEngineKind::kNative;
   if (native) {
     BB_RETURN_IF_ERROR(
         platform->DeployChaincode("analytics", kVersionKvChaincode));

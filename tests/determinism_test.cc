@@ -6,6 +6,7 @@
 
 #include "core/driver.h"
 #include "platform/platform.h"
+#include "platform/registry.h"
 #include "vm/assembler.h"
 #include "vm/disasm.h"
 #include "vm/interpreter.h"
@@ -83,6 +84,82 @@ TEST_P(DeterminismTest, DifferentSeedDifferentTrace) {
 INSTANTIATE_TEST_SUITE_P(Platforms, DeterminismTest,
                          testing::Values("ethereum", "parity", "hyperledger",
                                          "erisdb", "corda"));
+
+// --- Stack digests: the layer refactor must not move a single byte ---------------
+
+struct GoldenDigest {
+  const char* head_hex;
+  uint64_t height;
+  uint64_t committed;
+};
+
+// Captured from the pre-refactor monolithic PlatformNode (same RunOnce
+// recipe, seed 12345). Any change to consensus scheduling, block
+// packing, state hashing, or execution costs shows up here first.
+const std::pair<const char*, GoldenDigest> kCanonicalDigests[] = {
+    {"ethereum",
+     {"8c18a30b8056fa3ad7b2b215a460f8eb85871f154e907f212cbf2c380fe9e55b", 20u,
+      1742u}},
+    {"parity",
+     {"8ce89a333c273bc12d27504bfed0556ae85eaa29eff3eef4ecdc9e2fe26ba548", 54u,
+      1329u}},
+    {"hyperledger",
+     {"21646f1129a0263c6a41bef75a763d04fcbe0b4a2f8abb0ed1cdeed70117cf5e", 80u,
+      1800u}},
+    {"erisdb",
+     {"8116d840675c846ee0fdad8475a8d27d1fd247a6b6fe8ec910ff07f8344a3cd2", 181u,
+      1800u}},
+    {"corda",
+     {"6e0f09ea2d05532da7459238b5c7632d863d32c9e7d6f866f4fe51ea6d8f49d2", 77u,
+      1800u}},
+};
+
+TEST(StackDigestTest, CanonicalStacksMatchPreRefactorGoldens) {
+  for (const auto& [name, golden] : kCanonicalDigests) {
+    auto opts = platform::PlatformRegistry::Instance().Make(name);
+    ASSERT_TRUE(opts.ok()) << name;
+
+    uint64_t seed = 12345;
+    sim::Simulation sim(seed);
+    platform::Platform p(&sim, *opts, 4);
+    workloads::YcsbConfig yc;
+    yc.record_count = 300;
+    workloads::YcsbWorkload wl(yc);
+    ASSERT_TRUE(wl.Setup(&p).ok()) << name;
+    core::DriverConfig dc;
+    dc.num_clients = 3;
+    dc.request_rate = 15;
+    dc.duration = 40;
+    dc.drain = 15;
+    dc.seed = seed * 31 + 1;
+    core::Driver d(&p, &wl, dc);
+    d.Run();
+
+    EXPECT_EQ(p.node(0).chain().head().ToHex(), golden.head_hex) << name;
+    EXPECT_EQ(p.node(0).chain().head_height(), golden.height) << name;
+    EXPECT_EQ(d.stats().total_committed(), golden.committed) << name;
+  }
+}
+
+// Mix-and-match stacks — combinations no canonical platform ships — must
+// be just as deterministic as the calibrated models.
+
+class MixAndMatchDeterminismTest : public testing::TestWithParam<const char*> {
+};
+
+TEST_P(MixAndMatchDeterminismTest, SameSeedSameOutcome) {
+  auto opts = platform::StackOptionsFromString(GetParam());
+  ASSERT_TRUE(opts.ok()) << opts.status().ToString();
+  Outcome a = RunOnce(*opts, 777);
+  Outcome b = RunOnce(*opts, 777);
+  EXPECT_TRUE(a == b) << GetParam();
+  EXPECT_GT(a.committed, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Stacks, MixAndMatchDeterminismTest,
+                         testing::Values("pbft+trie+evm", "pow+bucket+native",
+                                         "tendermint+bucket+evm",
+                                         "raft+trie+native"));
 
 // --- Disassembler round-trip -------------------------------------------------------
 

@@ -9,6 +9,7 @@
 #include "consensus/pbft.h"
 #include "core/driver.h"
 #include "platform/platform.h"
+#include "platform/registry.h"
 #include "workloads/donothing.h"
 #include "workloads/smallbank.h"
 #include "workloads/ycsb.h"
@@ -337,6 +338,135 @@ TEST(PlatformE2E, ParityThroughputConstantUnderLoad) {
   // And the server pushes excess load back to the client.
   EXPECT_GT(high.report.rejected, 0u);
 }
+
+// --- Platform registry and layer stacks -----------------------------------------
+
+TEST(PlatformRegistryTest, CanonicalPlatformsRegistered) {
+  auto& reg = platform::PlatformRegistry::Instance();
+  for (const char* name :
+       {"ethereum", "parity", "hyperledger", "erisdb", "corda"}) {
+    EXPECT_TRUE(reg.Contains(name)) << name;
+    auto opts = reg.Make(name);
+    ASSERT_TRUE(opts.ok()) << name;
+    EXPECT_EQ(opts->name, name);
+    EXPECT_TRUE(opts->Validate().ok()) << name;
+  }
+  EXPECT_EQ(reg.Names().size(), reg.definitions().size());
+}
+
+TEST(PlatformRegistryTest, CanonicalStackSpecs) {
+  auto& reg = platform::PlatformRegistry::Instance();
+  EXPECT_EQ(platform::ToString(reg.Make("ethereum")->stack),
+            "pow+trie/memkv+evm");
+  EXPECT_EQ(platform::ToString(reg.Make("parity")->stack),
+            "poa+trie/memkv+evm");
+  EXPECT_EQ(platform::ToString(reg.Make("hyperledger")->stack),
+            "pbft+bucket/memkv+native");
+  EXPECT_EQ(platform::ToString(reg.Make("erisdb")->stack),
+            "tendermint+trie/memkv+evm");
+  EXPECT_EQ(platform::ToString(reg.Make("corda")->stack),
+            "raft+bucket/memkv+native");
+}
+
+TEST(PlatformRegistryTest, UnknownPlatformIsNotFound) {
+  auto opts = platform::PlatformRegistry::Instance().Make("quorum");
+  ASSERT_FALSE(opts.ok());
+  EXPECT_EQ(opts.status().code(), StatusCode::kNotFound);
+  // The error should tell the user what IS available.
+  EXPECT_NE(opts.status().ToString().find("ethereum"), std::string::npos);
+}
+
+TEST(PlatformRegistryTest, RegisterRejectsDuplicatesAndInvalid) {
+  auto& reg = platform::PlatformRegistry::Instance();
+  EXPECT_FALSE(
+      reg.Register({"ethereum", "dup", platform::EthereumOptions}).ok());
+  EXPECT_FALSE(reg.Register({"", "empty", platform::EthereumOptions}).ok());
+  // A definition whose options fail Validate() must be refused.
+  EXPECT_FALSE(reg.Register({"broken", "invalid", [] {
+                               auto o = platform::EthereumOptions();
+                               o.block_tx_limit = 0;
+                               return o;
+                             }}).ok());
+  EXPECT_FALSE(reg.Contains("broken"));
+}
+
+TEST(PlatformRegistryTest, StackSpecStringsParse) {
+  auto opts = platform::StackOptionsFromString("pbft+trie+evm");
+  ASSERT_TRUE(opts.ok());
+  EXPECT_EQ(opts->stack.consensus, platform::ConsensusKind::kPbft);
+  EXPECT_EQ(opts->stack.state_tree, platform::StateTreeKind::kPatriciaTrie);
+  EXPECT_EQ(opts->stack.storage, platform::StorageBackendKind::kMemKv);
+  EXPECT_EQ(opts->stack.exec_engine, platform::ExecEngineKind::kEvm);
+
+  auto with_backend =
+      platform::StackOptionsFromString("pow+bucket/memkv+native");
+  ASSERT_TRUE(with_backend.ok());
+  EXPECT_EQ(with_backend->stack.storage, platform::StorageBackendKind::kMemKv);
+
+  EXPECT_FALSE(platform::StackOptionsFromString("pbft+evm").ok());
+  EXPECT_FALSE(platform::StackOptionsFromString("paxos+trie+evm").ok());
+  EXPECT_FALSE(platform::StackOptionsFromString("pbft+btree+evm").ok());
+  EXPECT_FALSE(platform::StackOptionsFromString("pbft+trie+wasm").ok());
+}
+
+TEST(PlatformOptionsTest, ValidateRejectsInconsistentLayers) {
+  // Gas limits belong to the EVM layer.
+  auto o = platform::HyperledgerOptions();
+  o.block_gas_limit = 1000000;
+  EXPECT_FALSE(o.Validate().ok());
+
+  // Seal signing is the PoA bottleneck stage; meaningless elsewhere.
+  o = platform::HyperledgerOptions();
+  o.seal_sign_cpu = 0.001;
+  EXPECT_FALSE(o.Validate().ok());
+
+  // Bounded consensus channels model PBFT inbox backpressure only.
+  o = platform::EthereumOptions();
+  o.consensus_channel_capacity = 30;
+  EXPECT_FALSE(o.Validate().ok());
+
+  // DiskKv needs somewhere to put its log.
+  o = platform::EthereumOptions();
+  o.stack.storage = platform::StorageBackendKind::kDiskKv;
+  o.data_dir.clear();
+  EXPECT_FALSE(o.Validate().ok());
+
+  // Empty blocks make no progress.
+  o = platform::EthereumOptions();
+  o.block_tx_limit = 0;
+  EXPECT_FALSE(o.Validate().ok());
+
+  // The messages must name the platform so multi-platform sweeps are
+  // debuggable.
+  o = platform::ParityOptions();
+  o.block_tx_limit = 0;
+  EXPECT_NE(o.Validate().ToString().find("parity"), std::string::npos);
+}
+
+TEST(PlatformOptionsTest, CanonicalOptionsValidate) {
+  for (auto opts :
+       {EthereumOptions(), ParityOptions(), HyperledgerOptions(),
+        platform::ErisDbOptions(), platform::CordaOptions()}) {
+    EXPECT_TRUE(opts.Validate().ok()) << opts.name;
+  }
+}
+
+// Mix-and-match smoke: stacks no real platform ships must still run the
+// full YCSB pipeline end-to-end and keep replicas consistent.
+
+class MixAndMatchE2E : public testing::TestWithParam<const char*> {};
+
+TEST_P(MixAndMatchE2E, RunsYcsbEndToEnd) {
+  auto opts = platform::StackOptionsFromString(GetParam());
+  ASSERT_TRUE(opts.ok()) << opts.status().ToString();
+  auto r = RunYcsb(*opts, 4, 4, 20, 60);
+  EXPECT_GT(r.report.committed, 100u) << GetParam();
+  ExpectConsistentReplicas(*r.platform);
+}
+
+INSTANTIATE_TEST_SUITE_P(Stacks, MixAndMatchE2E,
+                         testing::Values("pbft+trie+evm", "pow+bucket+native",
+                                         "tendermint+bucket+evm"));
 
 TEST(PlatformE2E, DoNothingCommitsEverywhere) {
   for (auto opts : {EthereumOptions(), ParityOptions(), HyperledgerOptions()}) {

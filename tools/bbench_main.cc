@@ -21,6 +21,7 @@
 
 #include "core/driver.h"
 #include "platform/platform.h"
+#include "platform/registry.h"
 #include "workloads/donothing.h"
 #include "workloads/doubler.h"
 #include "workloads/etherid.h"
@@ -51,7 +52,9 @@ struct Args {
 
 void Usage() {
   std::fprintf(stderr, R"(usage: bbench [options]
-  --platform=ethereum|parity|hyperledger|erisdb|corda
+  --platform=NAME or a layer-stack spec "consensus+tree[/backend]+exec"
+             (e.g. --platform=hyperledger or --platform=pbft+trie+evm;
+              --list-platforms shows the registry)
   --workload=ycsb|smallbank|etherid|doubler|wavespresale|donothing
   --servers=N --clients=N --rate=TXS --duration=SEC --warmup=SEC
   --max-outstanding=N (closed-loop window; 0 = open loop)
@@ -59,6 +62,7 @@ void Usage() {
   --crash=ID@T (repeatable)  --partition=T0:T1
   --delay=SEC  --corrupt=PROB
   --timeline (print committed tx per second)
+  --list-platforms (print the platform registry and exit)
 )");
 }
 
@@ -98,6 +102,13 @@ bool Parse(int argc, char** argv, Args* a) {
       a->partition_end = std::atof(v.substr(colon + 1).c_str());
     } else if (s == "--timeline") {
       a->timeline = true;
+    } else if (s == "--list-platforms") {
+      for (const auto& [name, def] :
+           platform::PlatformRegistry::Instance().definitions()) {
+        std::fprintf(stderr, "  %-12s %s\n", name.c_str(),
+                     def.description.c_str());
+      }
+      std::exit(0);
     } else if (s == "--help" || s == "-h") {
       return false;
     } else {
@@ -109,13 +120,13 @@ bool Parse(int argc, char** argv, Args* a) {
 }
 
 platform::PlatformOptions PlatformFor(const std::string& name) {
-  if (name == "ethereum") return platform::EthereumOptions();
-  if (name == "parity") return platform::ParityOptions();
-  if (name == "hyperledger") return platform::HyperledgerOptions();
-  if (name == "erisdb") return platform::ErisDbOptions();
-  if (name == "corda") return platform::CordaOptions();
-  std::fprintf(stderr, "unknown platform: %s\n", name.c_str());
-  std::exit(2);
+  auto opts = platform::StackOptionsFromString(name);
+  if (!opts.ok()) {
+    std::fprintf(stderr, "unknown platform: %s\n",
+                 opts.status().ToString().c_str());
+    std::exit(2);
+  }
+  return *opts;
 }
 
 std::unique_ptr<core::WorkloadConnector> WorkloadFor(const std::string& name) {
