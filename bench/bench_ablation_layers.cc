@@ -21,8 +21,8 @@ using namespace bb::bench;
 
 namespace {
 
-core::BenchReport RunStack(const platform::PlatformOptions& options,
-                           double duration) {
+MacroConfig StackConfig(const platform::PlatformOptions& options,
+                        double duration) {
   MacroConfig cfg;
   cfg.options = options;
   cfg.servers = 4;
@@ -32,8 +32,7 @@ core::BenchReport RunStack(const platform::PlatformOptions& options,
   cfg.drain = 20;
   cfg.warmup = 10;
   cfg.ycsb_records = 1000;
-  MacroRun run(cfg);
-  return run.Run();
+  return cfg;
 }
 
 void PrintRow(const std::string& name, const core::BenchReport& r) {
@@ -45,18 +44,20 @@ void PrintRow(const std::string& name, const core::BenchReport& r) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool full = HasFlag(argc, argv, "--full");
-  double duration = full ? 120 : 60;
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  double duration = args.full ? 120 : 60;
 
   const char* consensus[] = {"pow", "poa", "pbft", "tendermint", "raft"};
   const char* trees[] = {"trie", "bucket"};
   std::vector<const char*> engines = {"evm", "native"};
-  if (full) engines.push_back("noop");
+  if (args.full) engines.push_back("noop");
 
-  PrintHeader("Layer ablation: consensus x state tree x execution, YCSB 4/4");
-  std::printf("%-38s %10s %10s %10s %10s\n", "stack", "tput tx/s", "p50 (s)",
-              "p95 (s)", "committed");
-
+  SweepRunner runner("ablation_layers", args);
+  struct Row {
+    std::string name;
+    const char* consensus;  // null for registry rows
+  };
+  std::vector<Row> rows;
   for (const char* c : consensus) {
     for (const char* t : trees) {
       for (const char* e : engines) {
@@ -67,17 +68,35 @@ int main(int argc, char** argv) {
                        options.status().ToString().c_str());
           continue;
         }
-        PrintRow(spec, RunStack(*options, duration));
+        runner.Add(StackConfig(*options, duration), {{"stack", spec}});
+        rows.push_back({spec, c});
       }
     }
-    std::printf("\n");
   }
-
-  PrintHeader("Canonical registry stacks (calibrated models), same load");
   for (const auto& name : platform::PlatformRegistry::Instance().Names()) {
     auto options = platform::PlatformRegistry::Instance().Make(name);
-    PrintRow(name + " (" + platform::ToString(options->stack) + ")",
-             RunStack(*options, duration));
+    runner.Add(StackConfig(*options, duration), {{"platform", name}});
+    rows.push_back(
+        {name + " (" + platform::ToString(options->stack) + ")", nullptr});
   }
-  return 0;
+
+  PrintHeader("Layer ablation: consensus x state tree x execution, YCSB 4/4");
+  std::printf("%-38s %10s %10s %10s %10s\n", "stack", "tput tx/s", "p50 (s)",
+              "p95 (s)", "committed");
+  bool printed_registry_header = false;
+  const char* last_consensus = nullptr;
+  bool ok = runner.Run([&](size_t i, const SweepOutcome& o) {
+    const Row& row = rows[i];
+    if (row.consensus == nullptr && !printed_registry_header) {
+      printed_registry_header = true;
+      PrintHeader("Canonical registry stacks (calibrated models), same load");
+    } else if (row.consensus != nullptr && last_consensus != nullptr &&
+               row.consensus != last_consensus) {
+      std::printf("\n");
+    }
+    last_consensus = row.consensus;
+    if (!o.status.ok()) return;
+    PrintRow(row.name, o.report);
+  });
+  return ok ? 0 : 1;
 }

@@ -13,63 +13,143 @@
 using namespace bb;
 using namespace bb::bench;
 
-int main(int argc, char** argv) {
-  bool full = HasFlag(argc, argv, "--full");
-  double duration = full ? 180 : 80;
-  const size_t kShardSize = 4;   // servers per shard
+namespace {
+
+struct ShardResult {
+  Status status = Status::Ok();
+  double total_tput = 0;
+  double lat_p50 = 0;
+};
+
+ShardResult RunSharded(const platform::PlatformOptions& options, size_t shards,
+                       double duration) {
+  const size_t kShardSize = 4;  // servers per shard
   const size_t kClientsPerShard = 4;
-  const double kRate = 120;      // near one shard's saturation
+  const double kRate = 120;  // near one shard's saturation
+
+  // All shards share one virtual clock; each is its own network,
+  // consensus group and state — the paper's partitioned design.
+  sim::Simulation sim(9);
+  std::vector<std::unique_ptr<platform::Platform>> platforms;
+  std::vector<std::unique_ptr<workloads::YcsbWorkload>> wls;
+  std::vector<std::unique_ptr<core::Driver>> drivers;
+
+  ShardResult res;
+  for (size_t s = 0; s < shards; ++s) {
+    platforms.push_back(std::make_unique<platform::Platform>(
+        &sim, options, kShardSize, 100 + s));
+    workloads::YcsbConfig yc;
+    yc.record_count = 2000;  // disjoint per shard by construction
+    wls.push_back(std::make_unique<workloads::YcsbWorkload>(yc));
+    Status st = wls.back()->Setup(platforms.back().get());
+    if (!st.ok()) {
+      res.status = Status::Internal("shard setup failed: " + st.ToString());
+      return res;
+    }
+    core::DriverConfig dc;
+    dc.num_clients = kClientsPerShard;
+    dc.request_rate = kRate;
+    dc.duration = duration;
+    dc.drain = 20;
+    dc.warmup = 10;
+    dc.seed = 7 + s;
+    drivers.push_back(std::make_unique<core::Driver>(
+        platforms.back().get(), wls.back().get(), dc));
+  }
+  for (auto& d : drivers) d->StartAll();
+  sim.RunUntil(duration + 20);
+
+  for (auto& d : drivers) {
+    auto r = d->Report();
+    res.total_tput += r.throughput;
+    res.lat_p50 = std::max(res.lat_p50, r.latency_p50);
+  }
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  double duration = args.full ? 180 : 80;
+  const size_t kShardSize = 4;
+  std::vector<size_t> shard_counts = {1, 2, 4, 8};
+
+  auto opts = OptionsFor("hyperledger");
+  if (!opts.ok()) return UsageError(argv[0], opts.status());
+
+  // Each shard-count point owns its Simulation, so the points fan out
+  // across the pool like any other sweep.
+  workloads::RegisterAllChaincodes();
+  std::vector<ShardResult> results(shard_counts.size());
+  size_t jobs = std::min(args.EffectiveJobs(), shard_counts.size());
+  if (jobs <= 1) {
+    for (size_t i = 0; i < shard_counts.size(); ++i) {
+      results[i] = RunSharded(*opts, shard_counts[i], duration);
+    }
+  } else {
+    util::ThreadPool pool(jobs);
+    for (size_t i = 0; i < shard_counts.size(); ++i) {
+      pool.Submit([&, i] {
+        results[i] = RunSharded(*opts, shard_counts[i], duration);
+      });
+    }
+    pool.Wait();
+  }
 
   PrintHeader("Ablation: sharded PBFT — K independent 4-node shards, "
               "single-shard transactions");
   std::printf("%8s %8s | %16s %14s %12s\n", "shards", "servers",
               "total tput tx/s", "per-shard tx/s", "lat p50 (s)");
-
-  for (size_t shards : {size_t(1), size_t(2), size_t(4), size_t(8)}) {
-    // All shards share one virtual clock; each is its own network,
-    // consensus group and state — the paper's partitioned design.
-    sim::Simulation sim(9);
-    std::vector<std::unique_ptr<platform::Platform>> platforms;
-    std::vector<std::unique_ptr<workloads::YcsbWorkload>> wls;
-    std::vector<std::unique_ptr<core::Driver>> drivers;
-
-    for (size_t s = 0; s < shards; ++s) {
-      platforms.push_back(std::make_unique<platform::Platform>(
-          &sim, OptionsFor("hyperledger"), kShardSize, 100 + s));
-      workloads::YcsbConfig yc;
-      yc.record_count = 2000;  // disjoint per shard by construction
-      wls.push_back(std::make_unique<workloads::YcsbWorkload>(yc));
-      Status st = wls.back()->Setup(platforms.back().get());
-      if (!st.ok()) {
-        std::fprintf(stderr, "setup: %s\n", st.ToString().c_str());
-        return 1;
-      }
-      core::DriverConfig dc;
-      dc.num_clients = kClientsPerShard;
-      dc.request_rate = kRate;
-      dc.duration = duration;
-      dc.drain = 20;
-      dc.warmup = 10;
-      dc.seed = 7 + s;
-      drivers.push_back(std::make_unique<core::Driver>(
-          platforms.back().get(), wls.back().get(), dc));
-    }
-    for (auto& d : drivers) d->StartAll();
-    sim.RunUntil(duration + 20);
-
-    double total = 0, lat = 0;
-    for (auto& d : drivers) {
-      auto r = d->Report();
-      total += r.throughput;
-      lat = std::max(lat, r.latency_p50);
+  bool ok = true;
+  util::Json rows = util::Json::Array();
+  for (size_t i = 0; i < shard_counts.size(); ++i) {
+    size_t shards = shard_counts[i];
+    const ShardResult& r = results[i];
+    if (!r.status.ok()) {
+      std::fprintf(stderr, "%s: shards=%zu: %s\n", argv[0], shards,
+                   r.status.ToString().c_str());
+      ok = false;
+      continue;
     }
     std::printf("%8zu %8zu | %16.1f %14.1f %12.2f\n", shards,
-                shards * kShardSize, total, total / double(shards), lat);
+                shards * kShardSize, r.total_tput,
+                r.total_tput / double(shards), r.lat_p50);
+    util::Json row = util::Json::Object();
+    util::Json labels = util::Json::Object();
+    labels.Set("shards", std::to_string(shards));
+    row.Set("labels", std::move(labels));
+    row.Set("status", "Ok");
+    util::Json metrics = util::Json::Object();
+    metrics.Set("total_throughput", r.total_tput);
+    metrics.Set("per_shard_throughput", r.total_tput / double(shards));
+    metrics.Set("latency_p50", r.lat_p50);
+    row.Set("metrics", std::move(metrics));
+    rows.Push(std::move(row));
   }
   std::printf(
       "\nCompare Fig 7: one 32-node PBFT group collapses, while 8 shards\n"
       "x 4 nodes scale aggregate throughput ~linearly. The open problem\n"
       "the paper names — Byzantine-tolerant cross-shard transactions —\n"
       "is exactly what this upper bound excludes.\n");
-  return 0;
+
+  if (!args.json_path.empty()) {
+    util::Json doc = util::Json::Object();
+    doc.Set("schema", "blockbench-sweep-v1");
+    doc.Set("bench", "ablation_sharding");
+    doc.Set("full", args.full);
+    doc.Set("jobs", jobs);
+    doc.Set("rows", std::move(rows));
+    std::string text = doc.Dump(2);
+    text.push_back('\n');
+    std::FILE* f = std::fopen(args.json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "ablation_sharding: cannot write %s\n",
+                   args.json_path.c_str());
+      return 1;
+    }
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+  }
+  return ok ? 0 : 1;
 }

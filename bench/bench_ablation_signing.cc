@@ -10,48 +10,54 @@ using namespace bb;
 using namespace bb::bench;
 
 int main(int argc, char** argv) {
-  bool full = HasFlag(argc, argv, "--full");
-  double duration = full ? 240 : 90;
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  double duration = args.full ? 240 : 90;
 
-  PrintHeader("Ablation: Parity with and without the signing stage (YCSB, "
-              "8 clients / 8 servers)");
-  std::printf("%-28s | %10s %12s\n", "configuration", "tput tx/s",
-              "lat p50 (s)");
+  auto base = OptionsFor("parity");
+  if (!base.ok()) return UsageError(argv[0], base.status());
+
+  const char* names[4] = {"parity (baseline)", "parity, signing removed",
+                          "parity, 2x faster signing",
+                          "parity, no admission cap"};
+  SweepRunner runner("ablation_signing", args);
   for (int variant = 0; variant < 4; ++variant) {
     MacroConfig cfg;
-    cfg.options = OptionsFor("parity");
+    cfg.options = *base;
     cfg.rate = 256;
     cfg.duration = duration;
-    const char* name;
     switch (variant) {
       case 0:
-        name = "parity (baseline)";
         break;
       case 1:
         // Remove the whole signing-bound client stack: per-tx sealing
         // cost AND the admission rate limit derived from it.
-        name = "parity, signing removed";
         cfg.options.seal_sign_cpu = 0;
         cfg.options.block_tx_limit = 820;
         cfg.options.admission_rate_limit = 0;
         break;
       case 2:
-        name = "parity, 2x faster signing";
         cfg.options.seal_sign_cpu /= 2;
         cfg.options.admission_rate_limit *= 2;
         break;
       default:
         // Admission cap removed but signing kept: throughput must stay
         // at the signing ceiling, proving which stage binds.
-        name = "parity, no admission cap";
         cfg.options.admission_rate_limit = 0;
         break;
     }
-    MacroRun run(cfg);
-    auto r = run.Run();
-    std::printf("%-28s | %10.1f %12.2f\n", name, r.throughput, r.latency_p50);
+    runner.Add(std::move(cfg), {{"variant", names[variant]}});
   }
+
+  PrintHeader("Ablation: Parity with and without the signing stage (YCSB, "
+              "8 clients / 8 servers)");
+  std::printf("%-28s | %10s %12s\n", "configuration", "tput tx/s",
+              "lat p50 (s)");
+  bool ok = runner.Run([&](size_t i, const SweepOutcome& o) {
+    if (!o.status.ok()) return;
+    std::printf("%-28s | %10.1f %12.2f\n", names[i], o.report.throughput,
+                o.report.latency_p50);
+  });
   std::printf("\nConsensus (PoA) is identical in all rows: the signing "
               "stage alone sets Parity's ceiling.\n");
-  return 0;
+  return ok ? 0 : 1;
 }

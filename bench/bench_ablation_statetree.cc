@@ -50,7 +50,24 @@ Cell Measure(uint64_t n, storage::KvStore& kv, PutFn put, GetFn get) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  uint64_t n = HasFlag(argc, argv, "--full") ? 1'000'000 : 200'000;
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  uint64_t n = args.full ? 1'000'000 : 200'000;
+
+  util::Json rows = util::Json::Array();
+  auto record = [&rows](const char* structure, const Cell& c) {
+    util::Json row = util::Json::Object();
+    util::Json labels = util::Json::Object();
+    labels.Set("structure", structure);
+    row.Set("labels", std::move(labels));
+    row.Set("status", "Ok");
+    util::Json metrics = util::Json::Object();
+    metrics.Set("write_ops_per_sec", c.write_ops);
+    metrics.Set("read_ops_per_sec", c.read_ops);
+    metrics.Set("storage_bytes", c.bytes);
+    metrics.Set("kv_entries", c.entries);
+    row.Set("metrics", std::move(metrics));
+    rows.Push(std::move(row));
+  };
 
   PrintHeader("Ablation: state-structure cost (same in-memory substrate, " +
               std::to_string(n) + " writes)");
@@ -65,6 +82,7 @@ int main(int argc, char** argv) {
     std::printf("%-16s | %12.0f %12.0f %12.1f %10llu\n", "plain-kv",
                 c.write_ops, c.read_ops, double(c.bytes) / 1e6,
                 (unsigned long long)c.entries);
+    record("plain-kv", c);
   }
   {
     storage::MemKv kv;
@@ -77,6 +95,7 @@ int main(int argc, char** argv) {
     std::printf("%-16s | %12.0f %12.0f %12.1f %10llu\n", "bucket-merkle",
                 c.write_ops, c.read_ops, double(c.bytes) / 1e6,
                 (unsigned long long)c.entries);
+    record("bucket-merkle", c);
   }
   {
     storage::MemKv kv;
@@ -94,11 +113,30 @@ int main(int argc, char** argv) {
     std::printf("%-16s | %12.0f %12.0f %12.1f %10llu\n", "patricia-trie",
                 c.write_ops, c.read_ops, double(c.bytes) / 1e6,
                 (unsigned long long)c.entries);
+    record("patricia-trie", c);
     std::printf("\npatricia-trie amplification: %.1fx space vs plain kv, "
                 "%llu node writes for %llu puts\n",
                 double(c.bytes) / double(n * 123),
                 (unsigned long long)trie.stats().node_writes,
                 (unsigned long long)n);
+  }
+
+  if (!args.json_path.empty()) {
+    util::Json doc = util::Json::Object();
+    doc.Set("schema", "blockbench-sweep-v1");
+    doc.Set("bench", "ablation_statetree");
+    doc.Set("full", args.full);
+    doc.Set("rows", std::move(rows));
+    std::string text = doc.Dump(2);
+    text.push_back('\n');
+    std::FILE* f = std::fopen(args.json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "ablation_statetree: cannot write %s\n",
+                   args.json_path.c_str());
+      return 1;
+    }
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
   }
   return 0;
 }

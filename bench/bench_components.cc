@@ -162,6 +162,91 @@ void BM_SimulationEventLoop(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulationEventLoop);
 
+// sim_schedule: raw cost of pushing events through the queue in the
+// mostly-monotonic pattern real runs produce (network delays of a few
+// ms to a few hundred ms ahead of Now), then draining them. Dominated
+// by queue insert/extract, not by the callbacks.
+void BM_SimSchedule(benchmark::State& state) {
+  const int kBatch = 10000;
+  // Delay ladder approximating latency + CPU-cost + timer scales.
+  static const double kDelays[] = {0.0005, 0.002, 0.01, 0.05, 0.003,
+                                   0.25,   0.001, 1.0,  0.02, 0.007};
+  for (auto _ : state) {
+    sim::Simulation sim;
+    uint64_t count = 0;
+    for (int i = 0; i < kBatch; ++i) {
+      sim.After(kDelays[i % 10], [&count] { ++count; });
+      // Interleave scheduling with draining, as real runs do.
+      if (i % 64 == 63) sim.RunUntil(sim.Now() + 0.001);
+    }
+    sim.RunToCompletion();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * kBatch);
+}
+BENCHMARK(BM_SimSchedule);
+
+// sim_dispatch: self-perpetuating event chains — each event schedules
+// its successor, so the queue stays small and the cost measured is the
+// per-event dispatch path (pop, callable invocation, state capture).
+void BM_SimDispatch(benchmark::State& state) {
+  // Capture-heavy callable (two pointers, a double, an int), typical of
+  // the network/consensus callbacks the real platforms schedule. Each
+  // event reschedules a copy of itself, so the queue stays small and
+  // the measured cost is the per-event dispatch path (pop, callable
+  // invocation, state capture).
+  struct Hop {
+    sim::Simulation* sim;
+    uint64_t* fired;
+    double step;
+    int left;
+    void operator()() {
+      ++*fired;
+      if (left > 1) sim->After(step, Hop{sim, fired, step, left - 1});
+    }
+  };
+  const int kChains = 16;
+  const int kHops = 1000;
+  for (auto _ : state) {
+    sim::Simulation sim;
+    uint64_t fired = 0;
+    for (int c = 0; c < kChains; ++c) {
+      sim.After(0.001 * (c + 1), Hop{&sim, &fired, 0.001 * (c + 1), kHops});
+    }
+    sim.RunToCompletion();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * kChains * kHops);
+}
+BENCHMARK(BM_SimDispatch);
+
+// network_send: the full Send -> queue -> deliver -> HandleMessage path
+// between two nodes, the single hottest edge in every macro benchmark.
+void BM_NetworkSend(benchmark::State& state) {
+  class Sink : public sim::Node {
+   public:
+    using sim::Node::Node;
+    double HandleMessage(const sim::Message&) override { return 0; }
+  };
+  sim::Simulation sim;
+  sim::Network net(&sim, {});
+  Sink a(0, &net), b(1, &net);
+  const int kBatch = 64;
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) {
+      sim::Message m;
+      m.from = 0;
+      m.to = 1;
+      m.type = "bench";
+      m.size_bytes = 100;
+      net.Send(std::move(m));
+    }
+    sim.RunUntil(sim.Now() + 1.0);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * kBatch);
+}
+BENCHMARK(BM_NetworkSend);
+
 void BM_NetworkMessageRoundtrip(benchmark::State& state) {
   class Sink : public sim::Node {
    public:

@@ -10,45 +10,65 @@ using namespace bb;
 using namespace bb::bench;
 
 int main(int argc, char** argv) {
-  bool full = HasFlag(argc, argv, "--full");
-  double duration = full ? 180 : 80;
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  double duration = args.full ? 180 : 80;
   std::vector<size_t> sizes = {4, 8, 16};
 
-  PrintHeader("Consensus engines head-to-head (YCSB, saturating load)");
-  std::printf("%-12s %-12s %4s | %10s %12s %10s\n", "platform", "consensus",
-              "N", "tput tx/s", "lat p50 (s)", "blocks/s");
-  struct Row {
+  struct Engine {
     const char* name;
     platform::PlatformOptions opts;
     double rate;
   };
-  std::vector<Row> rows = {
-      {"ethereum", OptionsFor("ethereum"), 128},
-      {"parity", OptionsFor("parity"), 128},
-      {"hyperledger", OptionsFor("hyperledger"), 128},
-      {"erisdb", platform::ErisDbOptions(), 128},
-      {"corda", platform::CordaOptions(), 128},
-  };
+  std::vector<Engine> engines;
+  for (const char* name : {"ethereum", "parity", "hyperledger"}) {
+    auto opts = OptionsFor(name);
+    if (!opts.ok()) return UsageError(argv[0], opts.status());
+    engines.push_back({name, *opts, 128});
+  }
+  engines.push_back({"erisdb", platform::ErisDbOptions(), 128});
+  engines.push_back({"corda", platform::CordaOptions(), 128});
   const char* consensus_names[] = {"PoW", "PoA", "PBFT", "Tendermint",
                                    "Raft(CFT)"};
-  for (size_t ri = 0; ri < rows.size(); ++ri) {
+
+  SweepRunner runner("consensus_compare", args);
+  struct Row {
+    size_t ri;
+    size_t n;
+  };
+  std::vector<Row> rows;
+  std::vector<double> blocks;
+  for (size_t ri = 0; ri < engines.size(); ++ri) {
     for (size_t n : sizes) {
-      MacroConfig cfg;
-      cfg.options = rows[ri].opts;
-      cfg.servers = n;
-      cfg.clients = n;
-      cfg.rate = rows[ri].rate;
-      cfg.duration = duration;
-      MacroRun run(cfg);
-      auto r = run.Run();
-      double blocks =
-          double(run.rplatform().node(0).chain().main_chain_blocks()) /
-          (duration + 30);
-      std::printf("%-12s %-12s %4zu | %10.1f %12.2f %10.2f\n", rows[ri].name,
-                  consensus_names[ri], n, r.throughput, r.latency_p50,
-                  blocks);
+      SweepCase c;
+      c.config.options = engines[ri].opts;
+      c.config.servers = n;
+      c.config.clients = n;
+      c.config.rate = engines[ri].rate;
+      c.config.duration = duration;
+      c.labels = {{"platform", engines[ri].name},
+                  {"consensus", consensus_names[ri]},
+                  {"n", std::to_string(n)}};
+      size_t slot = rows.size();
+      blocks.push_back(0.0);
+      c.after = [&blocks, slot](MacroRun& run, const core::BenchReport&) {
+        blocks[slot] =
+            double(run.rplatform().node(0).chain().main_chain_blocks());
+      };
+      runner.Add(std::move(c));
+      rows.push_back({ri, n});
     }
   }
+
+  PrintHeader("Consensus engines head-to-head (YCSB, saturating load)");
+  std::printf("%-12s %-12s %4s | %10s %12s %10s\n", "platform", "consensus",
+              "N", "tput tx/s", "lat p50 (s)", "blocks/s");
+  bool ok = runner.Run([&](size_t i, const SweepOutcome& o) {
+    if (!o.status.ok()) return;
+    std::printf("%-12s %-12s %4zu | %10.1f %12.2f %10.2f\n",
+                engines[rows[i].ri].name, consensus_names[rows[i].ri],
+                rows[i].n, o.report.throughput, o.report.latency_p50,
+                blocks[i] / (duration + 30));
+  });
   std::printf(
       "\nTendermint's rotating proposer avoids PBFT's stable-leader view\n"
       "changes; with an EVM execution layer its throughput sits between\n"
@@ -56,5 +76,5 @@ int main(int argc, char** argv) {
       "Raft commits with a single majority round trip and O(N) messages —\n"
       "the crash-fault-only efficiency the paper's Section 2 contrasts\n"
       "against Byzantine tolerance (it trusts every well-formed message).\n");
-  return 0;
+  return ok ? 0 : 1;
 }

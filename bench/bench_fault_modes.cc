@@ -26,46 +26,86 @@ const char* kAllPlatforms[] = {"ethereum", "parity", "hyperledger", "erisdb",
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool full = HasFlag(argc, argv, "--full");
-  double duration = full ? 180 : 80;
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  double duration = args.full ? 180 : 80;
 
+  SweepRunner runner("fault_modes", args);
+  struct Row {
+    const char* platform;
+    bool corrupt_mode;  // false: delay sweep, true: corruption sweep
+    double value;       // delay in seconds or corrupt fraction
+  };
+  std::vector<Row> rows;
+  std::vector<uint64_t> orphans;
+  for (const char* p : kAllPlatforms) {
+    auto opts = OptionsFor(p);
+    if (!opts.ok()) return UsageError(argv[0], opts.status());
+    for (double delay : {0.0, 0.05, 0.2, 0.5}) {
+      SweepCase c;
+      c.config.options = *opts;
+      c.config.rate = 40;
+      c.config.duration = duration;
+      c.labels = {{"platform", p},
+                  {"mode", "delay"},
+                  {"delay_ms", std::to_string(int(delay * 1e3))}};
+      c.before = [delay](MacroRun& run) {
+        run.rplatform().network().InjectDelay(delay);
+      };
+      size_t slot = rows.size();
+      orphans.push_back(0);
+      c.after = [&orphans, slot](MacroRun& run, const core::BenchReport&) {
+        uint64_t worst = 0;
+        for (size_t i = 0; i < run.rplatform().num_servers(); ++i) {
+          worst = std::max<uint64_t>(
+              worst, run.rplatform().node(i).chain().orphaned_blocks());
+        }
+        orphans[slot] = worst;
+      };
+      runner.Add(std::move(c));
+      rows.push_back({p, false, delay});
+    }
+  }
+  for (const char* p : kAllPlatforms) {
+    auto opts = OptionsFor(p);
+    if (!opts.ok()) return UsageError(argv[0], opts.status());
+    for (double frac : {0.0, 0.02, 0.10, 0.25}) {
+      SweepCase c;
+      c.config.options = *opts;
+      c.config.rate = 40;
+      c.config.duration = duration;
+      c.labels = {{"platform", p},
+                  {"mode", "corrupt"},
+                  {"corrupt_pct", std::to_string(int(frac * 100))}};
+      c.before = [frac](MacroRun& run) {
+        run.rplatform().network().SetCorruptProbability(frac);
+      };
+      runner.Add(std::move(c));
+      orphans.push_back(0);
+      rows.push_back({p, true, frac});
+    }
+  }
+
+  bool printed_corrupt_header = false;
   PrintHeader("Fault mode: injected one-way network delay (YCSB, 8/8)");
   std::printf("%-12s %10s | %10s %12s %10s\n", "platform", "delay(ms)",
               "tput tx/s", "lat p50 (s)", "orphans");
-  for (const char* p : kAllPlatforms) {
-    for (double delay : {0.0, 0.05, 0.2, 0.5}) {
-      MacroConfig cfg;
-      cfg.options = OptionsFor(p);
-      cfg.rate = 40;
-      cfg.duration = duration;
-      MacroRun run(cfg);
-      run.rplatform().network().InjectDelay(delay);
-      auto r = run.Run();
-      uint64_t orphans = 0;
-      for (size_t i = 0; i < run.rplatform().num_servers(); ++i) {
-        orphans = std::max<uint64_t>(
-            orphans, run.rplatform().node(i).chain().orphaned_blocks());
-      }
-      std::printf("%-12s %10.0f | %10.1f %12.2f %10llu\n", p, delay * 1e3,
-                  r.throughput, r.latency_p50, (unsigned long long)orphans);
+  bool ok = runner.Run([&](size_t i, const SweepOutcome& o) {
+    const Row& row = rows[i];
+    if (row.corrupt_mode && !printed_corrupt_header) {
+      printed_corrupt_header = true;
+      PrintHeader("Fault mode: random response (message corruption)");
+      std::printf("%-12s %10s | %10s %12s\n", "platform", "corrupt%",
+                  "tput tx/s", "lat p50 (s)");
     }
-  }
-
-  PrintHeader("Fault mode: random response (message corruption)");
-  std::printf("%-12s %10s | %10s %12s\n", "platform", "corrupt%",
-              "tput tx/s", "lat p50 (s)");
-  for (const char* p : kAllPlatforms) {
-    for (double frac : {0.0, 0.02, 0.10, 0.25}) {
-      MacroConfig cfg;
-      cfg.options = OptionsFor(p);
-      cfg.rate = 40;
-      cfg.duration = duration;
-      MacroRun run(cfg);
-      run.rplatform().network().SetCorruptProbability(frac);
-      auto r = run.Run();
-      std::printf("%-12s %10.0f | %10.1f %12.2f\n", p, frac * 100,
-                  r.throughput, r.latency_p50);
+    if (!o.status.ok()) return;
+    if (row.corrupt_mode) {
+      std::printf("%-12s %10.0f | %10.1f %12.2f\n", row.platform,
+                  row.value * 100, o.report.throughput, o.report.latency_p50);
+    } else {
+      std::printf("%-12s %10.0f | %10.1f %12.2f %10llu\n", row.platform,
+                  row.value * 1e3, o.report.throughput, o.report.latency_p50,
+                  (unsigned long long)orphans[i]);
     }
-  }
-  return 0;
+  });
+  return ok ? 0 : 1;
 }

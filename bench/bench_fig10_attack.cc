@@ -14,49 +14,57 @@ using namespace bb;
 using namespace bb::bench;
 
 int main(int argc, char** argv) {
-  bool full = HasFlag(argc, argv, "--full");
+  BenchArgs args = ParseBenchArgs(argc, argv);
   const double t_partition = 100, t_heal = 250;
-  const double end_time = full ? 400 : 350;
+  const double end_time = args.full ? 400 : 350;
+
+  std::vector<std::vector<double>> totals(3), mains(3);
+
+  SweepRunner runner("fig10_attack", args);
+  for (int pi = 0; pi < 3; ++pi) {
+    auto opts = OptionsFor(kPlatforms[pi]);
+    if (!opts.ok()) return UsageError(argv[0], opts.status());
+    SweepCase c;
+    c.config.options = *opts;
+    c.config.servers = 8;
+    c.config.clients = 8;
+    c.config.rate = 60;
+    c.config.duration = end_time;
+    c.config.drain = 0;
+    c.labels = {{"platform", kPlatforms[pi]}};
+    std::vector<double>* tot = &totals[size_t(pi)];
+    std::vector<double>* mn = &mains[size_t(pi)];
+    c.before = [t_partition, t_heal, end_time, tot, mn](MacroRun& run) {
+      auto& net = run.rplatform().network();
+      run.rsim().At(t_partition, [&net] { net.Partition({0, 1, 2, 3}); });
+      run.rsim().At(t_heal, [&net] { net.HealPartition(); });
+
+      // Sample block counts every 10 s (writes only this case's storage).
+      for (double t = 10; t <= end_time; t += 10) {
+        run.rsim().At(t, [&run, tot, mn] {
+          auto& p = run.rplatform();
+          // Total blocks produced across all proposers; main-branch blocks
+          // as agreed by a node from each partition side (max view).
+          uint64_t best_main = 0;
+          for (size_t i = 0; i < p.num_servers(); ++i) {
+            best_main = std::max(
+                best_main, uint64_t(p.node(i).chain().main_chain_blocks()));
+          }
+          tot->push_back(double(p.TotalBlocksProduced()));
+          mn->push_back(double(best_main));
+        });
+      }
+    };
+    runner.Add(std::move(c));
+  }
+
+  bool ok = runner.Run(nullptr);
 
   PrintHeader("Figure 10: blocks generated vs blocks on main branch; "
               "partition [100s, 250s)");
   std::printf("%8s", "time(s)");
   for (const char* p : kPlatforms) std::printf(" %11s-tot %11s-bc", p, p);
   std::printf("\n");
-
-  std::vector<std::vector<double>> totals(3), mains(3);
-
-  for (int pi = 0; pi < 3; ++pi) {
-    MacroConfig cfg;
-    cfg.options = OptionsFor(kPlatforms[pi]);
-    cfg.servers = 8;
-    cfg.clients = 8;
-    cfg.rate = 60;
-    cfg.duration = end_time;
-    cfg.drain = 0;
-    MacroRun run(cfg);
-    auto& net = run.rplatform().network();
-    run.rsim().At(t_partition, [&net] { net.Partition({0, 1, 2, 3}); });
-    run.rsim().At(t_heal, [&net] { net.HealPartition(); });
-
-    // Sample block counts every 10 s.
-    for (double t = 10; t <= end_time; t += 10) {
-      run.rsim().At(t, [&run, pi, &totals, &mains] {
-        auto& p = run.rplatform();
-        // Total blocks produced across all proposers; main-branch blocks
-        // as agreed by a node from each partition side (max view).
-        uint64_t best_main = 0;
-        for (size_t i = 0; i < p.num_servers(); ++i) {
-          best_main = std::max(best_main,
-                               uint64_t(p.node(i).chain().main_chain_blocks()));
-        }
-        totals[size_t(pi)].push_back(double(p.TotalBlocksProduced()));
-        mains[size_t(pi)].push_back(double(best_main));
-      });
-    }
-    run.Run();
-  }
-
   size_t bins = totals[0].size();
   for (size_t b = 0; b < bins; ++b) {
     std::printf("%8zu", (b + 1) * 10);
@@ -74,5 +82,5 @@ int main(int argc, char** argv) {
                 kPlatforms[pi], d,
                 100.0 * d / std::max(1.0, totals[size_t(pi)].back()));
   }
-  return 0;
+  return ok ? 0 : 1;
 }

@@ -68,23 +68,27 @@ Cell RunSort(const EngineSpec& spec, int64_t n) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool full = HasFlag(argc, argv, "--full");
-  std::vector<int64_t> sizes = full
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  std::vector<int64_t> sizes = args.full
       ? std::vector<int64_t>{1'000'000, 10'000'000, 100'000'000}
       : std::vector<int64_t>{10'000, 100'000, 1'000'000};
 
   auto eth = OptionsFor("ethereum");
+  if (!eth.ok()) return UsageError(argv[0], eth.status());
   auto par = OptionsFor("parity");
+  if (!par.ok()) return UsageError(argv[0], par.status());
   // Model the testbed's 32 GB memory ceiling relative to the sweep: the
   // geth-style engine (2200 B/word accounted) dies at the largest size,
   // exactly as in the paper.
-  eth.vm.memory_word_limit = uint64_t(double(sizes.back()) * 0.6);
+  eth->vm.memory_word_limit = uint64_t(double(sizes.back()) * 0.6);
   EngineSpec engines[] = {
-      {"ethereum(EVM)", false, eth.vm},
-      {"parity(EVM)", false, par.vm},
+      {"ethereum(EVM)", false, eth->vm},
+      {"parity(EVM)", false, par->vm},
       {"hyperledger(native)", false, {}},
   };
   engines[2].native = true;
+
+  util::Json rows = util::Json::Array();
 
   PrintHeader("Figure 11: CPUHeavy — execution time and peak memory "
               "(paper, one decade up: Eth 10.5/79.6/OOM s, Parity "
@@ -105,9 +109,40 @@ int main(int argc, char** argv) {
                     (long long)n, c.seconds,
                     double(c.peak_bytes) / 1e6);
       }
+      util::Json row = util::Json::Object();
+      util::Json labels = util::Json::Object();
+      labels.Set("engine", spec.name);
+      labels.Set("size", std::to_string(n));
+      row.Set("labels", std::move(labels));
+      row.Set("status", c.oom ? "OOM" : (c.ok ? "Ok" : "FAILED"));
+      if (c.ok) {
+        util::Json metrics = util::Json::Object();
+        metrics.Set("seconds", c.seconds);
+        metrics.Set("peak_bytes", c.peak_bytes);
+        row.Set("metrics", std::move(metrics));
+      }
+      rows.Push(std::move(row));
     }
   }
   std::printf("\nAll engines are single-threaded (none of the paper's "
               "systems used more than one core).\n");
+
+  if (!args.json_path.empty()) {
+    util::Json doc = util::Json::Object();
+    doc.Set("schema", "blockbench-sweep-v1");
+    doc.Set("bench", "fig11_cpuheavy");
+    doc.Set("full", args.full);
+    doc.Set("rows", std::move(rows));
+    std::string text = doc.Dump(2);
+    text.push_back('\n');
+    std::FILE* f = std::fopen(args.json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "fig11_cpuheavy: cannot write %s\n",
+                   args.json_path.c_str());
+      return 1;
+    }
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+  }
   return 0;
 }

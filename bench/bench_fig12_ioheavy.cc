@@ -40,8 +40,8 @@ struct StackResult {
   uint64_t written = 0;
 };
 
-StackResult RunStack(const std::string& platform_name, uint64_t tuples,
-                     const std::string& dir, uint64_t parity_mem_cap) {
+Result<StackResult> RunStack(const std::string& platform_name, uint64_t tuples,
+                             const std::string& dir, uint64_t parity_mem_cap) {
   std::unique_ptr<storage::KvStore> store;
   std::unique_ptr<chain::StateDb> db;
   std::unique_ptr<storage::DiskKv> disk;
@@ -51,12 +51,12 @@ StackResult RunStack(const std::string& platform_name, uint64_t tuples,
     db = std::make_unique<chain::TrieStateDb>(store.get(), size_t(1) << 22);
   } else if (platform_name == "ethereum") {
     auto d = storage::DiskKv::Open(dir + "/eth_ioheavy.log");
-    if (!d.ok()) std::abort();
+    BB_RETURN_IF_ERROR(d.status());
     disk = std::move(*d);
     db = std::make_unique<chain::TrieStateDb>(disk.get(), size_t(1) << 16);
   } else {
     auto d = storage::DiskKv::Open(dir + "/hl_ioheavy.log");
-    if (!d.ok()) std::abort();
+    BB_RETURN_IF_ERROR(d.status());
     disk = std::move(*d);
     db = std::make_unique<chain::BucketStateDb>(disk.get());
   }
@@ -85,6 +85,7 @@ StackResult RunStack(const std::string& platform_name, uint64_t tuples,
     auto c = db->Commit();
     if (!c.ok()) {
       oom = c.status().IsOutOfMemory();
+      if (!oom) return c.status();
       break;
     }
     done += n;
@@ -115,10 +116,10 @@ StackResult RunStack(const std::string& platform_name, uint64_t tuples,
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool full = HasFlag(argc, argv, "--full");
+  BenchArgs args = ParseBenchArgs(argc, argv);
   std::vector<uint64_t> sizes;
   uint64_t parity_cap;
-  if (full) {
+  if (args.full) {
     sizes = {800'000, 1'600'000, 3'200'000, 6'400'000, 12'800'000};
     parity_cap = 3'600'000'000ULL;  // ~3M states, as on the paper's boxes
   } else {
@@ -127,25 +128,66 @@ int main(int argc, char** argv) {
   }
   std::string dir = "/tmp";
 
+  util::Json rows = util::Json::Array();
+  bool ok = true;
+
   PrintHeader("Figure 12: IOHeavy — write/read throughput and storage "
               "(X = out of memory, as in the paper)");
   std::printf("%-12s %10s | %12s %12s %14s\n", "platform", "#tuples",
               "write ops/s", "read ops/s", "storage (MB)");
   for (const char* p : kPlatforms) {
     for (uint64_t n : sizes) {
-      StackResult r = RunStack(p, n, dir, parity_cap);
-      if (r.oom) {
+      auto r = RunStack(p, n, dir, parity_cap);
+      if (!r.ok()) {
+        std::fprintf(stderr, "%s: %s (#tuples=%llu): %s\n", argv[0], p,
+                     (unsigned long long)n, r.status().ToString().c_str());
+        ok = false;
+        continue;
+      }
+      util::Json row = util::Json::Object();
+      util::Json labels = util::Json::Object();
+      labels.Set("platform", p);
+      labels.Set("tuples", std::to_string(n));
+      row.Set("labels", std::move(labels));
+      if (r->oom) {
         std::printf("%-12s %10llu | %12s %12s %14s  (capped at %llu)\n", p,
                     (unsigned long long)n, "X", "X", "X",
-                    (unsigned long long)r.written);
+                    (unsigned long long)r->written);
+        row.Set("status", "OOM");
+        row.Set("written", r->written);
       } else {
         std::printf("%-12s %10llu | %12.0f %12.0f %14.1f\n", p,
-                    (unsigned long long)n, r.write_ops_per_sec,
-                    r.read_ops_per_sec, double(r.storage_bytes) / 1e6);
+                    (unsigned long long)n, r->write_ops_per_sec,
+                    r->read_ops_per_sec, double(r->storage_bytes) / 1e6);
+        row.Set("status", "Ok");
+        util::Json metrics = util::Json::Object();
+        metrics.Set("write_ops_per_sec", r->write_ops_per_sec);
+        metrics.Set("read_ops_per_sec", r->read_ops_per_sec);
+        metrics.Set("storage_bytes", r->storage_bytes);
+        row.Set("metrics", std::move(metrics));
       }
+      rows.Push(std::move(row));
     }
   }
   std::remove((dir + "/eth_ioheavy.log").c_str());
   std::remove((dir + "/hl_ioheavy.log").c_str());
-  return 0;
+
+  if (!args.json_path.empty()) {
+    util::Json doc = util::Json::Object();
+    doc.Set("schema", "blockbench-sweep-v1");
+    doc.Set("bench", "fig12_ioheavy");
+    doc.Set("full", args.full);
+    doc.Set("rows", std::move(rows));
+    std::string text = doc.Dump(2);
+    text.push_back('\n');
+    std::FILE* f = std::fopen(args.json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "fig12_ioheavy: cannot write %s\n",
+                   args.json_path.c_str());
+      return 1;
+    }
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+  }
+  return ok ? 0 : 1;
 }

@@ -17,19 +17,23 @@ using namespace bb;
 using namespace bb::bench;
 
 int main(int argc, char** argv) {
-  bool full = HasFlag(argc, argv, "--full");
+  BenchArgs args = ParseBenchArgs(argc, argv);
   workloads::AnalyticsConfig acfg;
-  acfg.num_blocks = full ? 100'000 : 10'000;
-  acfg.num_accounts = full ? 120'000 : 10'000;
+  acfg.num_blocks = args.full ? 100'000 : 10'000;
+  acfg.num_accounts = args.full ? 120'000 : 10'000;
   std::vector<uint64_t> scans = {1, 10, 100, 1'000, 10'000};
+
+  util::Json rows = util::Json::Array();
 
   PrintHeader("Figure 13(a,b): analytics query latency vs #blocks scanned");
   std::printf("%-12s %-4s %10s | %12s %10s %14s\n", "platform", "q",
               "#blocks", "latency (s)", "#RPCs", "result");
 
   for (const char* pname : kPlatforms) {
+    auto opts = OptionsFor(pname);
+    if (!opts.ok()) return UsageError(argv[0], opts.status());
     sim::Simulation sim(7);
-    platform::Platform p(&sim, OptionsFor(pname), 1);
+    platform::Platform p(&sim, *opts, 1);
     Status s = workloads::SetupAnalyticsChain(&p, acfg);
     if (!s.ok()) {
       std::fprintf(stderr, "analytics setup failed: %s\n",
@@ -41,6 +45,20 @@ int main(int argc, char** argv) {
     workloads::AnalyticsClient client(1, &p.network(), 0, acfg);
 
     uint64_t head = p.node(0).chain().head_height();
+    auto record = [&](const char* q, uint64_t scan, double lat) {
+      util::Json row = util::Json::Object();
+      util::Json labels = util::Json::Object();
+      labels.Set("platform", pname);
+      labels.Set("query", q);
+      labels.Set("blocks", std::to_string(scan));
+      row.Set("labels", std::move(labels));
+      row.Set("status", "Ok");
+      util::Json metrics = util::Json::Object();
+      metrics.Set("latency_seconds", lat);
+      metrics.Set("rpcs", client.rpcs_issued());
+      row.Set("metrics", std::move(metrics));
+      rows.Push(std::move(row));
+    };
     for (uint64_t scan : scans) {
       if (scan > head) continue;
       uint64_t from = head - scan;
@@ -50,6 +68,7 @@ int main(int argc, char** argv) {
                   (unsigned long long)scan, lat,
                   (unsigned long long)client.rpcs_issued(),
                   (long long)client.result());
+      record("Q1", scan, lat);
     }
     for (uint64_t scan : scans) {
       if (scan > head) continue;
@@ -61,7 +80,26 @@ int main(int argc, char** argv) {
                   (unsigned long long)scan, lat,
                   (unsigned long long)client.rpcs_issued(),
                   (long long)client.result());
+      record("Q2", scan, lat);
     }
+  }
+
+  if (!args.json_path.empty()) {
+    util::Json doc = util::Json::Object();
+    doc.Set("schema", "blockbench-sweep-v1");
+    doc.Set("bench", "fig13_analytics");
+    doc.Set("full", args.full);
+    doc.Set("rows", std::move(rows));
+    std::string text = doc.Dump(2);
+    text.push_back('\n');
+    std::FILE* f = std::fopen(args.json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "fig13_analytics: cannot write %s\n",
+                   args.json_path.c_str());
+      return 1;
+    }
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
   }
   return 0;
 }

@@ -11,30 +11,47 @@ using namespace bb;
 using namespace bb::bench;
 
 int main(int argc, char** argv) {
-  bool full = HasFlag(argc, argv, "--full");
-  double duration = full ? 300 : 90;
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  double duration = args.full ? 300 : 90;
   // Saturating rates per platform (found by the Fig 5 sweep).
   double sat_rate[3] = {256, 64, 384};
+  WorkloadKind kinds[3] = {WorkloadKind::kSmallbank, WorkloadKind::kYcsb,
+                           WorkloadKind::kDoNothing};
+
+  SweepRunner runner("fig13_donothing", args);
+  struct Row {
+    int pi;
+    int wi;
+  };
+  std::vector<Row> rows;
+  for (int pi = 0; pi < 3; ++pi) {
+    auto opts = OptionsFor(kPlatforms[pi]);
+    if (!opts.ok()) return UsageError(argv[0], opts.status());
+    for (int wi = 0; wi < 3; ++wi) {
+      MacroConfig cfg;
+      cfg.options = *opts;
+      cfg.rate = sat_rate[pi];
+      cfg.duration = duration;
+      cfg.workload = kinds[wi];
+      runner.Add(std::move(cfg), {{"platform", kPlatforms[pi]},
+                                  {"workload", WorkloadName(kinds[wi])}});
+      rows.push_back({pi, wi});
+    }
+  }
+
+  double tput[3][3] = {};
+  bool ok = runner.Run([&](size_t i, const SweepOutcome& o) {
+    if (!o.status.ok()) return;
+    tput[rows[i].pi][rows[i].wi] = o.report.throughput;
+  });
 
   PrintHeader("Figure 13(c): transaction throughput by workload "
               "(paper: Eth 256/284/328, Parity 45/45/46, HL 1122/1273/1285)");
   std::printf("%-12s | %12s %12s %12s\n", "platform", "Smallbank", "YCSB",
               "DoNothing");
   for (int pi = 0; pi < 3; ++pi) {
-    double tput[3];
-    WorkloadKind kinds[3] = {WorkloadKind::kSmallbank, WorkloadKind::kYcsb,
-                             WorkloadKind::kDoNothing};
-    for (int wi = 0; wi < 3; ++wi) {
-      MacroConfig cfg;
-      cfg.options = OptionsFor(kPlatforms[pi]);
-      cfg.rate = sat_rate[pi];
-      cfg.duration = duration;
-      cfg.workload = kinds[wi];
-      MacroRun run(cfg);
-      tput[wi] = run.Run().throughput;
-    }
-    std::printf("%-12s | %12.1f %12.1f %12.1f\n", kPlatforms[pi], tput[0],
-                tput[1], tput[2]);
+    std::printf("%-12s | %12.1f %12.1f %12.1f\n", kPlatforms[pi], tput[pi][0],
+                tput[pi][1], tput[pi][2]);
   }
-  return 0;
+  return ok ? 0 : 1;
 }

@@ -100,8 +100,8 @@ void ReportHStore(bool smallbank, double sat_rate, double duration,
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool full = HasFlag(argc, argv, "--full");
-  double duration = full ? 60 : 20;
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  double duration = args.full ? 60 : 20;
 
   PrintHeader("Figure 14: blockchains vs H-Store "
               "(paper: H-Store 142,702 / 21,596 tx/s)");
@@ -110,22 +110,42 @@ int main(int argc, char** argv) {
   ReportHStore(true, 10'000, duration, &hs_sb);
 
   std::printf("\n");
-  double chain_duration = full ? 180 : 70;
+  double chain_duration = args.full ? 180 : 70;
   double sat_rate[3] = {256, 64, 384};
-  std::printf("%-12s | %12s %12s\n", "system", "YCSB tx/s", "Smallbank tx/s");
+
+  SweepRunner runner("fig14_hstore", args);
+  struct Row {
+    int pi;
+    int wi;
+  };
+  std::vector<Row> rows;
   for (int pi = 0; pi < 3; ++pi) {
-    double tput[2];
+    auto opts = OptionsFor(kPlatforms[pi]);
+    if (!opts.ok()) return UsageError(argv[0], opts.status());
     for (int wi = 0; wi < 2; ++wi) {
+      WorkloadKind w = wi == 0 ? WorkloadKind::kYcsb : WorkloadKind::kSmallbank;
       MacroConfig cfg;
-      cfg.options = OptionsFor(kPlatforms[pi]);
+      cfg.options = *opts;
       cfg.rate = sat_rate[pi];
       cfg.duration = chain_duration;
-      cfg.workload = wi == 0 ? WorkloadKind::kYcsb : WorkloadKind::kSmallbank;
-      MacroRun run(cfg);
-      tput[wi] = run.Run().throughput;
+      cfg.workload = w;
+      runner.Add(std::move(cfg), {{"platform", kPlatforms[pi]},
+                                  {"workload", WorkloadName(w)}});
+      rows.push_back({pi, wi});
     }
-    std::printf("%-12s | %12.1f %12.1f\n", kPlatforms[pi], tput[0], tput[1]);
+  }
+
+  double tput[3][2] = {};
+  bool ok = runner.Run([&](size_t i, const SweepOutcome& o) {
+    if (!o.status.ok()) return;
+    tput[rows[i].pi][rows[i].wi] = o.report.throughput;
+  });
+
+  std::printf("%-12s | %12s %12s\n", "system", "YCSB tx/s", "Smallbank tx/s");
+  for (int pi = 0; pi < 3; ++pi) {
+    std::printf("%-12s | %12.1f %12.1f\n", kPlatforms[pi], tput[pi][0],
+                tput[pi][1]);
   }
   std::printf("%-12s | %12.0f %12.0f\n", "h-store", hs_ycsb, hs_sb);
-  return 0;
+  return ok ? 0 : 1;
 }

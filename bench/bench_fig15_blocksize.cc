@@ -16,40 +16,57 @@ using namespace bb;
 using namespace bb::bench;
 
 int main(int argc, char** argv) {
-  bool full = HasFlag(argc, argv, "--full");
-  double duration = full ? 240 : 90;
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  double duration = args.full ? 240 : 90;
   const char* size_names[3] = {"small", "medium", "large"};
+
+  SweepRunner runner("fig15_blocksize", args);
+  struct Row {
+    const char* platform;
+    const char* size;
+  };
+  std::vector<Row> rows;
+  std::vector<double> blocks(9, 0.0);
+  for (int pi = 0; pi < 3; ++pi) {
+    auto opts = OptionsFor(kPlatforms[pi]);
+    if (!opts.ok()) return UsageError(argv[0], opts.status());
+    for (int si = 0; si < 3; ++si) {
+      double factor = si == 0 ? 0.5 : (si == 1 ? 1.0 : 2.0);
+      SweepCase c;
+      c.config.options = *opts;
+      c.config.rate = 384;
+      c.config.duration = duration;
+      c.config.drain = 10;
+      if (std::string(kPlatforms[pi]) == "ethereum") {
+        c.config.options.block_tx_limit =
+            size_t(double(c.config.options.block_tx_limit) * factor);
+        // Difficulty response to the heavier blocks.
+        c.config.options.pow.base_block_interval *= factor;
+      } else if (std::string(kPlatforms[pi]) == "parity") {
+        c.config.options.poa.step_duration *= 2.0 * factor;  // 1 / 2 / 4 s
+      } else {
+        c.config.options.pbft.batch_size =
+            size_t(double(c.config.options.pbft.batch_size) * factor);
+        c.config.options.block_tx_limit = c.config.options.pbft.batch_size;
+      }
+      c.labels = {{"platform", kPlatforms[pi]}, {"size", size_names[si]}};
+      size_t slot = rows.size();
+      c.after = [&blocks, slot](MacroRun& run, const core::BenchReport&) {
+        blocks[slot] =
+            double(run.rplatform().node(0).chain().main_chain_blocks());
+      };
+      runner.Add(std::move(c));
+      rows.push_back({kPlatforms[pi], size_names[si]});
+    }
+  }
 
   PrintHeader("Figure 15: block generation rate vs block size");
   std::printf("%-12s %-8s | %14s %14s\n", "platform", "size", "blocks/s",
               "tput tx/s");
-  for (int pi = 0; pi < 3; ++pi) {
-    for (int si = 0; si < 3; ++si) {
-      double factor = si == 0 ? 0.5 : (si == 1 ? 1.0 : 2.0);
-      MacroConfig cfg;
-      cfg.options = OptionsFor(kPlatforms[pi]);
-      cfg.rate = 384;
-      cfg.duration = duration;
-      cfg.drain = 10;
-      if (std::string(kPlatforms[pi]) == "ethereum") {
-        cfg.options.block_tx_limit =
-            size_t(double(cfg.options.block_tx_limit) * factor);
-        // Difficulty response to the heavier blocks.
-        cfg.options.pow.base_block_interval *= factor;
-      } else if (std::string(kPlatforms[pi]) == "parity") {
-        cfg.options.poa.step_duration *= 2.0 * factor;  // 1 / 2 / 4 s
-      } else {
-        cfg.options.pbft.batch_size =
-            size_t(double(cfg.options.pbft.batch_size) * factor);
-        cfg.options.block_tx_limit = cfg.options.pbft.batch_size;
-      }
-      MacroRun run(cfg);
-      auto r = run.Run();
-      double blocks =
-          double(run.rplatform().node(0).chain().main_chain_blocks());
-      std::printf("%-12s %-8s | %14.2f %14.1f\n", kPlatforms[pi],
-                  size_names[si], blocks / (duration + 10), r.throughput);
-    }
-  }
-  return 0;
+  bool ok = runner.Run([&](size_t i, const SweepOutcome& o) {
+    if (!o.status.ok()) return;
+    std::printf("%-12s %-8s | %14.2f %14.1f\n", rows[i].platform, rows[i].size,
+                blocks[i] / (duration + 10), o.report.throughput);
+  });
+  return ok ? 0 : 1;
 }

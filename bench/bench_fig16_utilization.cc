@@ -11,36 +11,46 @@ using namespace bb;
 using namespace bb::bench;
 
 int main(int argc, char** argv) {
-  bool full = HasFlag(argc, argv, "--full");
-  double duration = full ? 100 : 100;
-  (void)full;
-
-  PrintHeader("Figure 16: resource utilization over time (server 1)");
-  std::printf("%8s | %8s %8s | %8s %8s | %8s %8s\n", "time(s)", "eth-cpu%",
-              "eth-Mbps", "par-cpu%", "par-Mbps", "hl-cpu%", "hl-Mbps");
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  double duration = 100;
 
   std::vector<std::vector<double>> cpu(3), mbps(3);
   // Ethereum at saturation (CPU-bound mining); Hyperledger at ~60% load,
   // where the paper's low-CPU / high-network contrast is visible.
   double sat_rate[3] = {256, 64, 100};
+
+  SweepRunner runner("fig16_utilization", args);
   for (int pi = 0; pi < 3; ++pi) {
-    MacroConfig cfg;
-    cfg.options = OptionsFor(kPlatforms[pi]);
-    cfg.rate = sat_rate[pi];
-    cfg.duration = duration;
-    cfg.drain = 0;
-    MacroRun run(cfg);
-    run.Run();
-    const auto& meter = run.rplatform().node(1).meter();
-    for (size_t s = 0; s < size_t(duration); s += 5) {
-      cpu[size_t(pi)].push_back(meter.CpuUtilizationAt(s) * 100);
-      mbps[size_t(pi)].push_back(meter.NetworkMbpsAt(s));
-    }
+    auto opts = OptionsFor(kPlatforms[pi]);
+    if (!opts.ok()) return UsageError(argv[0], opts.status());
+    SweepCase c;
+    c.config.options = *opts;
+    c.config.rate = sat_rate[pi];
+    c.config.duration = duration;
+    c.config.drain = 0;
+    c.labels = {{"platform", kPlatforms[pi]}};
+    std::vector<double>* cpu_out = &cpu[size_t(pi)];
+    std::vector<double>* mbps_out = &mbps[size_t(pi)];
+    c.after = [cpu_out, mbps_out, duration](MacroRun& run,
+                                            const core::BenchReport&) {
+      const auto& meter = run.rplatform().node(1).meter();
+      for (size_t s = 0; s < size_t(duration); s += 5) {
+        cpu_out->push_back(meter.CpuUtilizationAt(s) * 100);
+        mbps_out->push_back(meter.NetworkMbpsAt(s));
+      }
+    };
+    runner.Add(std::move(c));
   }
+
+  bool ok = runner.Run(nullptr);
+
+  PrintHeader("Figure 16: resource utilization over time (server 1)");
+  std::printf("%8s | %8s %8s | %8s %8s | %8s %8s\n", "time(s)", "eth-cpu%",
+              "eth-Mbps", "par-cpu%", "par-Mbps", "hl-cpu%", "hl-Mbps");
   for (size_t b = 0; b < cpu[0].size(); ++b) {
     std::printf("%8zu | %8.1f %8.2f | %8.1f %8.2f | %8.1f %8.2f\n", b * 5,
                 cpu[0][b], mbps[0][b], cpu[1][b], mbps[1][b], cpu[2][b],
                 mbps[2][b]);
   }
-  return 0;
+  return ok ? 0 : 1;
 }

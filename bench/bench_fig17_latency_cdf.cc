@@ -11,35 +11,49 @@ using namespace bb;
 using namespace bb::bench;
 
 int main(int argc, char** argv) {
-  bool full = HasFlag(argc, argv, "--full");
-  double duration = full ? 300 : 120;
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  double duration = args.full ? 300 : 120;
+
+  // hists[workload][platform], copied out of the driver in the after
+  // hook (the platform is torn down once the sweep point finishes).
+  Histogram hists[2][3];
+  // Near-peak load per platform, as in the paper's runs.
+  double rates[3] = {30, 64, 200};
+
+  SweepRunner runner("fig17_latency_cdf", args);
+  for (int wi = 0; wi < 2; ++wi) {
+    WorkloadKind w = wi == 0 ? WorkloadKind::kYcsb : WorkloadKind::kSmallbank;
+    for (int pi = 0; pi < 3; ++pi) {
+      auto opts = OptionsFor(kPlatforms[pi]);
+      if (!opts.ok()) return UsageError(argv[0], opts.status());
+      SweepCase c;
+      c.config.options = *opts;
+      c.config.rate = rates[pi];
+      c.config.duration = duration;
+      c.config.workload = w;
+      c.labels = {{"platform", kPlatforms[pi]}, {"workload", WorkloadName(w)}};
+      Histogram* out = &hists[wi][pi];
+      c.after = [out](MacroRun& run, const core::BenchReport&) {
+        *out = run.driver().stats().latencies();
+      };
+      runner.Add(std::move(c));
+    }
+  }
+
+  bool ok = runner.Run(nullptr);
 
   for (int wi = 0; wi < 2; ++wi) {
     WorkloadKind w = wi == 0 ? WorkloadKind::kYcsb : WorkloadKind::kSmallbank;
     PrintHeader(std::string("Figure 17: latency CDF, ") + WorkloadName(w));
     std::printf("%6s | %12s %12s %12s\n", "pct", "ethereum(s)", "parity(s)",
                 "hyperledger(s)");
-    std::vector<const Histogram*> hists;
-    std::vector<std::unique_ptr<MacroRun>> runs;
-    // Near-peak load per platform, as in the paper's runs.
-    double rates[3] = {30, 64, 200};
-    for (int pi = 0; pi < 3; ++pi) {
-      MacroConfig cfg;
-      cfg.options = OptionsFor(kPlatforms[pi]);
-      cfg.rate = rates[pi];
-      cfg.duration = duration;
-      cfg.workload = w;
-      runs.push_back(std::make_unique<MacroRun>(cfg));
-      runs.back()->Run();
-      hists.push_back(&runs.back()->driver().stats().latencies());
-    }
     for (double pct : {1., 5., 10., 25., 50., 75., 90., 95., 99., 99.9}) {
       std::printf("%6.1f | %12.2f %12.2f %12.2f\n", pct,
-                  hists[0]->Percentile(pct), hists[1]->Percentile(pct),
-                  hists[2]->Percentile(pct));
+                  hists[wi][0].Percentile(pct), hists[wi][1].Percentile(pct),
+                  hists[wi][2].Percentile(pct));
     }
-    std::printf("stddev | %12.2f %12.2f %12.2f\n", hists[0]->Stddev(),
-                hists[1]->Stddev(), hists[2]->Stddev());
+    std::printf("stddev | %12.2f %12.2f %12.2f\n", hists[wi][0].Stddev(),
+                hists[wi][1].Stddev(), hists[wi][2].Stddev());
   }
-  return 0;
+  return ok ? 0 : 1;
 }

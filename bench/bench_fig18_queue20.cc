@@ -12,30 +12,42 @@ using namespace bb;
 using namespace bb::bench;
 
 int main(int argc, char** argv) {
-  bool full = HasFlag(argc, argv, "--full");
-  double duration = full ? 350 : 200;
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  double duration = args.full ? 350 : 200;
+
+  std::vector<std::vector<double>> queues(3);
+  std::vector<uint64_t> committed(3);
+
+  SweepRunner runner("fig18_queue20", args);
+  for (int pi = 0; pi < 3; ++pi) {
+    auto opts = OptionsFor(kPlatforms[pi]);
+    if (!opts.ok()) return UsageError(argv[0], opts.status());
+    SweepCase c;
+    c.config.options = *opts;
+    c.config.servers = 20;
+    c.config.clients = 20;
+    c.config.rate = 100;  // overload: at 20 nodes Hyperledger stops generating blocks
+    c.config.duration = duration;
+    c.config.drain = 0;
+    c.labels = {{"platform", kPlatforms[pi]}};
+    std::vector<double>* out = &queues[size_t(pi)];
+    c.after = [out, duration](MacroRun& run, const core::BenchReport&) {
+      for (size_t s = 0; s < size_t(duration); s += 10) {
+        out->push_back(run.driver().stats().QueueLengthAt(s));
+      }
+    };
+    runner.Add(std::move(c));
+  }
+
+  bool ok = runner.Run([&](size_t i, const SweepOutcome& o) {
+    if (!o.status.ok()) return;
+    committed[i] = o.report.committed;
+  });
 
   PrintHeader("Figure 18: queue length at the client, 20 servers / 20 "
               "clients");
   std::printf("%8s %14s %14s %14s\n", "time(s)", "ethereum", "parity",
               "hyperledger");
-  std::vector<std::vector<double>> queues(3);
-  std::vector<uint64_t> committed(3);
-  for (int pi = 0; pi < 3; ++pi) {
-    MacroConfig cfg;
-    cfg.options = OptionsFor(kPlatforms[pi]);
-    cfg.servers = 20;
-    cfg.clients = 20;
-    cfg.rate = 100;  // overload: at 20 nodes Hyperledger stops generating blocks
-    cfg.duration = duration;
-    cfg.drain = 0;
-    MacroRun run(cfg);
-    auto r = run.Run();
-    committed[size_t(pi)] = r.committed;
-    for (size_t s = 0; s < size_t(duration); s += 10) {
-      queues[size_t(pi)].push_back(run.driver().stats().QueueLengthAt(s));
-    }
-  }
   for (size_t b = 0; b < queues[0].size(); ++b) {
     std::printf("%8zu %14.0f %14.0f %14.0f\n", b * 10, queues[0][b],
                 queues[1][b], queues[2][b]);
@@ -43,5 +55,5 @@ int main(int argc, char** argv) {
   std::printf("\ncommitted: ethereum=%llu parity=%llu hyperledger=%llu\n",
               (unsigned long long)committed[0], (unsigned long long)committed[1],
               (unsigned long long)committed[2]);
-  return 0;
+  return ok ? 0 : 1;
 }

@@ -8,30 +8,43 @@ using namespace bb;
 using namespace bb::bench;
 
 int main(int argc, char** argv) {
-  bool full = HasFlag(argc, argv, "--full");
-  std::vector<size_t> sizes = full
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  std::vector<size_t> sizes = args.full
       ? std::vector<size_t>{1, 2, 4, 8, 12, 16, 20, 24, 28, 32}
       : std::vector<size_t>{2, 4, 8, 16, 24, 32};
-  double duration = full ? 120 : 70;
+  double duration = args.full ? 120 : 70;
 
-  PrintHeader("Figure 19: scalability, #clients = #servers = N (Smallbank)");
-  std::printf("%-12s %4s | %10s %12s\n", "platform", "N", "tput tx/s",
-              "lat p50 (s)");
+  SweepRunner runner("fig19_smallbank_scal", args);
+  struct Row {
+    const char* platform;
+    size_t n;
+  };
+  std::vector<Row> rows;
   for (int pi = 0; pi < 3; ++pi) {
+    auto opts = OptionsFor(kPlatforms[pi]);
+    if (!opts.ok()) return UsageError(argv[0], opts.status());
     for (size_t n : sizes) {
       MacroConfig cfg;
-      cfg.options = OptionsFor(kPlatforms[pi]);
+      cfg.options = *opts;
       cfg.servers = n;
       cfg.clients = n;
       cfg.rate = 80;
       cfg.duration = duration;
       cfg.drain = 20;
       cfg.workload = WorkloadKind::kSmallbank;
-      MacroRun run(cfg);
-      auto r = run.Run();
-      std::printf("%-12s %4zu | %10.1f %12.2f\n", kPlatforms[pi], n,
-                  r.throughput, r.latency_p50);
+      runner.Add(std::move(cfg), {{"platform", kPlatforms[pi]},
+                                  {"n", std::to_string(n)}});
+      rows.push_back({kPlatforms[pi], n});
     }
   }
-  return 0;
+
+  PrintHeader("Figure 19: scalability, #clients = #servers = N (Smallbank)");
+  std::printf("%-12s %4s | %10s %12s\n", "platform", "N", "tput tx/s",
+              "lat p50 (s)");
+  bool ok = runner.Run([&](size_t i, const SweepOutcome& o) {
+    if (!o.status.ok()) return;
+    std::printf("%-12s %4zu | %10.1f %12.2f\n", rows[i].platform, rows[i].n,
+                o.report.throughput, o.report.latency_p50);
+  });
+  return ok ? 0 : 1;
 }

@@ -14,11 +14,38 @@ using namespace bb;
 using namespace bb::bench;
 
 int main(int argc, char** argv) {
-  bool full = HasFlag(argc, argv, "--full");
-  std::vector<double> rates = full
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  std::vector<double> rates = args.full
       ? std::vector<double>{8, 16, 32, 64, 128, 256, 512, 1024}
       : std::vector<double>{8, 32, 128, 512};
-  double duration = full ? 300 : 90;
+  double duration = args.full ? 300 : 90;
+
+  SweepRunner runner("fig5_peak", args);
+  struct Row {
+    int pi;
+    int wi;
+    double rate;
+  };
+  std::vector<Row> rows;
+  for (int pi = 0; pi < 3; ++pi) {
+    auto opts = OptionsFor(kPlatforms[pi]);
+    if (!opts.ok()) return UsageError(argv[0], opts.status());
+    for (int wi = 0; wi < 2; ++wi) {
+      WorkloadKind w = wi == 0 ? WorkloadKind::kYcsb : WorkloadKind::kSmallbank;
+      for (double rate : rates) {
+        MacroConfig cfg;
+        cfg.options = *opts;
+        cfg.rate = rate;
+        cfg.duration = duration;
+        cfg.workload = w;
+        runner.Add(std::move(cfg),
+                   {{"platform", kPlatforms[pi]},
+                    {"workload", WorkloadName(w)},
+                    {"rate", std::to_string(int(rate))}});
+        rows.push_back({pi, wi, rate});
+      }
+    }
+  }
 
   PrintHeader("Figure 5(b,c): throughput & latency vs request rate "
               "(8 clients, 8 servers, YCSB + Smallbank)");
@@ -31,27 +58,20 @@ int main(int argc, char** argv) {
   };
   Peak peak[3][2];
 
-  for (int pi = 0; pi < 3; ++pi) {
-    for (int wi = 0; wi < 2; ++wi) {
-      WorkloadKind w = wi == 0 ? WorkloadKind::kYcsb : WorkloadKind::kSmallbank;
-      for (double rate : rates) {
-        MacroConfig cfg;
-        cfg.options = OptionsFor(kPlatforms[pi]);
-        cfg.rate = rate;
-        cfg.duration = duration;
-        cfg.workload = w;
-        MacroRun run(cfg);
-        auto r = run.Run();
-        std::printf("%-12s %-10s %8.0f | %10.1f %12.2f %12.2f\n",
-                    kPlatforms[pi], WorkloadName(w), rate, r.throughput,
-                    r.latency_p50, r.latency_mean);
-        if (r.throughput > peak[pi][wi].tput) {
-          peak[pi][wi].tput = r.throughput;
-          peak[pi][wi].lat_mean = r.latency_mean;
-        }
-      }
+  bool ok = runner.Run([&](size_t i, const SweepOutcome& o) {
+    if (!o.status.ok()) return;
+    const Row& row = rows[i];
+    WorkloadKind w = row.wi == 0 ? WorkloadKind::kYcsb
+                                 : WorkloadKind::kSmallbank;
+    std::printf("%-12s %-10s %8.0f | %10.1f %12.2f %12.2f\n",
+                kPlatforms[row.pi], WorkloadName(w), row.rate,
+                o.report.throughput, o.report.latency_p50,
+                o.report.latency_mean);
+    if (o.report.throughput > peak[row.pi][row.wi].tput) {
+      peak[row.pi][row.wi].tput = o.report.throughput;
+      peak[row.pi][row.wi].lat_mean = o.report.latency_mean;
     }
-  }
+  });
 
   PrintHeader("Figure 5(a): peak performance (paper: Eth 284/255, Parity "
               "45/46, Hyperledger 1273/1122 tx/s)");
@@ -62,5 +82,5 @@ int main(int argc, char** argv) {
                 peak[pi][0].tput, peak[pi][1].tput, peak[pi][0].lat_mean,
                 peak[pi][1].lat_mean);
   }
-  return 0;
+  return ok ? 0 : 1;
 }

@@ -12,32 +12,46 @@ using namespace bb;
 using namespace bb::bench;
 
 int main(int argc, char** argv) {
-  bool full = HasFlag(argc, argv, "--full");
-  double duration = full ? 300 : 150;
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  double duration = args.full ? 300 : 150;
+  const double rates[2] = {8.0, 512.0};
 
-  for (double rate : {8.0, 512.0}) {
-    PrintHeader("Figure 6: queue length over time, " +
-                std::to_string(int(rate)) + " tx/s per client");
-    std::printf("%8s %14s %14s %14s\n", "time(s)", "ethereum", "parity",
-                "hyperledger");
-    // Run the three platforms, then print a merged table.
-    std::vector<std::vector<double>> queues(3);
+  SweepRunner runner("fig6_queue", args);
+  // queues[rate index][platform index] -> samples every 10 s.
+  std::vector<double> queues[2][3];
+  for (int ri = 0; ri < 2; ++ri) {
     for (int pi = 0; pi < 3; ++pi) {
-      MacroConfig cfg;
-      cfg.options = OptionsFor(kPlatforms[pi]);
-      cfg.rate = rate;
-      cfg.duration = duration;
-      cfg.drain = 0;
-      MacroRun run(cfg);
-      run.Run();
-      for (size_t s = 0; s < size_t(duration); s += 10) {
-        queues[size_t(pi)].push_back(run.driver().stats().QueueLengthAt(s));
-      }
-    }
-    for (size_t i = 0; i * 10 < size_t(duration); ++i) {
-      std::printf("%8zu %14.0f %14.0f %14.0f\n", i * 10, queues[0][i],
-                  queues[1][i], queues[2][i]);
+      auto opts = OptionsFor(kPlatforms[pi]);
+      if (!opts.ok()) return UsageError(argv[0], opts.status());
+      SweepCase c;
+      c.config.options = *opts;
+      c.config.rate = rates[ri];
+      c.config.duration = duration;
+      c.config.drain = 0;
+      c.labels = {{"platform", kPlatforms[pi]},
+                  {"rate", std::to_string(int(rates[ri]))}};
+      std::vector<double>* out = &queues[ri][pi];
+      c.after = [out, duration](MacroRun& run, const core::BenchReport&) {
+        for (size_t s = 0; s < size_t(duration); s += 10) {
+          out->push_back(run.driver().stats().QueueLengthAt(s));
+        }
+      };
+      runner.Add(std::move(c));
     }
   }
-  return 0;
+
+  bool ok = runner.Run(nullptr);
+  for (int ri = 0; ri < 2; ++ri) {
+    PrintHeader("Figure 6: queue length over time, " +
+                std::to_string(int(rates[ri])) + " tx/s per client");
+    std::printf("%8s %14s %14s %14s\n", "time(s)", "ethereum", "parity",
+                "hyperledger");
+    for (size_t i = 0; i * 10 < size_t(duration); ++i) {
+      double e = i < queues[ri][0].size() ? queues[ri][0][i] : 0;
+      double p = i < queues[ri][1].size() ? queues[ri][1][i] : 0;
+      double h = i < queues[ri][2].size() ? queues[ri][2][i] : 0;
+      std::printf("%8zu %14.0f %14.0f %14.0f\n", i * 10, e, p, h);
+    }
+  }
+  return ok ? 0 : 1;
 }

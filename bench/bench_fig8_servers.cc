@@ -11,29 +11,42 @@ using namespace bb;
 using namespace bb::bench;
 
 int main(int argc, char** argv) {
-  bool full = HasFlag(argc, argv, "--full");
-  std::vector<size_t> sizes = full
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  std::vector<size_t> sizes = args.full
       ? std::vector<size_t>{8, 12, 16, 20, 24, 28, 32}
       : std::vector<size_t>{8, 16, 24, 32};
-  double duration = full ? 200 : 150;
+  double duration = args.full ? 200 : 150;
 
-  PrintHeader("Figure 8: scalability with fixed 8 clients (YCSB)");
-  std::printf("%-12s %8s | %10s %12s\n", "platform", "servers", "tput tx/s",
-              "lat p50 (s)");
+  SweepRunner runner("fig8_servers", args);
+  struct Row {
+    const char* platform;
+    size_t n;
+  };
+  std::vector<Row> rows;
   for (int pi = 0; pi < 3; ++pi) {
+    auto opts = OptionsFor(kPlatforms[pi]);
+    if (!opts.ok()) return UsageError(argv[0], opts.status());
     for (size_t n : sizes) {
       MacroConfig cfg;
-      cfg.options = OptionsFor(kPlatforms[pi]);
+      cfg.options = *opts;
       cfg.servers = n;
       cfg.clients = 8;
       cfg.rate = 140;  // saturates Ethereum; keeps Hyperledger under its ceiling
       cfg.duration = duration;
       cfg.drain = 20;
-      MacroRun run(cfg);
-      auto r = run.Run();
-      std::printf("%-12s %8zu | %10.1f %12.2f\n", kPlatforms[pi], n,
-                  r.throughput, r.latency_p50);
+      runner.Add(std::move(cfg), {{"platform", kPlatforms[pi]},
+                                  {"servers", std::to_string(n)}});
+      rows.push_back({kPlatforms[pi], n});
     }
   }
-  return 0;
+
+  PrintHeader("Figure 8: scalability with fixed 8 clients (YCSB)");
+  std::printf("%-12s %8s | %10s %12s\n", "platform", "servers", "tput tx/s",
+              "lat p50 (s)");
+  bool ok = runner.Run([&](size_t i, const SweepOutcome& o) {
+    if (!o.status.ok()) return;
+    std::printf("%-12s %8zu | %10.1f %12.2f\n", rows[i].platform, rows[i].n,
+                o.report.throughput, o.report.latency_p50);
+  });
+  return ok ? 0 : 1;
 }

@@ -12,9 +12,52 @@ using namespace bb;
 using namespace bb::bench;
 
 int main(int argc, char** argv) {
-  bool full = HasFlag(argc, argv, "--full");
+  BenchArgs args = ParseBenchArgs(argc, argv);
   const double kill_time = 250;
-  const double end_time = full ? 400 : 360;
+  const double end_time = args.full ? 400 : 360;
+
+  // series[platform][{12,16}] -> per-bin committed counts
+  std::vector<std::vector<std::vector<double>>> series(
+      3, std::vector<std::vector<double>>(2));
+
+  SweepRunner runner("fig9_crash", args);
+  for (int pi = 0; pi < 3; ++pi) {
+    auto opts = OptionsFor(kPlatforms[pi]);
+    if (!opts.ok()) return UsageError(argv[0], opts.status());
+    for (int si = 0; si < 2; ++si) {
+      size_t servers = si == 0 ? 12 : 16;
+      SweepCase c;
+      c.config.options = *opts;
+      c.config.servers = servers;
+      c.config.clients = 8;
+      c.config.rate = 60;
+      c.config.duration = end_time;
+      c.config.drain = 0;
+      c.labels = {{"platform", kPlatforms[pi]},
+                  {"servers", std::to_string(servers)}};
+      c.before = [servers, kill_time](MacroRun& run) {
+        // Kill the last four servers (none of them hosts a client).
+        run.rsim().At(kill_time, [&run, servers] {
+          for (size_t k = servers - 4; k < servers; ++k) {
+            run.rplatform().network().Crash(sim::NodeId(k));
+          }
+        });
+      };
+      std::vector<double>* out = &series[size_t(pi)][size_t(si)];
+      c.after = [out, end_time](MacroRun& run, const core::BenchReport&) {
+        for (size_t s = 0; s < size_t(end_time); s += 10) {
+          double sum = 0;
+          for (size_t t = s; t < s + 10 && t < size_t(end_time); ++t) {
+            sum += run.driver().stats().CommittedInSecond(t);
+          }
+          out->push_back(sum);
+        }
+      };
+      runner.Add(std::move(c));
+    }
+  }
+
+  bool ok = runner.Run(nullptr);
 
   PrintHeader("Figure 9: committed tx per 10 s; 4 servers crash at t=250 s");
   std::printf("%8s", "time(s)");
@@ -22,39 +65,6 @@ int main(int argc, char** argv) {
     std::printf(" %12s-12 %12s-16", p, p);
   }
   std::printf("\n");
-
-  // series[platform][{12,16}] -> per-bin committed counts
-  std::vector<std::vector<std::vector<double>>> series(
-      3, std::vector<std::vector<double>>(2));
-
-  for (int pi = 0; pi < 3; ++pi) {
-    for (int si = 0; si < 2; ++si) {
-      size_t servers = si == 0 ? 12 : 16;
-      MacroConfig cfg;
-      cfg.options = OptionsFor(kPlatforms[pi]);
-      cfg.servers = servers;
-      cfg.clients = 8;
-      cfg.rate = 60;
-      cfg.duration = end_time;
-      cfg.drain = 0;
-      MacroRun run(cfg);
-      // Kill the last four servers (none of them hosts a client).
-      run.rsim().At(kill_time, [&run, servers] {
-        for (size_t k = servers - 4; k < servers; ++k) {
-          run.rplatform().network().Crash(sim::NodeId(k));
-        }
-      });
-      run.Run();
-      for (size_t s = 0; s < size_t(end_time); s += 10) {
-        double sum = 0;
-        for (size_t t = s; t < s + 10 && t < size_t(end_time); ++t) {
-          sum += run.driver().stats().CommittedInSecond(t);
-        }
-        series[size_t(pi)][size_t(si)].push_back(sum);
-      }
-    }
-  }
-
   size_t bins = series[0][0].size();
   for (size_t b = 0; b < bins; ++b) {
     std::printf("%8zu", b * 10);
@@ -64,5 +74,5 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
-  return 0;
+  return ok ? 0 : 1;
 }

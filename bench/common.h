@@ -1,18 +1,34 @@
 // Shared harness for the figure benchmarks: constructs a platform +
-// workload + driver stack in one object so each bench binary focuses on
-// its sweep and its table.
+// workload + driver stack in one object, and fans independent sweep
+// points out across a thread pool (each MacroRun owns its Simulation,
+// so points never share state). Every bench binary built on this header
+// understands:
+//   --full         the long (paper-scale) sweep
+//   --jobs=N       worker threads (default: hardware concurrency)
+//   --json=PATH    machine-readable results (schema: blockbench-sweep-v1,
+//                  see docs/BENCHMARKING.md)
 
 #ifndef BLOCKBENCH_BENCH_COMMON_H_
 #define BLOCKBENCH_BENCH_COMMON_H_
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/driver.h"
 #include "platform/platform.h"
 #include "platform/registry.h"
+#include "util/flags.h"
+#include "util/json.h"
+#include "util/thread_pool.h"
+#include "workloads/contracts.h"
 #include "workloads/donothing.h"
 #include "workloads/smallbank.h"
 #include "workloads/ycsb.h"
@@ -31,15 +47,10 @@ inline const char* WorkloadName(WorkloadKind w) {
 }
 
 /// Resolves a registered platform name or a "pbft+trie+evm"-style stack
-/// spec via the PlatformRegistry.
-inline platform::PlatformOptions OptionsFor(const std::string& name) {
-  auto opts = platform::StackOptionsFromString(name);
-  if (!opts.ok()) {
-    std::fprintf(stderr, "unknown platform %s: %s\n", name.c_str(),
-                 opts.status().ToString().c_str());
-    std::abort();
-  }
-  return *opts;
+/// spec via the PlatformRegistry. InvalidArgument on unknown names —
+/// bench mains report it and exit non-zero (no abort).
+inline Result<platform::PlatformOptions> OptionsFor(const std::string& name) {
+  return platform::StackOptionsFromString(name);
 }
 
 inline const char* kPlatforms[] = {"ethereum", "parity", "hyperledger"};
@@ -63,7 +74,32 @@ struct MacroConfig {
 /// One macro experiment: platform cluster + driver + workload.
 class MacroRun {
  public:
-  explicit MacroRun(MacroConfig config) : config_(std::move(config)) {
+  /// Builds the full stack; InvalidArgument/Internal instead of abort
+  /// when the options are inconsistent or workload setup fails.
+  static Result<std::unique_ptr<MacroRun>> Create(MacroConfig config) {
+    auto run = std::unique_ptr<MacroRun>(new MacroRun(std::move(config)));
+    Status s = run->Init();
+    if (!s.ok()) return s;
+    return run;
+  }
+
+  /// Schedule fault/attack events before calling Run().
+  sim::Simulation& rsim() { return *sim_; }
+  platform::Platform& rplatform() { return *platform_; }
+  core::Driver& driver() { return *driver_; }
+
+  core::BenchReport Run() {
+    driver_->Run();
+    return driver_->Report();
+  }
+
+  const MacroConfig& config() const { return config_; }
+
+ private:
+  explicit MacroRun(MacroConfig config) : config_(std::move(config)) {}
+
+  Status Init() {
+    BB_RETURN_IF_ERROR(config_.options.Validate());
     sim_ = std::make_unique<sim::Simulation>(config_.seed);
     platform_ = std::make_unique<platform::Platform>(
         sim_.get(), config_.options, config_.servers);
@@ -86,8 +122,7 @@ class MacroRun {
     }
     Status s = workload_->Setup(platform_.get());
     if (!s.ok()) {
-      std::fprintf(stderr, "workload setup failed: %s\n", s.ToString().c_str());
-      std::abort();
+      return Status::Internal("workload setup failed: " + s.ToString());
     }
     core::DriverConfig dc;
     dc.num_clients = config_.clients;
@@ -98,21 +133,9 @@ class MacroRun {
     dc.warmup = config_.warmup;
     driver_ = std::make_unique<core::Driver>(platform_.get(), workload_.get(),
                                              dc);
+    return Status::Ok();
   }
 
-  /// Schedule fault/attack events before calling Run().
-  sim::Simulation& rsim() { return *sim_; }
-  platform::Platform& rplatform() { return *platform_; }
-  core::Driver& driver() { return *driver_; }
-
-  core::BenchReport Run() {
-    driver_->Run();
-    return driver_->Report();
-  }
-
-  const MacroConfig& config() const { return config_; }
-
- private:
   MacroConfig config_;
   std::unique_ptr<sim::Simulation> sim_;
   std::unique_ptr<platform::Platform> platform_;
@@ -120,13 +143,244 @@ class MacroRun {
   std::unique_ptr<core::Driver> driver_;
 };
 
-/// True when the flag (e.g. "--full") is among the args.
-inline bool HasFlag(int argc, char** argv, const std::string& flag) {
-  for (int i = 1; i < argc; ++i) {
-    if (argv[i] == flag) return true;
+using util::FlagDouble;
+using util::FlagUint;
+using util::FlagValue;
+using util::HasFlag;
+
+/// Flags every bench binary shares.
+struct BenchArgs {
+  bool full = false;
+  size_t jobs = 0;  // 0 -> hardware concurrency
+  std::string json_path;
+
+  size_t EffectiveJobs() const {
+    return jobs == 0 ? util::ThreadPool::DefaultThreads() : jobs;
   }
-  return false;
+};
+
+inline BenchArgs ParseBenchArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string s = argv[i];
+    if (s != "--full" && s.rfind("--jobs=", 0) != 0 &&
+        s.rfind("--json=", 0) != 0 &&
+        s.rfind("--benchmark_", 0) != 0) {  // google-benchmark passthrough
+      std::fprintf(stderr, "%s: unknown flag %s\n", argv[0], s.c_str());
+      std::fprintf(stderr, "usage: %s [--full] [--jobs=N] [--json=PATH]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  BenchArgs args;
+  args.full = HasFlag(argc, argv, "--full");
+  args.jobs = size_t(FlagUint(argc, argv, "--jobs", 0));
+  args.json_path = FlagValue(argc, argv, "--json").value_or("");
+  return args;
 }
+
+/// Prints `status` and the shared flag summary; returns a non-zero exit
+/// code for main().
+inline int UsageError(const char* bench, const Status& status) {
+  std::fprintf(stderr, "%s: %s\n", bench, status.ToString().c_str());
+  std::fprintf(stderr,
+               "usage: %s [--full] [--jobs=N] [--json=PATH]\n", bench);
+  return 2;
+}
+
+/// One sweep point: a config plus optional hooks that run on the worker
+/// thread (fault injection before Run, metric extraction after).
+struct SweepCase {
+  /// Row identity in the JSON output, e.g. {{"platform","ethereum"},
+  /// {"n","8"}}. Purely descriptive for the text table.
+  std::vector<std::pair<std::string, std::string>> labels;
+  MacroConfig config;
+  /// Runs after Create() and before Run() — schedule faults/attacks.
+  std::function<void(MacroRun&)> before;
+  /// Runs after Run() — pull histograms/meters/chain state out while
+  /// the platform is still alive. Touch only this case's storage: hooks
+  /// for different cases run concurrently.
+  std::function<void(MacroRun&, const core::BenchReport&)> after;
+};
+
+/// Everything one sweep point produced.
+struct SweepOutcome {
+  Status status = Status::Ok();
+  core::BenchReport report;
+  double wall_seconds = 0;    // real time for this point
+  uint64_t events = 0;        // simulator events dispatched
+  double events_per_sec = 0;  // events / wall_seconds
+};
+
+/// Runs a set of independent MacroRun sweep points, `--jobs` at a time,
+/// and reports rows in deterministic case order no matter which worker
+/// finishes first. With jobs=1 everything runs inline on the calling
+/// thread — byte-identical output is the determinism contract
+/// (tests/sweep_runner_test.cc).
+class SweepRunner {
+ public:
+  SweepRunner(std::string bench_name, BenchArgs args)
+      : bench_name_(std::move(bench_name)), args_(std::move(args)) {}
+
+  size_t Add(SweepCase c) {
+    cases_.push_back(std::move(c));
+    return cases_.size() - 1;
+  }
+
+  /// Convenience for the common "just run this config" case.
+  size_t Add(MacroConfig config,
+             std::vector<std::pair<std::string, std::string>> labels = {}) {
+    SweepCase c;
+    c.config = std::move(config);
+    c.labels = std::move(labels);
+    return Add(std::move(c));
+  }
+
+  size_t size() const { return cases_.size(); }
+
+  /// Runs every case and streams `row(index, outcome)` on the calling
+  /// thread in case order (row i prints as soon as cases 0..i are done).
+  /// Returns true when every case succeeded and the JSON (if requested)
+  /// was written.
+  bool Run(const std::function<void(size_t, const SweepOutcome&)>& row) {
+    // Chaincode registration mutates a global registry: do it once,
+    // before any worker threads exist.
+    workloads::RegisterAllChaincodes();
+    outcomes_.assign(cases_.size(), SweepOutcome{});
+    auto wall_start = std::chrono::steady_clock::now();
+
+    size_t jobs = std::min(args_.EffectiveJobs(),
+                           cases_.empty() ? size_t(1) : cases_.size());
+    if (jobs <= 1) {
+      for (size_t i = 0; i < cases_.size(); ++i) {
+        RunCase(i);
+        if (row) row(i, outcomes_[i]);
+      }
+    } else {
+      std::vector<char> done(cases_.size(), 0);
+      std::mutex mu;
+      std::condition_variable cv;
+      util::ThreadPool pool(jobs);
+      for (size_t i = 0; i < cases_.size(); ++i) {
+        pool.Submit([this, i, &done, &mu, &cv] {
+          RunCase(i);
+          {
+            std::lock_guard<std::mutex> lock(mu);
+            done[i] = 1;
+          }
+          cv.notify_all();
+        });
+      }
+      for (size_t i = 0; i < cases_.size(); ++i) {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return done[i] != 0; });
+        lock.unlock();
+        if (row) row(i, outcomes_[i]);
+      }
+      pool.Wait();
+    }
+
+    wall_seconds_ = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - wall_start)
+                        .count();
+    bool ok = true;
+    for (const auto& o : outcomes_) {
+      if (!o.status.ok()) {
+        std::fprintf(stderr, "%s: sweep point failed: %s\n",
+                     bench_name_.c_str(), o.status.ToString().c_str());
+        ok = false;
+      }
+    }
+    if (!args_.json_path.empty() && !WriteJson()) ok = false;
+    return ok;
+  }
+
+  const std::vector<SweepOutcome>& outcomes() const { return outcomes_; }
+  double wall_seconds() const { return wall_seconds_; }
+
+ private:
+  void RunCase(size_t i) {
+    SweepOutcome& out = outcomes_[i];
+    auto t0 = std::chrono::steady_clock::now();
+    auto run = MacroRun::Create(cases_[i].config);
+    if (!run.ok()) {
+      out.status = run.status();
+      return;
+    }
+    if (cases_[i].before) cases_[i].before(**run);
+    out.report = (*run)->Run();
+    if (cases_[i].after) cases_[i].after(**run, out.report);
+    out.events = (*run)->rsim().events_executed();
+    out.wall_seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+    if (out.wall_seconds > 0) {
+      out.events_per_sec = double(out.events) / out.wall_seconds;
+    }
+  }
+
+  bool WriteJson() const {
+    util::Json doc = util::Json::Object();
+    doc.Set("schema", "blockbench-sweep-v1");
+    doc.Set("bench", bench_name_);
+    doc.Set("full", args_.full);
+    doc.Set("jobs", args_.EffectiveJobs());
+    doc.Set("wall_seconds", wall_seconds_);
+    util::Json rows = util::Json::Array();
+    for (size_t i = 0; i < cases_.size(); ++i) {
+      const SweepCase& c = cases_[i];
+      const SweepOutcome& o = outcomes_[i];
+      util::Json r = util::Json::Object();
+      util::Json labels = util::Json::Object();
+      for (const auto& [k, v] : c.labels) labels.Set(k, v);
+      r.Set("labels", std::move(labels));
+      util::Json config = util::Json::Object();
+      config.Set("servers", c.config.servers);
+      config.Set("clients", c.config.clients);
+      config.Set("rate", c.config.rate);
+      config.Set("duration", c.config.duration);
+      config.Set("workload", WorkloadName(c.config.workload));
+      config.Set("seed", c.config.seed);
+      r.Set("config", std::move(config));
+      r.Set("status", o.status.ToString());
+      if (o.status.ok()) {
+        util::Json metrics = util::Json::Object();
+        metrics.Set("throughput", o.report.throughput);
+        metrics.Set("latency_mean", o.report.latency_mean);
+        metrics.Set("latency_p50", o.report.latency_p50);
+        metrics.Set("latency_p95", o.report.latency_p95);
+        metrics.Set("latency_p99", o.report.latency_p99);
+        metrics.Set("submitted", o.report.submitted);
+        metrics.Set("committed", o.report.committed);
+        metrics.Set("rejected", o.report.rejected);
+        r.Set("metrics", std::move(metrics));
+        util::Json sim = util::Json::Object();
+        sim.Set("events", o.events);
+        sim.Set("wall_seconds", o.wall_seconds);
+        sim.Set("events_per_sec", o.events_per_sec);
+        r.Set("sim", std::move(sim));
+      }
+      rows.Push(std::move(r));
+    }
+    doc.Set("rows", std::move(rows));
+    std::string text = doc.Dump(2);
+    text.push_back('\n');
+    std::FILE* f = std::fopen(args_.json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "%s: cannot write %s\n", bench_name_.c_str(),
+                   args_.json_path.c_str());
+      return false;
+    }
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    return true;
+  }
+
+  std::string bench_name_;
+  BenchArgs args_;
+  std::vector<SweepCase> cases_;
+  std::vector<SweepOutcome> outcomes_;
+  double wall_seconds_ = 0;
+};
 
 inline void PrintHeader(const std::string& title) {
   std::printf("\n==============================================================\n");

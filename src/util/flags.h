@@ -1,0 +1,62 @@
+// Tiny argv helpers shared by the bench binaries and the bbench CLI:
+// exact-match boolean flags ("--full") and "--key=value" flags
+// ("--jobs=8", "--json=out.json"). No registry, no allocation beyond
+// the returned value — just enough parsing for ~25 small mains to agree
+// on one syntax.
+
+#ifndef BLOCKBENCH_UTIL_FLAGS_H_
+#define BLOCKBENCH_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+namespace bb::util {
+
+/// True when the exact flag (e.g. "--full") is among the args.
+inline bool HasFlag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i] == flag) return true;
+  }
+  return false;
+}
+
+/// Returns the value of a "--key=value" flag given its key (e.g.
+/// "--jobs"), or nullopt when absent. The last occurrence wins.
+inline std::optional<std::string> FlagValue(int argc, char** argv,
+                                            const std::string& key) {
+  std::optional<std::string> value;
+  const std::string prefix = key + "=";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) value = arg.substr(prefix.size());
+  }
+  return value;
+}
+
+/// "--key=N" parsed as uint64, or `fallback` when absent/malformed.
+inline uint64_t FlagUint(int argc, char** argv, const std::string& key,
+                         uint64_t fallback) {
+  auto v = FlagValue(argc, argv, key);
+  if (!v || v->empty()) return fallback;
+  char* end = nullptr;
+  unsigned long long n = std::strtoull(v->c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return fallback;
+  return uint64_t(n);
+}
+
+/// "--key=X" parsed as double, or `fallback` when absent/malformed.
+inline double FlagDouble(int argc, char** argv, const std::string& key,
+                         double fallback) {
+  auto v = FlagValue(argc, argv, key);
+  if (!v || v->empty()) return fallback;
+  char* end = nullptr;
+  double d = std::strtod(v->c_str(), &end);
+  if (end == nullptr || *end != '\0') return fallback;
+  return d;
+}
+
+}  // namespace bb::util
+
+#endif  // BLOCKBENCH_UTIL_FLAGS_H_

@@ -1,0 +1,57 @@
+// A fixed-size worker pool for fanning independent jobs out across
+// cores. Used by bench::SweepRunner to run MacroRun sweep points in
+// parallel; each job owns its entire Simulation, so no simulation state
+// is ever shared between threads.
+
+#ifndef BLOCKBENCH_UTIL_THREAD_POOL_H_
+#define BLOCKBENCH_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bb::util {
+
+/// Fixed-size FIFO thread pool. Submit() enqueues a job; the destructor
+/// (or Wait() + destruction) drains everything. Jobs must not throw.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (minimum 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job; runs on some worker in FIFO dispatch order.
+  void Submit(std::function<void()> job);
+
+  /// Blocks until every submitted job has finished running.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// The machine's hardware concurrency, never reported as 0.
+  static size_t DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers: job or shutdown
+  std::condition_variable done_cv_;   // signals Wait(): all jobs finished
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // jobs popped but not yet finished
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace bb::util
+
+#endif  // BLOCKBENCH_UTIL_THREAD_POOL_H_

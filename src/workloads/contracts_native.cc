@@ -452,13 +452,7 @@ class VersionKvChaincode : public Chaincode {
   }
 };
 
-bool g_registered = false;
-
-}  // namespace
-
-void RegisterAllChaincodes() {
-  if (g_registered) return;
-  g_registered = true;
+void DoRegisterAllChaincodes() {
   auto& reg = vm::ChaincodeRegistry::Instance();
   reg.Register(kKvStoreChaincode,
                [] { return std::make_unique<KvStoreChaincode>(); });
@@ -478,6 +472,19 @@ void RegisterAllChaincodes() {
                [] { return std::make_unique<CpuHeavyChaincode>(); });
   reg.Register(kVersionKvChaincode,
                [] { return std::make_unique<VersionKvChaincode>(); });
+}
+
+}  // namespace
+
+void RegisterAllChaincodes() {
+  // Thread-safe once-only registration (workload constructors may run
+  // on SweepRunner worker threads): the magic static runs the lambda
+  // exactly once under the C++11 initialization guarantee.
+  static const bool registered = [] {
+    DoRegisterAllChaincodes();
+    return true;
+  }();
+  (void)registered;
 }
 
 }  // namespace bb::workloads

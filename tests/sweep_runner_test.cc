@@ -1,0 +1,158 @@
+// SweepRunner determinism and error handling: a parallel sweep must
+// produce byte-identical report rows to the serial one (each MacroRun
+// owns its Simulation, so thread scheduling can't leak into results),
+// rows must stream in case order, and bad configs must surface as
+// Status instead of aborting the process.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "util/json.h"
+
+namespace bb::bench {
+namespace {
+
+// Small, fast sweep: 6 points across two platforms and three loads.
+SweepRunner MakeRunner(const BenchArgs& args) {
+  SweepRunner runner("sweep_test", args);
+  for (const char* platform : {"corda", "hyperledger"}) {
+    auto opts = OptionsFor(platform);
+    EXPECT_TRUE(opts.ok());
+    for (double rate : {5.0, 10.0, 20.0}) {
+      MacroConfig cfg;
+      cfg.options = *opts;
+      cfg.servers = 4;
+      cfg.clients = 2;
+      cfg.rate = rate;
+      cfg.duration = 10;
+      cfg.drain = 5;
+      cfg.warmup = 2;
+      cfg.ycsb_records = 200;
+      runner.Add(std::move(cfg), {{"platform", platform},
+                                  {"rate", std::to_string(int(rate))}});
+    }
+  }
+  return runner;
+}
+
+std::vector<std::string> FormattedRows(size_t jobs) {
+  BenchArgs args;
+  args.jobs = jobs;
+  SweepRunner runner = MakeRunner(args);
+  std::vector<std::string> rows;
+  bool ok = runner.Run([&](size_t i, const SweepOutcome& o) {
+    EXPECT_EQ(i, rows.size());  // rows stream in case order
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "%zu|%.6f|%.6f|%.6f|%llu|%llu|%llu", i,
+                  o.report.throughput, o.report.latency_mean,
+                  o.report.latency_p99, (unsigned long long)o.report.submitted,
+                  (unsigned long long)o.report.committed,
+                  (unsigned long long)o.report.rejected);
+    rows.push_back(buf);
+  });
+  EXPECT_TRUE(ok);
+  return rows;
+}
+
+TEST(SweepRunnerTest, ParallelMatchesSerialByteForByte) {
+  std::vector<std::string> serial = FormattedRows(1);
+  std::vector<std::string> parallel = FormattedRows(8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "row " << i;
+  }
+}
+
+TEST(SweepRunnerTest, BadPlatformNameIsAnError) {
+  auto opts = OptionsFor("no-such-platform");
+  EXPECT_FALSE(opts.ok());
+  EXPECT_TRUE(opts.status().IsNotFound() ||
+              opts.status().code() == StatusCode::kInvalidArgument)
+      << opts.status().ToString();
+}
+
+TEST(SweepRunnerTest, BadConfigFailsTheRunWithoutAborting) {
+  BenchArgs args;
+  args.jobs = 1;
+  SweepRunner runner("sweep_test_bad", args);
+  MacroConfig cfg;  // default options: never Validate()-clean
+  cfg.options.block_tx_limit = 0;
+  cfg.duration = 1;
+  runner.Add(std::move(cfg));
+  bool row_seen = false;
+  bool ok = runner.Run([&](size_t, const SweepOutcome& o) {
+    row_seen = true;
+    EXPECT_FALSE(o.status.ok());
+  });
+  EXPECT_FALSE(ok);
+  EXPECT_TRUE(row_seen);
+}
+
+TEST(SweepRunnerTest, HooksRunAndSeeThePlatform) {
+  auto opts = OptionsFor("corda");
+  ASSERT_TRUE(opts.ok());
+  BenchArgs args;
+  args.jobs = 2;
+  SweepRunner runner("sweep_test_hooks", args);
+  std::vector<uint64_t> blocks(2, 0);
+  for (int i = 0; i < 2; ++i) {
+    SweepCase c;
+    c.config.options = *opts;
+    c.config.servers = 4;
+    c.config.clients = 2;
+    c.config.rate = 10;
+    c.config.duration = 10;
+    c.config.drain = 5;
+    c.config.warmup = 2;
+    c.config.ycsb_records = 200;
+    c.after = [&blocks, i](MacroRun& run, const core::BenchReport&) {
+      blocks[size_t(i)] =
+          run.rplatform().node(0).chain().main_chain_blocks();
+    };
+    runner.Add(std::move(c));
+  }
+  EXPECT_TRUE(runner.Run(nullptr));
+  EXPECT_GT(blocks[0], 0u);
+  EXPECT_EQ(blocks[0], blocks[1]);  // identical configs, identical runs
+}
+
+TEST(SweepRunnerTest, JsonOutputParsesAndMatchesSchema) {
+  std::string path = ::testing::TempDir() + "/sweep_test.json";
+  BenchArgs args;
+  args.jobs = 2;
+  args.json_path = path;
+  SweepRunner runner = MakeRunner(args);
+  ASSERT_TRUE(runner.Run(nullptr));
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+
+  auto doc = util::Json::Parse(text);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_EQ(doc->Get("schema")->AsString(), "blockbench-sweep-v1");
+  EXPECT_EQ(doc->Get("bench")->AsString(), "sweep_test");
+  const util::Json* rows = doc->Get("rows");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_EQ(rows->items().size(), 6u);
+  for (const util::Json& row : rows->items()) {
+    EXPECT_EQ(row.Get("status")->AsString(), "Ok");
+    ASSERT_NE(row.Get("metrics"), nullptr);
+    EXPECT_GE(row.Get("metrics")->Get("throughput")->AsDouble(), 0.0);
+    ASSERT_NE(row.Get("sim"), nullptr);
+    EXPECT_GT(row.Get("sim")->Get("events")->AsUint(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace bb::bench

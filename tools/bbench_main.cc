@@ -22,6 +22,7 @@
 #include "core/driver.h"
 #include "platform/platform.h"
 #include "platform/registry.h"
+#include "util/flags.h"
 #include "workloads/donothing.h"
 #include "workloads/doubler.h"
 #include "workloads/etherid.h"
@@ -67,54 +68,68 @@ void Usage() {
 }
 
 bool Parse(int argc, char** argv, Args* a) {
+  // Reject typos up front; the util helpers below then extract values
+  // (last occurrence wins, like every bench binary).
+  const char* known_kv[] = {"--platform",        "--workload", "--servers",
+                            "--clients",         "--rate",     "--duration",
+                            "--warmup",          "--seed",     "--max-outstanding",
+                            "--delay",           "--corrupt",  "--crash",
+                            "--partition"};
   for (int i = 1; i < argc; ++i) {
     std::string s = argv[i];
-    auto eat = [&](const char* k, std::string* out) {
-      std::string key = std::string("--") + k + "=";
-      if (s.rfind(key, 0) == 0) {
-        *out = s.substr(key.size());
-        return true;
+    if (s == "--timeline" || s == "--list-platforms") continue;
+    if (s == "--help" || s == "-h") return false;
+    bool matched = false;
+    for (const char* k : known_kv) {
+      if (s.rfind(std::string(k) + "=", 0) == 0) {
+        matched = true;
+        break;
       }
-      return false;
-    };
-    std::string v;
-    if (eat("platform", &v)) a->platform = v;
-    else if (eat("workload", &v)) a->workload = v;
-    else if (eat("servers", &v)) a->servers = size_t(std::atoll(v.c_str()));
-    else if (eat("clients", &v)) a->clients = size_t(std::atoll(v.c_str()));
-    else if (eat("rate", &v)) a->rate = std::atof(v.c_str());
-    else if (eat("duration", &v)) a->duration = std::atof(v.c_str());
-    else if (eat("warmup", &v)) a->warmup = std::atof(v.c_str());
-    else if (eat("seed", &v)) a->seed = uint64_t(std::atoll(v.c_str()));
-    else if (eat("max-outstanding", &v))
-      a->max_outstanding = size_t(std::atoll(v.c_str()));
-    else if (eat("delay", &v)) a->delay = std::atof(v.c_str());
-    else if (eat("corrupt", &v)) a->corrupt = std::atof(v.c_str());
-    else if (eat("crash", &v)) {
-      auto at = v.find('@');
-      if (at == std::string::npos) return false;
-      a->crashes.emplace_back(size_t(std::atoll(v.substr(0, at).c_str())),
-                              std::atof(v.substr(at + 1).c_str()));
-    } else if (eat("partition", &v)) {
-      auto colon = v.find(':');
-      if (colon == std::string::npos) return false;
-      a->partition_start = std::atof(v.substr(0, colon).c_str());
-      a->partition_end = std::atof(v.substr(colon + 1).c_str());
-    } else if (s == "--timeline") {
-      a->timeline = true;
-    } else if (s == "--list-platforms") {
-      for (const auto& [name, def] :
-           platform::PlatformRegistry::Instance().definitions()) {
-        std::fprintf(stderr, "  %-12s %s\n", name.c_str(),
-                     def.description.c_str());
-      }
-      std::exit(0);
-    } else if (s == "--help" || s == "-h") {
-      return false;
-    } else {
+    }
+    if (!matched) {
       std::fprintf(stderr, "unknown flag: %s\n", s.c_str());
       return false;
     }
+  }
+
+  if (util::HasFlag(argc, argv, "--list-platforms")) {
+    for (const auto& [name, def] :
+         platform::PlatformRegistry::Instance().definitions()) {
+      std::fprintf(stderr, "  %-12s %s\n", name.c_str(),
+                   def.description.c_str());
+    }
+    std::exit(0);
+  }
+
+  a->platform = util::FlagValue(argc, argv, "--platform").value_or(a->platform);
+  a->workload = util::FlagValue(argc, argv, "--workload").value_or(a->workload);
+  a->servers = size_t(util::FlagUint(argc, argv, "--servers", a->servers));
+  a->clients = size_t(util::FlagUint(argc, argv, "--clients", a->clients));
+  a->rate = util::FlagDouble(argc, argv, "--rate", a->rate);
+  a->duration = util::FlagDouble(argc, argv, "--duration", a->duration);
+  a->warmup = util::FlagDouble(argc, argv, "--warmup", a->warmup);
+  a->seed = util::FlagUint(argc, argv, "--seed", a->seed);
+  a->max_outstanding = size_t(
+      util::FlagUint(argc, argv, "--max-outstanding", a->max_outstanding));
+  a->delay = util::FlagDouble(argc, argv, "--delay", a->delay);
+  a->corrupt = util::FlagDouble(argc, argv, "--corrupt", a->corrupt);
+  a->timeline = util::HasFlag(argc, argv, "--timeline");
+
+  // --crash is repeatable, so collect every occurrence by hand.
+  for (int i = 1; i < argc; ++i) {
+    std::string s = argv[i];
+    if (s.rfind("--crash=", 0) != 0) continue;
+    std::string v = s.substr(sizeof("--crash=") - 1);
+    auto at = v.find('@');
+    if (at == std::string::npos) return false;
+    a->crashes.emplace_back(size_t(std::atoll(v.substr(0, at).c_str())),
+                            std::atof(v.substr(at + 1).c_str()));
+  }
+  if (auto part = util::FlagValue(argc, argv, "--partition")) {
+    auto colon = part->find(':');
+    if (colon == std::string::npos) return false;
+    a->partition_start = std::atof(part->substr(0, colon).c_str());
+    a->partition_end = std::atof(part->substr(colon + 1).c_str());
   }
   return true;
 }

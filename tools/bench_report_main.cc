@@ -1,0 +1,170 @@
+// bench_report: validates and merges benchmark JSON files into one
+// BENCH_*.json snapshot. Two input formats are recognised:
+//   * "blockbench-sweep-v1" documents written by the bench binaries'
+//     --json flag (macro sweeps; detected by their "rows" array), and
+//   * google-benchmark --benchmark_out=... output from bench_components
+//     (microbenchmarks; detected by their "benchmarks" array).
+// Anything else — unreadable files, parse errors, missing keys — is a
+// hard error with a non-zero exit, which is what the CI perf-smoke job
+// keys off: a run that produced malformed output must fail the gate.
+//
+//   bench_report --out=BENCH_2026-08-06.json micro.json sweep1.json ...
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/flags.h"
+#include "util/json.h"
+
+using bb::util::Json;
+
+namespace {
+
+bb::Result<std::string> ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return bb::Status::NotFound("cannot open " + path);
+  }
+  std::string text;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return text;
+}
+
+/// Validates one sweep document beyond "it parsed": every row needs
+/// labels and a status, and successful rows need their metrics block.
+bb::Status ValidateSweep(const Json& doc, const std::string& path) {
+  const Json* rows = doc.Get("rows");
+  if (rows == nullptr || !rows->is_array()) {
+    return bb::Status::InvalidArgument(path + ": sweep document without rows");
+  }
+  for (size_t i = 0; i < rows->items().size(); ++i) {
+    const Json& row = rows->items()[i];
+    if (!row.is_object() || row.Get("labels") == nullptr ||
+        row.Get("status") == nullptr) {
+      return bb::Status::InvalidArgument(
+          path + ": row " + std::to_string(i) + " missing labels/status");
+    }
+    const Json* status = row.Get("status");
+    if (status->is_string() && status->AsString() == "Ok" &&
+        row.Get("metrics") == nullptr) {
+      return bb::Status::InvalidArgument(
+          path + ": OK row " + std::to_string(i) + " without metrics");
+    }
+  }
+  return bb::Status::Ok();
+}
+
+bb::Status ValidateMicro(const Json& doc, const std::string& path) {
+  const Json* benchmarks = doc.Get("benchmarks");
+  if (benchmarks == nullptr || !benchmarks->is_array()) {
+    return bb::Status::InvalidArgument(path + ": no benchmarks array");
+  }
+  for (const Json& b : benchmarks->items()) {
+    if (!b.is_object() || b.Get("name") == nullptr) {
+      return bb::Status::InvalidArgument(path + ": benchmark entry without name");
+    }
+  }
+  return bb::Status::Ok();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path =
+      bb::util::FlagValue(argc, argv, "--out").value_or("BENCH.json");
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    std::string s = argv[i];
+    if (s.rfind("--", 0) == 0) {
+      if (s.rfind("--out=", 0) != 0) {
+        std::fprintf(stderr, "bench_report: unknown flag %s\n", s.c_str());
+        std::fprintf(stderr,
+                     "usage: bench_report [--out=PATH] FILE.json...\n");
+        return 2;
+      }
+      continue;
+    }
+    inputs.push_back(s);
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr, "bench_report: no input files\n");
+    std::fprintf(stderr, "usage: bench_report [--out=PATH] FILE.json...\n");
+    return 2;
+  }
+
+  Json micro = Json::Array();
+  Json macro = Json::Array();
+  for (const std::string& path : inputs) {
+    auto text = ReadFile(path);
+    if (!text.ok()) {
+      std::fprintf(stderr, "bench_report: %s\n",
+                   text.status().ToString().c_str());
+      return 1;
+    }
+    auto doc = Json::Parse(*text);
+    if (!doc.ok()) {
+      std::fprintf(stderr, "bench_report: %s: %s\n", path.c_str(),
+                   doc.status().ToString().c_str());
+      return 1;
+    }
+    if (doc->Get("benchmarks") != nullptr) {
+      bb::Status s = ValidateMicro(*doc, path);
+      if (!s.ok()) {
+        std::fprintf(stderr, "bench_report: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      Json entry = Json::Object();
+      entry.Set("source", path);
+      if (const Json* ctx = doc->Get("context")) entry.Set("context", *ctx);
+      entry.Set("benchmarks", *doc->Get("benchmarks"));
+      micro.Push(std::move(entry));
+      std::printf("bench_report: %s: %zu microbenchmarks\n", path.c_str(),
+                  doc->Get("benchmarks")->items().size());
+    } else if (doc->Get("rows") != nullptr) {
+      bb::Status s = ValidateSweep(*doc, path);
+      if (!s.ok()) {
+        std::fprintf(stderr, "bench_report: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      Json entry = Json::Object();
+      entry.Set("source", path);
+      if (const Json* schema = doc->Get("schema")) entry.Set("schema", *schema);
+      if (const Json* bench = doc->Get("bench")) entry.Set("bench", *bench);
+      if (const Json* full = doc->Get("full")) entry.Set("full", *full);
+      if (const Json* jobs = doc->Get("jobs")) entry.Set("jobs", *jobs);
+      if (const Json* w = doc->Get("wall_seconds")) {
+        entry.Set("wall_seconds", *w);
+      }
+      entry.Set("rows", *doc->Get("rows"));
+      macro.Push(std::move(entry));
+      std::printf("bench_report: %s: %zu sweep rows\n", path.c_str(),
+                  doc->Get("rows")->items().size());
+    } else {
+      std::fprintf(stderr,
+                   "bench_report: %s: neither a sweep document (rows) nor "
+                   "google-benchmark output (benchmarks)\n",
+                   path.c_str());
+      return 1;
+    }
+  }
+
+  Json report = Json::Object();
+  report.Set("schema", "blockbench-report-v1");
+  report.Set("micro", std::move(micro));
+  report.Set("macro", std::move(macro));
+  std::string text = report.Dump(2);
+  text.push_back('\n');
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_report: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::printf("bench_report: wrote %s\n", out_path.c_str());
+  return 0;
+}
