@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "obs/trace.h"
 #include "sim/network.h"
 #include "sim/node.h"
 #include "storage/bucket_tree.h"
@@ -161,6 +162,29 @@ void BM_SimulationEventLoop(benchmark::State& state) {
   state.SetItemsProcessed(int64_t(state.iterations()) * 10000);
 }
 BENCHMARK(BM_SimulationEventLoop);
+
+// Same loop, but each callback pays the disabled-tracing test that every
+// instrumented hook site performs. The CI perf-smoke gate holds the
+// ratio of this benchmark to BM_SimulationEventLoop under 1.02 — the
+// "zero overhead when disabled" contract of docs/OBSERVABILITY.md.
+void BM_SimulationEventLoopTraceOff(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    int count = 0;
+    for (int i = 0; i < 10000; ++i) {
+      sim.At(double(i) * 0.001, [&count, &sim] {
+        if (auto* tr = sim.tracer()) {
+          tr->Instant(0, "bench", "tick", sim.Now());
+        }
+        ++count;
+      });
+    }
+    sim.RunToCompletion();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * 10000);
+}
+BENCHMARK(BM_SimulationEventLoopTraceOff);
 
 // sim_schedule: raw cost of pushing events through the queue in the
 // mostly-monotonic pattern real runs produce (network delays of a few

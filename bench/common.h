@@ -23,6 +23,8 @@
 #include <vector>
 
 #include "core/driver.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "platform/platform.h"
 #include "platform/registry.h"
 #include "util/flags.h"
@@ -69,6 +71,9 @@ struct MacroConfig {
   /// Smaller preloads keep bench startup fast without changing shape.
   uint64_t ycsb_records = 2000;
   uint64_t smallbank_accounts = 2000;
+  /// Optional tracer, attached to the simulation before the platform is
+  /// built (so every layer sees it). Not owned; must outlive the run.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// One macro experiment: platform cluster + driver + workload.
@@ -101,6 +106,7 @@ class MacroRun {
   Status Init() {
     BB_RETURN_IF_ERROR(config_.options.Validate());
     sim_ = std::make_unique<sim::Simulation>(config_.seed);
+    if (config_.tracer != nullptr) sim_->set_tracer(config_.tracer);
     platform_ = std::make_unique<platform::Platform>(
         sim_.get(), config_.options, config_.servers);
     switch (config_.workload) {
@@ -209,6 +215,9 @@ struct SweepOutcome {
   double wall_seconds = 0;    // real time for this point
   uint64_t events = 0;        // simulator events dispatched
   double events_per_sec = 0;  // events / wall_seconds
+  /// Per-node counters harvested from every layer after the run
+  /// (serialized as "node_metrics" in blockbench-sweep-v1 rows).
+  obs::MetricsRegistry metrics;
 };
 
 /// Runs a set of independent MacroRun sweep points, `--jobs` at a time,
@@ -309,6 +318,7 @@ class SweepRunner {
     if (cases_[i].before) cases_[i].before(**run);
     out.report = (*run)->Run();
     if (cases_[i].after) cases_[i].after(**run, out.report);
+    (*run)->rplatform().ExportMetrics(&out.metrics);
     out.events = (*run)->rsim().events_executed();
     out.wall_seconds = std::chrono::duration<double>(
                            std::chrono::steady_clock::now() - t0)
@@ -358,6 +368,7 @@ class SweepRunner {
         sim.Set("wall_seconds", o.wall_seconds);
         sim.Set("events_per_sec", o.events_per_sec);
         r.Set("sim", std::move(sim));
+        if (!o.metrics.empty()) r.Set("node_metrics", o.metrics.ToJson());
       }
       rows.Push(std::move(r));
     }

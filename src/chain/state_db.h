@@ -17,6 +17,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/metrics.h"
 #include "storage/bucket_tree.h"
 #include "storage/kvstore.h"
 #include "storage/patricia_trie.h"
@@ -58,6 +59,13 @@ class StateDb {
   /// Bytes consumed by the backing store (disk-usage series in Fig 12c).
   virtual uint64_t storage_bytes() const = 0;
 
+  /// Exports data-model metrics into `reg` under `labels`; concrete
+  /// models add their own (trie node traffic, cache hit rates).
+  virtual void ExportMetrics(obs::MetricsRegistry* reg,
+                             const obs::Labels& labels) const {
+    reg->SetGauge("state.storage_bytes", labels, double(storage_bytes()));
+  }
+
  protected:
   static std::string FullKey(const std::string& ns, const std::string& key) {
     std::string out;
@@ -89,6 +97,16 @@ class TrieStateDb : public StateDb {
                const std::string& key, std::string* value) const override;
   bool supports_versioned_reads() const override { return true; }
   uint64_t storage_bytes() const override { return store_->size_bytes(); }
+  void ExportMetrics(obs::MetricsRegistry* reg,
+                     const obs::Labels& labels) const override {
+    StateDb::ExportMetrics(reg, labels);
+    const storage::TrieStats& s = trie_stats();
+    reg->AddCounter("state.trie_node_reads", labels, s.node_reads);
+    reg->AddCounter("state.trie_node_writes", labels, s.node_writes);
+    reg->AddCounter("state.trie_bytes_written", labels, s.bytes_written);
+    reg->AddCounter("state.trie_cache_hits", labels, s.cache_hits);
+    reg->AddCounter("state.trie_cache_misses", labels, s.cache_misses);
+  }
 
   const storage::TrieStats& trie_stats() const { return trie_.stats(); }
 

@@ -15,6 +15,7 @@
 
 #include "chain/block.h"
 #include "chain/chain_store.h"
+#include "obs/metrics.h"
 #include "sim/network.h"
 
 namespace bb::consensus {
@@ -78,6 +79,15 @@ class Engine {
 
   /// Protocol name for logs ("pow", "poa", "pbft").
   virtual const char* name() const = 0;
+
+  /// Exports engine-specific counters/gauges (view changes, blocks
+  /// mined, election count, ...) into `reg` under `labels`; called
+  /// post-run by Platform::ExportMetrics. Default: nothing to export.
+  virtual void ExportMetrics(obs::MetricsRegistry* reg,
+                             const obs::Labels& labels) const {
+    (void)reg;
+    (void)labels;
+  }
 
  protected:
   /// Shared chain-sync fallback for gossip-based engines: when a

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace bb::consensus {
 
 namespace {
@@ -133,10 +135,15 @@ bool Pbft::ProposeOne() {
   inst.view = view_;
   inst.prepares.insert(host_->node_id());
   inst.sent_prepare = true;
+  inst.t_preprepare = host_->HostNow();
   last_proposed_seq_ = seq;
   last_proposed_hash_ = inst.digest;
   last_proposal_time_ = host_->HostNow();
 
+  if (auto* tr = host_->host_sim()->tracer()) {
+    tr->Instant(uint32_t(host_->node_id()), "consensus", "pbft.propose",
+                host_->HostNow(), "seq", double(seq));
+  }
   host_->HostBroadcast("pbft_preprepare", PrePrepareMsg{view_, seq, ptr},
                        ptr->SizeBytes());
   return true;
@@ -183,6 +190,7 @@ void Pbft::OnPrePrepare(sim::NodeId from, const PrePrepareMsg& m,
   inst.block = m.block;
   inst.digest = m.block->HashOf();
   inst.view = m.view;
+  if (inst.t_preprepare < 0) inst.t_preprepare = host_->HostNow();
   inst.prepares.insert(from);  // pre-prepare doubles as the leader's prepare
   if (!inst.sent_prepare) {
     inst.sent_prepare = true;
@@ -214,6 +222,14 @@ void Pbft::MaybeSendCommit(uint64_t seq) {
   }
   inst.sent_commit = true;
   inst.commits.insert(host_->node_id());
+  inst.t_prepared = host_->HostNow();
+  if (auto* tr = host_->host_sim()->tracer()) {
+    if (inst.t_preprepare >= 0) {
+      tr->CompleteSpan(uint32_t(host_->node_id()), "consensus",
+                       "pbft.prepare", inst.t_preprepare, inst.t_prepared,
+                       "seq", double(seq));
+    }
+  }
   host_->HostBroadcast("pbft_commit", PhaseMsg{view_, seq, inst.digest},
                        kPhaseMsgBytes);
 }
@@ -238,6 +254,13 @@ void Pbft::MaybeExecute(double* cpu) {
     double commit_cpu = 0;
     bool ok = host_->CommitBlock(*inst.block, &commit_cpu);
     *cpu += commit_cpu;
+    if (auto* tr = host_->host_sim()->tracer()) {
+      if (ok && inst.t_prepared >= 0) {
+        tr->CompleteSpan(uint32_t(host_->node_id()), "consensus",
+                         "pbft.commit", inst.t_prepared, host_->HostNow(),
+                         "seq", double(next));
+      }
+    }
     instances_.erase(it);
     if (!ok) return;
     last_progress_exec_ = ExecHeight();
@@ -253,6 +276,7 @@ void Pbft::StartViewChange(uint64_t target_view) {
   view_change_target_ = target_view;
   ++view_changes_started_;
   ++consecutive_view_changes_;
+  if (view_change_start_ < 0) view_change_start_ = host_->HostNow();
   DiscardInflight();
   ViewChangeMsg m{target_view, ExecHeight()};
   view_change_votes_[target_view].insert(host_->node_id());
@@ -290,6 +314,14 @@ void Pbft::OnNewView(sim::NodeId from, const NewViewMsg& m) {
 }
 
 void Pbft::EnterView(uint64_t view) {
+  if (view_change_start_ >= 0) {
+    if (auto* tr = host_->host_sim()->tracer()) {
+      tr->CompleteSpan(uint32_t(host_->node_id()), "consensus",
+                       "pbft.view_change", view_change_start_,
+                       host_->HostNow(), "view", double(view));
+    }
+    view_change_start_ = -1;
+  }
   view_ = view;
   in_view_change_ = false;
   view_change_target_ = std::max(view_change_target_, view);
@@ -350,6 +382,13 @@ void Pbft::OnBlocks(const BlocksMsg& m, double* cpu) {
   if (m.view > view_) EnterView(m.view);
   last_progress_exec_ = ExecHeight();
   last_progress_time_ = host_->HostNow();
+}
+
+void Pbft::ExportMetrics(obs::MetricsRegistry* reg,
+                         const obs::Labels& labels) const {
+  reg->AddCounter("consensus.view_changes", labels, view_changes_started_);
+  reg->AddCounter("consensus.blocks_proposed", labels, blocks_proposed_);
+  reg->SetGauge("consensus.view", labels, double(view_));
 }
 
 }  // namespace bb::consensus

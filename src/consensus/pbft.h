@@ -62,6 +62,8 @@ class Pbft : public Engine {
   void OnCrash() override;
   void OnRestart() override;
   const char* name() const override { return "pbft"; }
+  void ExportMetrics(obs::MetricsRegistry* reg,
+                     const obs::Labels& labels) const override;
 
   uint64_t view() const { return view_; }
   uint64_t view_changes_started() const { return view_changes_started_; }
@@ -115,6 +117,10 @@ class Pbft : public Engine {
     bool sent_prepare = false;
     bool sent_commit = false;
     bool executed = false;
+    /// Tracing: when this node saw the pre-prepare / reached the
+    /// prepared state (-1 until then).
+    double t_preprepare = -1;
+    double t_prepared = -1;
   };
 
   sim::NodeId LeaderOf(uint64_t view) const {
@@ -170,6 +176,8 @@ class Pbft : public Engine {
   bool fetch_outstanding_ = false;
   uint64_t view_changes_started_ = 0;
   uint64_t blocks_proposed_ = 0;
+  /// Tracing: start of the in-progress view change (-1 when none).
+  double view_change_start_ = -1;
 };
 
 }  // namespace bb::consensus

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace bb::consensus {
 
 void ProofOfAuthority::Start(ConsensusHost* host) {
@@ -43,6 +45,14 @@ void ProofOfAuthority::OnStep(uint64_t step) {
     double commit_cpu = 0;
     host_->CommitBlock(*block, &commit_cpu);
     host_->ChargeBackground(build_cpu + commit_cpu);
+    if (auto* tr = host_->host_sim()->tracer()) {
+      // The clock does not advance inside one event, so the seal span's
+      // extent is the modeled build + commit CPU time.
+      double now = host_->HostNow();
+      tr->CompleteSpan(uint32_t(host_->node_id()), "consensus", "poa.seal",
+                       now, now + build_cpu + commit_cpu, "height",
+                       double(host_->chain_store().head_height()));
+    }
     auto ptr = std::make_shared<const chain::Block>(std::move(*block));
     host_->HostBroadcast("poa_block", ptr, ptr->SizeBytes());
   }
@@ -60,12 +70,25 @@ bool ProofOfAuthority::HandleMessage(const sim::Message& msg, double* cpu) {
   auto block = std::any_cast<BlockPtr>(msg.payload);
   *cpu += config_.block_validate_cpu +
           config_.tx_validate_cpu * double(block->txs.size());
+  uint64_t old_reorgs = host_->chain_store().reorgs();
   double commit_cpu = 0;
   if (!host_->CommitBlock(*block, &commit_cpu)) {
     RequestSync(host_, msg.from);
   }
   *cpu += commit_cpu;
+  if (host_->chain_store().reorgs() > old_reorgs) {
+    if (auto* tr = host_->host_sim()->tracer()) {
+      tr->Instant(uint32_t(host_->node_id()), "consensus", "poa.fork_switch",
+                  host_->HostNow(), "height",
+                  double(host_->chain_store().head_height()));
+    }
+  }
   return true;
+}
+
+void ProofOfAuthority::ExportMetrics(obs::MetricsRegistry* reg,
+                                     const obs::Labels& labels) const {
+  reg->AddCounter("consensus.blocks_sealed", labels, blocks_sealed_);
 }
 
 }  // namespace bb::consensus

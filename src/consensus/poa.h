@@ -33,6 +33,8 @@ class ProofOfAuthority : public Engine {
   void OnCrash() override { active_ = false; }
   void OnRestart() override;
   const char* name() const override { return "poa"; }
+  void ExportMetrics(obs::MetricsRegistry* reg,
+                     const obs::Labels& labels) const override;
 
   uint64_t blocks_sealed() const { return blocks_sealed_; }
 

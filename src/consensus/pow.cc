@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace bb::consensus {
 
 double ProofOfWork::PerNodeMeanInterval() const {
@@ -34,6 +36,7 @@ void ProofOfWork::CpuTick() {
 void ProofOfWork::ScheduleMine() {
   if (!mining_) return;
   uint64_t epoch = ++mining_epoch_;
+  mine_start_ = host_->HostNow();
   double delay = rng_.Exponential(PerNodeMeanInterval());
   host_->host_sim()->After(delay, [this, epoch] { OnMined(epoch); });
 }
@@ -52,6 +55,11 @@ void ProofOfWork::OnMined(uint64_t epoch) {
     // difficulty is fixed by the genesis configuration.
     block->header.weight = 1000;
     ++blocks_mined_;
+    if (auto* tr = host_->host_sim()->tracer()) {
+      tr->CompleteSpan(uint32_t(host_->node_id()), "consensus", "pow.mine",
+                       mine_start_, host_->HostNow(), "height",
+                       double(block->header.height));
+    }
     double commit_cpu = 0;
     host_->CommitBlock(*block, &commit_cpu);
     host_->ChargeBackground(build_cpu + commit_cpu);
@@ -76,6 +84,7 @@ bool ProofOfWork::HandleMessage(const sim::Message& msg, double* cpu) {
   *cpu += config_.block_validate_cpu +
           config_.tx_validate_cpu * double(block->txs.size());
   Hash256 old_head = host_->chain_store().head();
+  uint64_t old_reorgs = host_->chain_store().reorgs();
   double commit_cpu = 0;
   if (!host_->CommitBlock(*block, &commit_cpu)) {
     // Missing ancestors: pull the sender's chain.
@@ -83,6 +92,17 @@ bool ProofOfWork::HandleMessage(const sim::Message& msg, double* cpu) {
   }
   *cpu += commit_cpu;
   if (host_->chain_store().head() != old_head) {
+    if (auto* tr = host_->host_sim()->tracer()) {
+      if (host_->chain_store().reorgs() > old_reorgs) {
+        tr->Instant(uint32_t(host_->node_id()), "consensus",
+                    "pow.fork_switch", host_->HostNow(), "height",
+                    double(host_->chain_store().head_height()));
+      }
+      if (mining_) {
+        tr->Instant(uint32_t(host_->node_id()), "consensus",
+                    "pow.mine_abandoned", host_->HostNow());
+      }
+    }
     // Head moved: abandon the in-flight race and mine on the new tip.
     ScheduleMine();
   }
@@ -96,6 +116,11 @@ void ProofOfWork::OnRestart() {
   mining_ = true;
   ScheduleMine();
   CpuTick();
+}
+
+void ProofOfWork::ExportMetrics(obs::MetricsRegistry* reg,
+                                const obs::Labels& labels) const {
+  reg->AddCounter("consensus.blocks_mined", labels, blocks_mined_);
 }
 
 }  // namespace bb::consensus

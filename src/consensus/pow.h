@@ -47,6 +47,8 @@ class ProofOfWork : public Engine {
   void OnCrash() override;
   void OnRestart() override;
   const char* name() const override { return "pow"; }
+  void ExportMetrics(obs::MetricsRegistry* reg,
+                     const obs::Labels& labels) const override;
 
   /// Mean time for THIS node to find a block, given current network size.
   double PerNodeMeanInterval() const;
@@ -67,6 +69,8 @@ class ProofOfWork : public Engine {
   uint64_t mining_epoch_ = 0;
   bool mining_ = false;
   uint64_t blocks_mined_ = 0;
+  /// Tracing: when the current mining race started.
+  double mine_start_ = -1;
 };
 
 }  // namespace bb::consensus

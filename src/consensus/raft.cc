@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace bb::consensus {
 
 namespace {
@@ -60,6 +62,7 @@ void Raft::ElectionCheck() {
 void Raft::StartElection() {
   ++term_;
   ++elections_started_;
+  if (election_start_ < 0) election_start_ = host_->HostNow();
   role_ = Role::kCandidate;
   votes_.clear();
   votes_.insert(host_->node_id());
@@ -73,6 +76,14 @@ void Raft::StartElection() {
 }
 
 void Raft::BecomeLeader() {
+  if (election_start_ >= 0) {
+    if (auto* tr = host_->host_sim()->tracer()) {
+      tr->CompleteSpan(uint32_t(host_->node_id()), "consensus",
+                       "raft.election", election_start_, host_->HostNow(),
+                       "term", double(term_));
+    }
+    election_start_ = -1;
+  }
   role_ = Role::kLeader;
   match_height_.clear();
   // Re-replicate our surviving pending tail; peers report their actual
@@ -105,6 +116,8 @@ void Raft::BecomeFollower(uint64_t term) {
   }
   role_ = Role::kFollower;
   votes_.clear();
+  election_start_ = -1;  // another node won; no election span from us
+  propose_time_.clear();
   ResetElectionTimer();
 }
 
@@ -135,6 +148,9 @@ void Raft::MaybePropose() {
   block->header.weight = 1;
   auto ptr = std::make_shared<const chain::Block>(std::move(*block));
   pending_log_[tail + 1] = ptr;
+  if (host_->host_sim()->tracer() != nullptr) {
+    propose_time_[tail + 1] = host_->HostNow();
+  }
   last_proposal_time_ = host_->HostNow();
   for (sim::NodeId peer = 0; peer < host_->num_nodes(); ++peer) {
     if (peer != host_->node_id()) ReplicateTo(peer);
@@ -325,10 +341,25 @@ void Raft::AdvanceCommit(double* cpu) {
     double commit_cpu = 0;
     host_->CommitBlock(*it->second, &commit_cpu);
     *cpu += commit_cpu;
+    if (auto* tr = host_->host_sim()->tracer()) {
+      auto pt = propose_time_.find(h);
+      if (pt != propose_time_.end()) {
+        tr->CompleteSpan(uint32_t(host_->node_id()), "consensus",
+                         "raft.replicate", pt->second, host_->HostNow(),
+                         "height", double(h));
+        propose_time_.erase(pt);
+      }
+    }
     pending_log_.erase(it);
     ++committed_height_;
   }
   if (role_ == Role::kLeader) MaybePropose();
+}
+
+void Raft::ExportMetrics(obs::MetricsRegistry* reg,
+                         const obs::Labels& labels) const {
+  reg->AddCounter("consensus.elections", labels, elections_started_);
+  reg->SetGauge("consensus.term", labels, double(term_));
 }
 
 }  // namespace bb::consensus

@@ -50,6 +50,8 @@ class Raft : public Engine {
   void OnCrash() override;
   void OnRestart() override;
   const char* name() const override { return "raft"; }
+  void ExportMetrics(obs::MetricsRegistry* reg,
+                     const obs::Labels& labels) const override;
 
   enum class Role { kFollower, kCandidate, kLeader };
   Role role() const { return role_; }
@@ -120,6 +122,11 @@ class Raft : public Engine {
   double election_deadline_ = 0;
   double last_proposal_time_ = -1e9;
   uint64_t elections_started_ = 0;
+
+  /// Tracing: first election attempt of the current leaderless period
+  /// (-1 when none in flight) and leader-side proposal times by height.
+  double election_start_ = -1;
+  std::map<uint64_t, double> propose_time_;
 };
 
 }  // namespace bb::consensus

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace bb::consensus {
 
 namespace {
@@ -94,6 +96,11 @@ void Tendermint::MaybePropose() {
   rs.proposal_hash = ptr->HashOf();
   rs.sent_prevote = true;
   rs.prevotes.insert(host_->node_id());
+  rs.t_proposal = host_->HostNow();
+  if (auto* tr = host_->host_sim()->tracer()) {
+    tr->Instant(uint32_t(host_->node_id()), "consensus", "tm.propose",
+                host_->HostNow(), "height", double(h));
+  }
   host_->HostBroadcast("tm_proposal", ProposalMsg{h, round_, ptr},
                        ptr->SizeBytes());
   host_->HostBroadcast("tm_prevote", VoteMsg{h, round_, rs.proposal_hash},
@@ -131,6 +138,10 @@ void Tendermint::AdvanceRound() {
   ++rounds_failed_;
   ++round_;
   round_start_time_ = host_->HostNow();
+  if (auto* tr = host_->host_sim()->tracer()) {
+    tr->Instant(uint32_t(host_->node_id()), "consensus", "tm.round_failed",
+                host_->HostNow(), "round", double(round_ - 1));
+  }
   // The failed round's proposal (ours or the proposer's) is abandoned;
   // requeue what we proposed ourselves.
   auto it = rounds_.find({Height() + 1, round_ - 1});
@@ -173,6 +184,7 @@ void Tendermint::OnProposal(const ProposalMsg& m, double* cpu) {
   if (rs.proposal != nullptr) return;
   rs.proposal = m.block;
   rs.proposal_hash = m.block->HashOf();
+  rs.t_proposal = host_->HostNow();
   if (m.round == round_ && !rs.sent_prevote) {
     rs.sent_prevote = true;
     rs.prevotes.insert(host_->node_id());
@@ -194,6 +206,14 @@ void Tendermint::OnPrevote(sim::NodeId from, const VoteMsg& m) {
       rs.proposal_hash == m.block_hash && rs.prevotes.size() >= Quorum()) {
     rs.sent_precommit = true;
     rs.precommits.insert(host_->node_id());
+    rs.t_prevote_q = host_->HostNow();
+    if (auto* tr = host_->host_sim()->tracer()) {
+      if (rs.t_proposal >= 0) {
+        tr->CompleteSpan(uint32_t(host_->node_id()), "consensus",
+                         "tm.prevote", rs.t_proposal, rs.t_prevote_q,
+                         "height", double(m.height));
+      }
+    }
     host_->HostBroadcast("tm_precommit",
                          VoteMsg{m.height, m.round, rs.proposal_hash},
                          kVoteBytes);
@@ -213,10 +233,23 @@ void Tendermint::OnPrecommit(sim::NodeId from, const VoteMsg& m,
   double commit_cpu = 0;
   host_->CommitBlock(*rs.proposal, &commit_cpu);
   *cpu += commit_cpu;
+  if (auto* tr = host_->host_sim()->tracer()) {
+    if (rs.t_prevote_q >= 0) {
+      tr->CompleteSpan(uint32_t(host_->node_id()), "consensus",
+                       "tm.precommit", rs.t_prevote_q, host_->HostNow(),
+                       "height", double(m.height));
+    }
+  }
   round_ = 0;
   last_commit_time_ = host_->HostNow();
   PruneOldRounds();
   MaybePropose();
+}
+
+void Tendermint::ExportMetrics(obs::MetricsRegistry* reg,
+                               const obs::Labels& labels) const {
+  reg->AddCounter("consensus.rounds_failed", labels, rounds_failed_);
+  reg->AddCounter("consensus.blocks_proposed", labels, blocks_proposed_);
 }
 
 void Tendermint::PruneOldRounds() {

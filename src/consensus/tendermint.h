@@ -54,6 +54,8 @@ class Tendermint : public Engine {
   void OnCrash() override;
   void OnRestart() override;
   const char* name() const override { return "tendermint"; }
+  void ExportMetrics(obs::MetricsRegistry* reg,
+                     const obs::Labels& labels) const override;
 
   uint64_t height() const { return Height(); }
   uint64_t round() const { return round_; }
@@ -89,6 +91,10 @@ class Tendermint : public Engine {
     std::set<sim::NodeId> precommits;
     bool sent_prevote = false;
     bool sent_precommit = false;
+    /// Tracing: when this node saw the proposal / reached the prevote
+    /// quorum (-1 until then).
+    double t_proposal = -1;
+    double t_prevote_q = -1;
   };
 
   uint64_t Height() const { return host_->chain_store().head_height(); }

@@ -1,5 +1,7 @@
 #include "core/client.h"
 
+#include "obs/trace.h"
+
 namespace bb::core {
 
 namespace {
@@ -58,6 +60,11 @@ void DriverClient::TrySubmit(chain::Transaction tx) {
   auto [it, inserted] = outstanding_.emplace(tx.id, std::move(tx));
   (void)inserted;
   stats_->RecordSubmit(Now());
+  if (auto* tr = sim()->tracer()) {
+    // A resubmission after rejection restarts the lifecycle record, so
+    // traced spans telescope to the latency measured from this submit.
+    tr->TxMilestone(it->second.id, obs::Tracer::kSubmit, Now());
+  }
   Send(server_, "client_tx", platform::ClientTx{it->second}, wire_bytes);
 }
 
@@ -108,6 +115,21 @@ void DriverClient::OnBlocks(const platform::RpcBlocks& m) {
       if (it == outstanding_.end()) continue;
       if (!committed_.insert(tx.id).second) continue;
       stats_->RecordCommit(Now(), Now() - it->second.submit_time);
+      if (auto* tr = sim()->tracer()) {
+        tr->TxMilestone(tx.id, obs::Tracer::kConfirm, Now());
+        if (const auto* ms = tr->FindTx(tx.id)) {
+          double legs[StatsCollector::kNumPhases];
+          bool complete = true;
+          for (size_t leg = 0; leg < StatsCollector::kNumPhases; ++leg) {
+            if ((*ms)[leg] < 0 || (*ms)[leg + 1] < 0) {
+              complete = false;
+              break;
+            }
+            legs[leg] = (*ms)[leg + 1] - (*ms)[leg];
+          }
+          if (complete) stats_->RecordCommitPhases(legs);
+        }
+      }
       outstanding_.erase(it);
     }
   }

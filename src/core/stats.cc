@@ -1,9 +1,14 @@
 #include "core/stats.h"
 
 #include <cstdio>
-#include <fstream>
+
+#include "obs/trace.h"
+#include "util/bufwriter.h"
 
 namespace bb::core {
+
+static_assert(StatsCollector::kNumPhases == obs::Tracer::kNumTxSpans,
+              "phase breakdown legs must match the tracer's span legs");
 
 StatsCollector::StatsCollector(size_t num_clients)
     : submitted_(1.0), committed_(1.0) {
@@ -29,6 +34,10 @@ void StatsCollector::RecordCommit(double t, double latency_sec) {
   committed_.Add(t, 1);
   latency_.Add(latency_sec);
   ++total_committed_;
+}
+
+void StatsCollector::RecordCommitPhases(const double (&legs)[kNumPhases]) {
+  for (size_t i = 0; i < kNumPhases; ++i) phase_[i].Add(legs[i]);
 }
 
 void StatsCollector::ObserveQueue(double t, uint32_t client,
@@ -70,14 +79,14 @@ double StatsCollector::BacklogAt(size_t sec) const {
 
 Status StatsCollector::WriteCsv(const std::string& path,
                                 double duration_sec) const {
-  std::ofstream out(path);
-  if (!out) return Status::Unavailable("cannot open " + path);
-  out << "second,submitted,committed,queue,backlog\n";
+  util::BufferedWriter out;
+  BB_RETURN_IF_ERROR(out.Open(path));
+  out.Append("second,submitted,committed,queue,backlog\n");
   for (size_t s = 0; s < size_t(duration_sec); ++s) {
-    out << s << ',' << SubmittedInSecond(s) << ',' << CommittedInSecond(s)
-        << ',' << QueueLengthAt(s) << ',' << BacklogAt(s) << "\n";
+    out.Appendf("%zu,%g,%g,%g,%g\n", s, SubmittedInSecond(s),
+                CommittedInSecond(s), QueueLengthAt(s), BacklogAt(s));
   }
-  return out.good() ? Status::Ok() : Status::Unavailable("write failed");
+  return out.Close();
 }
 
 std::string StatsCollector::Summary(double from, double to) const {
@@ -90,7 +99,24 @@ std::string StatsCollector::Summary(double from, double to) const {
                 (unsigned long long)total_submitted_,
                 (unsigned long long)total_committed_,
                 (unsigned long long)total_rejected_);
-  return buf;
+  std::string out = buf;
+  if (phase_[0].count() > 0) {
+    double total_mean = 0;
+    for (const auto& h : phase_) total_mean += h.Mean();
+    std::snprintf(buf, sizeof(buf),
+                  "\ncommit latency breakdown (%llu traced txs):\n",
+                  (unsigned long long)phase_[0].count());
+    out += buf;
+    for (size_t leg = 0; leg < kNumPhases; ++leg) {
+      const Histogram& h = phase_[leg];
+      std::snprintf(buf, sizeof(buf),
+                    "  %-15s mean=%8.4fs p95=%8.4fs share=%5.1f%%\n",
+                    obs::Tracer::TxSpanName(leg), h.Mean(), h.Percentile(95),
+                    total_mean > 0 ? 100.0 * h.Mean() / total_mean : 0.0);
+      out += buf;
+    }
+  }
+  return out;
 }
 
 }  // namespace bb::core

@@ -1,0 +1,122 @@
+// Tracer: a span/event recorder keyed on virtual simulation time.
+//
+// One Tracer serves one sim::Simulation. Components reach it through
+// Simulation::tracer(), which returns nullptr when tracing is off — the
+// entire instrumentation cost in disabled mode is one pointer test per
+// hook site. All timestamps are virtual seconds, and events are stored
+// in dispatch order, so a trace is byte-identical across runs and
+// across sweep --jobs values (each run owns its simulation and tracer).
+//
+// Two event families:
+//  * spans/instants on a (node, category, name) axis — consensus engines
+//    emit their named phases here ("pbft.prepare", "pow.mine", ...);
+//  * transaction lifecycle milestones (submit -> admit -> propose ->
+//    commit -> confirm) recorded first-wins per tx id; each adjacent
+//    milestone pair becomes an async span ("tx.admission",
+//    "tx.pool_wait", "tx.consensus", "tx.confirmation") whose durations
+//    telescope to exactly the client-measured commit latency.
+//
+// Serialization targets the Chrome trace_event JSON format, loadable in
+// Perfetto (ui.perfetto.dev) and chrome://tracing. See
+// docs/OBSERVABILITY.md.
+
+#ifndef BLOCKBENCH_OBS_TRACE_H_
+#define BLOCKBENCH_OBS_TRACE_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace bb::obs {
+
+class Tracer {
+ public:
+  /// Transaction lifecycle milestones, in causal order.
+  enum TxPhase : uint8_t {
+    kSubmit = 0,   // client hands the tx to its server
+    kAdmit,        // a server pool accepts it (direct or via gossip)
+    kPropose,      // a proposer packs it into a block
+    kCommit,       // first canonical execution commits it
+    kConfirm,      // the submitting client observes the commit
+  };
+  static constexpr size_t kNumTxPhases = 5;
+  /// Span between milestone `leg` and `leg + 1` (4 legs total).
+  static constexpr size_t kNumTxSpans = kNumTxPhases - 1;
+  static const char* TxSpanName(size_t leg);
+
+  /// Milestone timestamps for one tx; entries are -1 until recorded.
+  using TxMilestones = std::array<double, kNumTxPhases>;
+
+  // --- Recording (hot path when enabled) ---------------------------------
+
+  /// A closed span [start, end] on node `node`'s track.
+  void CompleteSpan(uint32_t node, const char* cat, const char* name,
+                    double start, double end) {
+    PushEvent(node, cat, name, 'X', start, end - start, 0, nullptr, 0);
+  }
+  void CompleteSpan(uint32_t node, const char* cat, const char* name,
+                    double start, double end, const char* arg_key,
+                    double arg_value) {
+    PushEvent(node, cat, name, 'X', start, end - start, 0, arg_key, arg_value);
+  }
+  /// A point event on node `node`'s track.
+  void Instant(uint32_t node, const char* cat, const char* name, double t) {
+    PushEvent(node, cat, name, 'i', t, 0, 0, nullptr, 0);
+  }
+  void Instant(uint32_t node, const char* cat, const char* name, double t,
+               const char* arg_key, double arg_value) {
+    PushEvent(node, cat, name, 'i', t, 0, 0, arg_key, arg_value);
+  }
+
+  /// Starts (or restarts, on client retry after a rejection) the
+  /// lifecycle record for `tx_id`: later milestones are cleared.
+  void TxSubmit(uint64_t tx_id, double t);
+  /// Records milestone `phase` at time t, first writer wins; emits the
+  /// async span from the previous milestone once both ends are known.
+  void TxMilestone(uint64_t tx_id, TxPhase phase, double t);
+  /// Milestone record for a tx, nullptr if never seen.
+  const TxMilestones* FindTx(uint64_t tx_id) const;
+
+  // --- Introspection / export --------------------------------------------
+
+  size_t num_events() const { return events_.size(); }
+  size_t num_tx() const { return tx_.size(); }
+
+  /// Whole trace as a Chrome trace_event JSON document (for tests and
+  /// golden digests).
+  std::string DumpChromeTrace() const;
+  /// Streams the trace to `path` through a BufferedWriter.
+  Status WriteChromeTrace(const std::string& path) const;
+
+ private:
+  struct Event {
+    const char* cat;      // static-lifetime strings only
+    const char* name;
+    const char* arg_key;  // optional single numeric arg
+    double ts;            // virtual seconds
+    double dur;           // seconds, 'X' only
+    double arg_val;
+    uint64_t id;          // async pair id ('b'/'e' only)
+    uint32_t tid;
+    char ph;              // 'X', 'i', 'b', 'e'
+  };
+
+  void PushEvent(uint32_t tid, const char* cat, const char* name, char ph,
+                 double ts, double dur, uint64_t id, const char* arg_key,
+                 double arg_val);
+  void RenderTo(const std::function<void(const std::string&)>& sink) const;
+  static void RenderEvent(const Event& e, std::string* out);
+
+  std::vector<Event> events_;
+  std::unordered_map<uint64_t, TxMilestones> tx_;
+  uint32_t max_tid_ = 0;
+};
+
+}  // namespace bb::obs
+
+#endif  // BLOCKBENCH_OBS_TRACE_H_

@@ -46,6 +46,7 @@ class ConsensusLayer {
   ConsensusKind kind() const { return kind_; }
   const char* name() const { return engine_->name(); }
   consensus::Engine& engine() { return *engine_; }
+  const consensus::Engine& engine() const { return *engine_; }
 
   /// Builds the engine selected by options.stack.consensus, configured
   /// from the matching per-protocol config. `seed` feeds the randomized
@@ -209,6 +210,7 @@ class LayerStack {
         execution_(std::move(execution)) {}
 
   ConsensusLayer& consensus() { return *consensus_; }
+  const ConsensusLayer& consensus() const { return *consensus_; }
   DataLayer& data() { return *data_; }
   const DataLayer& data() const { return *data_; }
   ExecutionLayer& execution() { return *execution_; }

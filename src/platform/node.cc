@@ -6,6 +6,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/trace.h"
+
 namespace bb::platform {
 
 PlatformNode::PlatformNode(sim::NodeId id, sim::Network* network,
@@ -116,6 +118,10 @@ double PlatformNode::HandleClientTx(const sim::Message& msg) {
     return cpu;
   }
   pool_.Add(m.tx);
+  if (pool_.pending() > pool_peak_) pool_peak_ = pool_.pending();
+  if (auto* tr = sim()->tracer()) {
+    tr->TxMilestone(m.tx.id, obs::Tracer::kAdmit, Now());
+  }
   if (options_.gossip_txs) {
     HostBroadcast("gossip_tx", m, m.tx.SizeBytes());
   }
@@ -132,7 +138,13 @@ double PlatformNode::HandleGossipTx(const sim::Message& msg) {
       pool_.pending() >= options_.tx_pool_capacity) {
     return cpu;
   }
-  if (pool_.Add(m.tx)) engine().OnNewTransactions();
+  if (pool_.Add(m.tx)) {
+    if (pool_.pending() > pool_peak_) pool_peak_ = pool_.pending();
+    if (auto* tr = sim()->tracer()) {
+      tr->TxMilestone(m.tx.id, obs::Tracer::kAdmit, Now());
+    }
+    engine().OnNewTransactions();
+  }
   return cpu;
 }
 
@@ -305,6 +317,14 @@ std::optional<chain::Block> PlatformNode::BuildBlock(const Hash256& parent,
 
   if (batch.empty() && !allow_empty) return std::nullopt;
 
+  if (auto* tr = sim()->tracer()) {
+    // Stamp after the gas-packing trim so requeued txs don't count as
+    // proposed; speculative execution above never stamps milestones.
+    for (const auto& tx : batch) {
+      tr->TxMilestone(tx.id, obs::Tracer::kPropose, Now());
+    }
+  }
+
   *build_cpu += double(batch.size()) *
                 (options_.cost.assemble_tx_cpu + options_.seal_sign_cpu);
 
@@ -384,15 +404,24 @@ void PlatformNode::ExecuteCanonical(double* cpu) {
   }
 
   // Execute forward along the canonical chain.
+  obs::Tracer* tr = sim()->tracer();
+  bool evm = stack_->execution().kind() == ExecEngineKind::kEvm;
   uint64_t head = chain.head_height();
   for (uint64_t h = exec_height_ + 1; h <= head; ++h) {
     const chain::Block* b = chain.CanonicalAt(h);
     assert(b != nullptr);
     executing_height_ = h;
+    uint64_t block_gas = 0;
     for (const auto& tx : b->txs) {
-      *cpu += ExecuteTx(tx);
+      uint64_t gas = 0;
+      *cpu += ExecuteTx(tx, &gas);
+      block_gas += gas;
       committed_ids_.insert(tx.id);
+      if (tr != nullptr) tr->TxMilestone(tx.id, obs::Tracer::kCommit, Now());
     }
+    // Non-empty blocks only: PoA/PoW seal empty blocks continuously and
+    // a flood of zeros would drown the distribution.
+    if (evm && !b->txs.empty()) gas_per_block_.Add(double(block_gas));
     auto root = state().Commit();
     if (root.ok()) {
       block_state_roots_[b->HashOf()] = *root;
@@ -405,6 +434,37 @@ void PlatformNode::ExecuteCanonical(double* cpu) {
     exec_height_ = h;
     exec_block_hash_ = b->HashOf();
   }
+}
+
+void PlatformNode::ExportMetrics(obs::MetricsRegistry* reg) const {
+  obs::Labels labels{{"node", std::to_string(id())}};
+  reg->SetGauge("pool.depth", labels, double(pool_.pending()));
+  reg->SetGauge("pool.peak", labels, double(pool_peak_));
+  reg->AddCounter("txs.executed", labels, txs_executed_);
+  reg->AddCounter("txs.failed", labels, txs_failed_);
+  reg->AddCounter("blocks.produced", labels, blocks_produced_);
+
+  const chain::ChainStore& ch = chain();
+  reg->AddCounter("chain.main_blocks", labels, ch.main_chain_blocks());
+  reg->AddCounter("chain.fork_blocks", labels, ch.orphaned_blocks());
+  reg->AddCounter("chain.reorgs", labels, ch.reorgs());
+  reg->AddCounter("chain.invalid_blocks", labels, ch.invalid_blocks());
+
+  reg->SetGauge("cpu.busy_seconds", labels, meter().total_cpu());
+  reg->AddCounter("net.bytes_sent", labels, meter().total_net_bytes());
+  reg->AddCounter("net.messages_sent", labels, meter().total_msgs_sent());
+  reg->AddCounter("net.class_dropped", labels, class_dropped());
+  for (const auto& [type, n] : meter().msgs_sent_by_type()) {
+    obs::Labels typed = labels;
+    typed.emplace_back("type", type);
+    reg->AddCounter("net.messages", typed, n);
+  }
+
+  if (gas_per_block_.count() > 0) {
+    reg->GetHistogram("exec.gas_per_block", labels)->Merge(gas_per_block_);
+  }
+  stack_->consensus().engine().ExportMetrics(reg, labels);
+  stack_->data().state().ExportMetrics(reg, labels);
 }
 
 void PlatformNode::RequeueTxs(std::vector<chain::Transaction> txs) {

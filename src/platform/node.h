@@ -84,6 +84,12 @@ class PlatformNode : public sim::Node, public consensus::ConsensusHost {
   uint64_t txs_executed() const { return txs_executed_; }
   uint64_t txs_failed() const { return txs_failed_; }
   uint64_t blocks_produced() const { return blocks_produced_; }
+  size_t pool_peak() const { return pool_peak_; }
+  const Histogram& gas_per_block() const { return gas_per_block_; }
+
+  /// Snapshots this node's counters (pool, chain, meter, engine, state)
+  /// into `reg`, labelled {node=<id>}.
+  void ExportMetrics(obs::MetricsRegistry* reg) const;
   /// Peers whose id is the server set (set by Platform during setup).
   void set_num_peers(size_t n) { num_peers_ = n; }
 
@@ -128,6 +134,10 @@ class PlatformNode : public sim::Node, public consensus::ConsensusHost {
   uint64_t txs_executed_ = 0;
   uint64_t txs_failed_ = 0;
   uint64_t blocks_produced_ = 0;
+  /// High-water mark of the tx pool (sampled at admission).
+  size_t pool_peak_ = 0;
+  /// Gas consumed per canonically executed block (EVM execution only).
+  Histogram gas_per_block_;
 };
 
 }  // namespace bb::platform

@@ -103,4 +103,8 @@ uint64_t Platform::TotalTxsExecuted() const {
   return total;
 }
 
+void Platform::ExportMetrics(obs::MetricsRegistry* reg) const {
+  for (const auto& n : nodes_) n->ExportMetrics(reg);
+}
+
 }  // namespace bb::platform

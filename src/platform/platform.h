@@ -52,6 +52,8 @@ class Platform {
   /// Main-branch blocks as seen by server 0.
   uint64_t CanonicalBlocks() const;
   uint64_t TotalTxsExecuted() const;
+  /// Snapshots every server's counters into `reg` (labelled per node).
+  void ExportMetrics(obs::MetricsRegistry* reg) const;
 
  private:
   sim::Simulation* sim_;

@@ -28,6 +28,8 @@ void RegisterCanonical(PlatformRegistry* reg) {
         "Corda-style model: Raft (crash-fault only), native execution, flat "
         "state (raft+bucket+native)",
         CordaOptions});
+  must({"fabric", "alias of 'hyperledger' (Fabric v0.6 model)",
+        HyperledgerOptions});
 }
 
 }  // namespace

@@ -6,6 +6,8 @@
 #define BLOCKBENCH_SIM_METERS_H_
 
 #include <cstdint>
+#include <map>
+#include <string>
 
 #include "util/histogram.h"
 
@@ -25,6 +27,14 @@ class ResourceMeter {
     net_bytes_.Add(t, double(bytes));
     total_net_bytes_ += bytes;
   }
+  /// Counts one outbound message of the given protocol type (the
+  /// Message::type string, e.g. "pbft_prepare"); backs the
+  /// messages-per-consensus-phase breakdown in Fig 16 and the metrics
+  /// registry.
+  void AddMessageSent(const std::string& type) {
+    ++msgs_sent_by_type_[type];
+    ++total_msgs_sent_;
+  }
 
   /// CPU utilization (0..1, can exceed 1 when modelling multi-core work)
   /// during second `sec`.
@@ -36,12 +46,20 @@ class ResourceMeter {
 
   double total_cpu() const { return total_cpu_; }
   uint64_t total_net_bytes() const { return total_net_bytes_; }
+  uint64_t total_msgs_sent() const { return total_msgs_sent_; }
+  /// Outbound message counts keyed by Message::type, sorted (std::map)
+  /// so iteration order is deterministic.
+  const std::map<std::string, uint64_t>& msgs_sent_by_type() const {
+    return msgs_sent_by_type_;
+  }
 
  private:
   TimeSeries cpu_busy_;
   TimeSeries net_bytes_;
   double total_cpu_ = 0;
   uint64_t total_net_bytes_ = 0;
+  uint64_t total_msgs_sent_ = 0;
+  std::map<std::string, uint64_t> msgs_sent_by_type_;
 };
 
 }  // namespace bb::sim

@@ -32,6 +32,7 @@ bool Network::Send(Message msg) {
   ++messages_sent_;
   bytes_sent_ += msg.size_bytes;
   nodes_[msg.from]->meter().AddNetBytes(sim_->Now(), msg.size_bytes);
+  nodes_[msg.from]->meter().AddMessageSent(msg.type);
 
   if (crashed_[msg.from] || crashed_[msg.to] || !SameSide(msg.from, msg.to) ||
       (config_.drop_probability > 0 && rng_.Bernoulli(config_.drop_probability))) {

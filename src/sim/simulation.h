@@ -33,6 +33,11 @@
 
 #include "util/random.h"
 
+namespace bb::obs {
+class Tracer;
+class MetricsRegistry;
+}  // namespace bb::obs
+
 namespace bb::sim {
 
 /// Virtual time in seconds since simulation start.
@@ -156,6 +161,15 @@ class Simulation {
   /// Simulation-global RNG; fork per-component streams from it.
   Rng& rng() { return rng_; }
 
+  /// Observability hooks. Both are non-owning and default to nullptr
+  /// (disabled); every instrumentation site guards on the pointer, so a
+  /// null tracer costs one branch. Attach before constructing the
+  /// platform so genesis-time events are captured too.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+
  private:
   /// Queue entry: everything ordering needs, nothing else — reordering
   /// the heap shuffles 24-byte PODs while the callables stay put in the
@@ -201,6 +215,9 @@ class Simulation {
   std::vector<uint32_t> free_;
 
   Rng rng_;
+
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace bb::sim

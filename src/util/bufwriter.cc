@@ -1,0 +1,99 @@
+#include "util/bufwriter.h"
+
+#include <cerrno>
+#include <cstdarg>
+#include <cstring>
+
+namespace bb::util {
+
+BufferedWriter::BufferedWriter(size_t buffer_bytes)
+    : cap_(buffer_bytes > 0 ? buffer_bytes : kDefaultBufferBytes) {
+  buf_.reserve(cap_);
+}
+
+BufferedWriter::~BufferedWriter() { Close(); }
+
+Status BufferedWriter::Open(const std::string& path) {
+  if (file_ != nullptr) return Status::Internal("writer already open");
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    status_ = Status::Unavailable("cannot open " + path + ": " +
+                                  std::strerror(errno));
+    return status_;
+  }
+  path_ = path;
+  return Status::Ok();
+}
+
+void BufferedWriter::Append(std::string_view data) {
+  if (!status_.ok()) return;
+  buf_.append(data.data(), data.size());
+  if (buf_.size() >= cap_) Flush();
+}
+
+void BufferedWriter::Append(char c) {
+  if (!status_.ok()) return;
+  buf_.push_back(c);
+  if (buf_.size() >= cap_) Flush();
+}
+
+void BufferedWriter::Appendf(const char* fmt, ...) {
+  if (!status_.ok()) return;
+  char stack[256];
+  va_list ap;
+  va_start(ap, fmt);
+  int n = std::vsnprintf(stack, sizeof(stack), fmt, ap);
+  va_end(ap);
+  if (n < 0) {
+    Fail("vsnprintf failed");
+    return;
+  }
+  if (size_t(n) < sizeof(stack)) {
+    Append(std::string_view(stack, size_t(n)));
+    return;
+  }
+  std::string big(size_t(n) + 1, '\0');
+  va_start(ap, fmt);
+  std::vsnprintf(big.data(), big.size(), fmt, ap);
+  va_end(ap);
+  big.resize(size_t(n));
+  Append(big);
+}
+
+Status BufferedWriter::Close() {
+  if (file_ != nullptr) {
+    Flush();
+    if (std::fclose(file_) != 0 && status_.ok()) {
+      status_ = Status::Unavailable("close failed for " + path_ + ": " +
+                                    std::strerror(errno));
+    }
+    file_ = nullptr;
+  }
+  return status_;
+}
+
+void BufferedWriter::Flush() {
+  if (buf_.empty()) return;
+  if (file_ == nullptr) {
+    Fail("writer not open");
+    buf_.clear();
+    return;
+  }
+  if (status_.ok()) {
+    size_t n = std::fwrite(buf_.data(), 1, buf_.size(), file_);
+    if (n != buf_.size()) {
+      Fail(std::string("write failed: ") + std::strerror(errno));
+    } else {
+      bytes_written_ += n;
+    }
+  }
+  buf_.clear();
+}
+
+void BufferedWriter::Fail(const std::string& what) {
+  if (status_.ok()) {
+    status_ = Status::Unavailable(path_.empty() ? what : path_ + ": " + what);
+  }
+}
+
+}  // namespace bb::util

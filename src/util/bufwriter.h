@@ -1,0 +1,65 @@
+// BufferedWriter: a small append-only file writer with an in-memory
+// buffer and sticky error state. Shared by every bulk text exporter in
+// the framework (StatsCollector CSV, the Chrome trace writer) so that
+// per-row output never turns into per-row write(2) calls.
+//
+// Errors are sticky: once a write fails, further Appends are no-ops and
+// Close() (or status()) reports the first failure as a Status.
+
+#ifndef BLOCKBENCH_UTIL_BUFWRITER_H_
+#define BLOCKBENCH_UTIL_BUFWRITER_H_
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace bb::util {
+
+class BufferedWriter {
+ public:
+  static constexpr size_t kDefaultBufferBytes = 1 << 16;
+
+  explicit BufferedWriter(size_t buffer_bytes = kDefaultBufferBytes);
+  ~BufferedWriter();
+
+  BufferedWriter(const BufferedWriter&) = delete;
+  BufferedWriter& operator=(const BufferedWriter&) = delete;
+
+  /// Opens (truncates) `path` for writing.
+  Status Open(const std::string& path);
+
+  void Append(std::string_view data);
+  void Append(char c);
+  /// printf-style append; formatting happens into the buffer directly.
+  void Appendf(const char* fmt, ...)
+#if defined(__GNUC__) || defined(__clang__)
+      __attribute__((format(printf, 2, 3)))
+#endif
+      ;
+
+  /// Flushes, closes, and returns the first error seen (Ok otherwise).
+  /// Safe to call more than once.
+  Status Close();
+
+  /// First error seen so far (sticky), Ok if none.
+  const Status& status() const { return status_; }
+
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  void Flush();
+  void Fail(const std::string& what);
+
+  FILE* file_ = nullptr;
+  std::string path_;
+  std::string buf_;
+  size_t cap_;
+  uint64_t bytes_written_ = 0;
+  Status status_ = Status::Ok();
+};
+
+}  // namespace bb::util
+
+#endif  // BLOCKBENCH_UTIL_BUFWRITER_H_

@@ -1,0 +1,217 @@
+// Observability subsystem tests: MetricsRegistry label normalization and
+// merge semantics, Tracer lifecycle-milestone rules, the golden PBFT
+// 4-node trace, and trace identity across sweep --jobs values (the
+// determinism contract of docs/OBSERVABILITY.md).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/sha256.h"
+
+namespace bb::obs {
+namespace {
+
+// --- MetricsRegistry ---------------------------------------------------------
+
+TEST(MetricsRegistry, LabelOrderNormalizes) {
+  MetricsRegistry reg;
+  reg.AddCounter("net.messages", {{"node", "1"}, {"type", "prepare"}}, 3);
+  reg.AddCounter("net.messages", {{"type", "prepare"}, {"node", "1"}}, 4);
+  EXPECT_EQ(reg.CounterValue("net.messages",
+                             {{"node", "1"}, {"type", "prepare"}}),
+            7u);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistry, KeyFormat) {
+  EXPECT_EQ(MetricsRegistry::Key("pool.depth", {{"b", "2"}, {"a", "1"}}),
+            "pool.depth{a=1,b=2}");
+  EXPECT_EQ(MetricsRegistry::Key("pool.depth", {}), "pool.depth");
+}
+
+TEST(MetricsRegistry, MissingAndKindMismatchLookups) {
+  MetricsRegistry reg;
+  reg.AddCounter("c", {}, 5);
+  reg.SetGauge("g", {}, 1.5);
+  EXPECT_EQ(reg.CounterValue("nope", {}), 0u);
+  EXPECT_EQ(reg.GaugeValue("c", {}), 0.0);       // kind mismatch
+  EXPECT_EQ(reg.FindHistogram("c", {}), nullptr);
+  EXPECT_EQ(reg.CounterValue("g", {}), 0u);
+  // A mismatched write is ignored rather than clobbering the instrument.
+  reg.SetGauge("c", {}, 9.0);
+  EXPECT_EQ(reg.CounterValue("c", {}), 5u);
+}
+
+TEST(MetricsRegistry, HistogramPointerStable) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("lat", {{"node", "0"}});
+  h->Add(1.0);
+  for (int i = 0; i < 64; ++i) {
+    reg.AddCounter("filler" + std::to_string(i), {});
+  }
+  EXPECT_EQ(h, reg.GetHistogram("lat", {{"node", "0"}}));
+  EXPECT_EQ(h->count(), 1u);
+}
+
+TEST(MetricsRegistry, MergeSemantics) {
+  MetricsRegistry a, b;
+  a.AddCounter("c", {}, 2);
+  a.SetGauge("g", {}, 1.0);
+  a.GetHistogram("h", {})->Add(1.0);
+  b.AddCounter("c", {}, 3);
+  b.SetGauge("g", {}, 7.0);
+  b.GetHistogram("h", {})->Add(3.0);
+  b.AddCounter("only_b", {}, 1);
+  a.Merge(b);
+  EXPECT_EQ(a.CounterValue("c", {}), 5u);   // counters add
+  EXPECT_EQ(a.GaugeValue("g", {}), 7.0);    // gauges take incoming
+  ASSERT_NE(a.FindHistogram("h", {}), nullptr);
+  EXPECT_EQ(a.FindHistogram("h", {})->count(), 2u);  // histograms merge
+  EXPECT_EQ(a.CounterValue("only_b", {}), 1u);
+}
+
+TEST(MetricsRegistry, ToJsonIsDeterministic) {
+  MetricsRegistry reg;
+  reg.SetGauge("z.last", {}, 1);
+  reg.AddCounter("a.first", {{"node", "2"}}, 4);
+  reg.GetHistogram("m.hist", {})->Add(2.0);
+  std::string dump = reg.ToJson().Dump();
+  // Key order: instruments serialize sorted by canonical key.
+  size_t a = dump.find("a.first");
+  size_t m = dump.find("m.hist");
+  size_t z = dump.find("z.last");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(m, std::string::npos);
+  ASSERT_NE(z, std::string::npos);
+  EXPECT_LT(a, m);
+  EXPECT_LT(m, z);
+}
+
+// --- Tracer ------------------------------------------------------------------
+
+TEST(Tracer, MilestonesFirstWinsAndSpansTelescope) {
+  Tracer tr;
+  tr.TxMilestone(7, Tracer::kSubmit, 1.0);
+  tr.TxMilestone(7, Tracer::kAdmit, 1.5);
+  tr.TxMilestone(7, Tracer::kAdmit, 2.0);  // replica admit: ignored
+  tr.TxMilestone(7, Tracer::kPropose, 3.0);
+  tr.TxMilestone(7, Tracer::kCommit, 4.0);
+  tr.TxMilestone(7, Tracer::kConfirm, 5.0);
+  const Tracer::TxMilestones* ms = tr.FindTx(7);
+  ASSERT_NE(ms, nullptr);
+  EXPECT_EQ((*ms)[Tracer::kAdmit], 1.5);
+  EXPECT_EQ((*ms)[Tracer::kConfirm], 5.0);
+  // Four legs, each a b/e pair.
+  EXPECT_EQ(tr.num_events(), 8u);
+  EXPECT_EQ(tr.num_tx(), 1u);
+}
+
+TEST(Tracer, ResubmitRestartsLifecycle) {
+  Tracer tr;
+  tr.TxMilestone(9, Tracer::kSubmit, 1.0);
+  tr.TxMilestone(9, Tracer::kAdmit, 2.0);
+  // Rejected and resubmitted: the record restarts so spans match the
+  // latency measured from the last submission.
+  tr.TxMilestone(9, Tracer::kSubmit, 10.0);
+  const Tracer::TxMilestones* ms = tr.FindTx(9);
+  ASSERT_NE(ms, nullptr);
+  EXPECT_EQ((*ms)[Tracer::kSubmit], 10.0);
+  EXPECT_EQ((*ms)[Tracer::kAdmit], -1.0);
+}
+
+TEST(Tracer, MilestoneWithoutSubmitStartsPartialRecord) {
+  Tracer tr;
+  tr.TxMilestone(3, Tracer::kCommit, 2.0);
+  const Tracer::TxMilestones* ms = tr.FindTx(3);
+  ASSERT_NE(ms, nullptr);
+  EXPECT_EQ((*ms)[Tracer::kSubmit], -1.0);
+  EXPECT_EQ((*ms)[Tracer::kCommit], 2.0);
+  EXPECT_EQ(tr.num_events(), 0u);  // no adjacent milestone, no span
+}
+
+TEST(Tracer, EmptyTraceIsValidJson) {
+  Tracer tr;
+  std::string dump = tr.DumpChromeTrace();
+  auto doc = util::Json::Parse(dump);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  ASSERT_NE(doc->Get("traceEvents"), nullptr);
+}
+
+// --- End-to-end traces -------------------------------------------------------
+
+bench::MacroConfig PbftConfig() {
+  auto opts = bench::OptionsFor("hyperledger");
+  EXPECT_TRUE(opts.ok());
+  bench::MacroConfig cfg;
+  cfg.options = *opts;
+  cfg.servers = 4;
+  cfg.clients = 2;
+  cfg.rate = 10;
+  cfg.duration = 10;
+  cfg.drain = 5;
+  cfg.warmup = 2;
+  cfg.ycsb_records = 200;
+  return cfg;
+}
+
+std::string RunPbftTrace() {
+  Tracer tracer;
+  bench::MacroConfig cfg = PbftConfig();
+  cfg.tracer = &tracer;
+  auto run = bench::MacroRun::Create(cfg);
+  EXPECT_TRUE(run.ok()) << run.status().ToString();
+  (*run)->Run();
+  return tracer.DumpChromeTrace();
+}
+
+// The golden PBFT 4-node trace: the full document is pinned by digest,
+// so any change to event content, ordering or formatting is a conscious
+// golden update (print the new digest and re-pin after verifying the
+// trace in Perfetto).
+TEST(TraceGolden, Pbft4NodeByteForByte) {
+  workloads::RegisterAllChaincodes();
+  std::string trace = RunPbftTrace();
+  EXPECT_EQ(trace, RunPbftTrace());  // reproducible before golden
+  EXPECT_EQ(Sha256::Digest(trace).ToHex(),
+            "2fb51789994c8ab391b9906e6f3b20ea077a9c2507cd32d5889b7228bf1cd8b7")
+      << "trace is " << trace.size() << " bytes";
+}
+
+// A sweep must produce identical traces no matter how many worker
+// threads execute it: each MacroRun owns its simulation and tracer.
+TEST(TraceDeterminism, JobsOneVersusJobsEight) {
+  workloads::RegisterAllChaincodes();
+  auto run_sweep = [](size_t jobs) {
+    std::vector<std::unique_ptr<Tracer>> tracers;
+    bench::BenchArgs args;
+    args.jobs = jobs;
+    bench::SweepRunner runner("obs_jobs_test", args);
+    for (double rate : {5.0, 10.0, 20.0}) {
+      bench::MacroConfig cfg = PbftConfig();
+      cfg.rate = rate;
+      tracers.push_back(std::make_unique<Tracer>());
+      cfg.tracer = tracers.back().get();
+      runner.Add(std::move(cfg));
+    }
+    EXPECT_TRUE(runner.Run(nullptr));
+    std::vector<std::string> traces;
+    for (const auto& t : tracers) traces.push_back(t->DumpChromeTrace());
+    return traces;
+  };
+  std::vector<std::string> serial = run_sweep(1);
+  std::vector<std::string> parallel = run_sweep(8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "case " << i;
+    EXPECT_GT(serial[i].size(), 1000u);  // traces are non-trivial
+  }
+}
+
+}  // namespace
+}  // namespace bb::obs

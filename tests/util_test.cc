@@ -7,6 +7,7 @@
 #include <cmath>
 #include <map>
 
+#include "util/bufwriter.h"
 #include "util/codec.h"
 #include "util/hex.h"
 #include "util/histogram.h"
@@ -349,6 +350,64 @@ TEST(TimeSeriesTest, ObserveCarriesForward) {
   EXPECT_DOUBLE_EQ(ts.ValueAt(0), 10);
   EXPECT_DOUBLE_EQ(ts.ValueAt(2), 10);  // carried forward
   EXPECT_DOUBLE_EQ(ts.ValueAt(3), 20);
+}
+
+// --- BufferedWriter ----------------------------------------------------------
+
+std::string SlurpFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr);
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return text;
+}
+
+TEST(BufferedWriter, WritesAcrossFlushBoundaries) {
+  std::string path = testing::TempDir() + "/bufwriter_test.txt";
+  std::string expected;
+  {
+    // A tiny buffer forces many flushes mid-append.
+    util::BufferedWriter w(/*buffer_bytes=*/16);
+    ASSERT_TRUE(w.Open(path).ok());
+    for (int i = 0; i < 100; ++i) {
+      w.Appendf("line %d|", i);
+      expected += "line " + std::to_string(i) + "|";
+    }
+    w.Append('\n');
+    expected += '\n';
+    // A chunk larger than the buffer takes the bypass path.
+    std::string big(1000, 'x');
+    w.Append(big);
+    expected += big;
+    ASSERT_TRUE(w.Close().ok());
+    EXPECT_EQ(w.bytes_written(), expected.size());
+    EXPECT_TRUE(w.Close().ok());  // idempotent
+  }
+  EXPECT_EQ(SlurpFile(path), expected);
+  std::remove(path.c_str());
+}
+
+TEST(BufferedWriter, OpenFailureIsSticky) {
+  util::BufferedWriter w;
+  Status s = w.Open("/nonexistent-dir-for-test/out.txt");
+  EXPECT_FALSE(s.ok());
+  w.Append("ignored");  // must not crash
+  EXPECT_FALSE(w.Close().ok());
+  EXPECT_EQ(w.bytes_written(), 0u);
+}
+
+TEST(BufferedWriter, LongAppendfFallsBackToHeap) {
+  std::string path = testing::TempDir() + "/bufwriter_long.txt";
+  util::BufferedWriter w;
+  ASSERT_TRUE(w.Open(path).ok());
+  std::string long_arg(1000, 'y');  // exceeds the stack format buffer
+  w.Appendf("<%s>", long_arg.c_str());
+  ASSERT_TRUE(w.Close().ok());
+  EXPECT_EQ(SlurpFile(path), "<" + long_arg + ">");
+  std::remove(path.c_str());
 }
 
 }  // namespace

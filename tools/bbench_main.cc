@@ -16,10 +16,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/driver.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "platform/platform.h"
 #include "platform/registry.h"
 #include "util/flags.h"
@@ -49,6 +52,8 @@ struct Args {
   double delay = 0;
   double corrupt = 0;
   bool timeline = false;
+  std::string trace_path;
+  bool metrics = false;
 };
 
 void Usage() {
@@ -63,6 +68,9 @@ void Usage() {
   --crash=ID@T (repeatable)  --partition=T0:T1
   --delay=SEC  --corrupt=PROB
   --timeline (print committed tx per second)
+  --trace=PATH (write a Chrome/Perfetto trace of the run; also prints the
+                per-phase commit latency breakdown)
+  --metrics (print the per-node metrics table after the run)
   --list-platforms (print the platform registry and exit)
 )");
 }
@@ -74,10 +82,12 @@ bool Parse(int argc, char** argv, Args* a) {
                             "--clients",         "--rate",     "--duration",
                             "--warmup",          "--seed",     "--max-outstanding",
                             "--delay",           "--corrupt",  "--crash",
-                            "--partition"};
+                            "--partition",       "--trace"};
   for (int i = 1; i < argc; ++i) {
     std::string s = argv[i];
-    if (s == "--timeline" || s == "--list-platforms") continue;
+    if (s == "--timeline" || s == "--list-platforms" || s == "--metrics") {
+      continue;
+    }
     if (s == "--help" || s == "-h") return false;
     bool matched = false;
     for (const char* k : known_kv) {
@@ -114,6 +124,8 @@ bool Parse(int argc, char** argv, Args* a) {
   a->delay = util::FlagDouble(argc, argv, "--delay", a->delay);
   a->corrupt = util::FlagDouble(argc, argv, "--corrupt", a->corrupt);
   a->timeline = util::HasFlag(argc, argv, "--timeline");
+  a->trace_path = util::FlagValue(argc, argv, "--trace").value_or("");
+  a->metrics = util::HasFlag(argc, argv, "--metrics");
 
   // --crash is repeatable, so collect every occurrence by hand.
   for (int i = 1; i < argc; ++i) {
@@ -168,6 +180,11 @@ int main(int argc, char** argv) {
   }
 
   sim::Simulation sim(a.seed);
+  std::unique_ptr<obs::Tracer> tracer;
+  if (!a.trace_path.empty()) {
+    tracer = std::make_unique<obs::Tracer>();
+    sim.set_tracer(tracer.get());
+  }
   platform::Platform chain(&sim, PlatformFor(a.platform), a.servers, a.seed);
   auto workload = WorkloadFor(a.workload);
   Status s = workload->Setup(&chain);
@@ -221,6 +238,37 @@ int main(int argc, char** argv) {
   std::printf("  blocks        %10llu on the main branch, %llu orphaned\n",
               (unsigned long long)chain.node(0).chain().main_chain_blocks(),
               (unsigned long long)chain.node(0).chain().orphaned_blocks());
+
+  if (tracer != nullptr) {
+    const core::StatsCollector& st = driver.stats();
+    if (st.traced_commits() > 0) {
+      double total_mean = 0;
+      for (size_t leg = 0; leg < core::StatsCollector::kNumPhases; ++leg) {
+        total_mean += st.phase_latency(leg).Mean();
+      }
+      std::printf("\ncommit latency breakdown (%llu traced txs):\n",
+                  (unsigned long long)st.traced_commits());
+      for (size_t leg = 0; leg < core::StatsCollector::kNumPhases; ++leg) {
+        const Histogram& h = st.phase_latency(leg);
+        std::printf("  %-15s mean %8.4f s  p95 %8.4f s  (%5.1f%%)\n",
+                    obs::Tracer::TxSpanName(leg), h.Mean(), h.Percentile(95),
+                    total_mean > 0 ? 100.0 * h.Mean() / total_mean : 0.0);
+      }
+    }
+    Status ws = tracer->WriteChromeTrace(a.trace_path);
+    if (!ws.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n", ws.ToString().c_str());
+      return 1;
+    }
+    std::printf("\ntrace: %zu events, %zu txs -> %s\n", tracer->num_events(),
+                tracer->num_tx(), a.trace_path.c_str());
+  }
+
+  if (a.metrics) {
+    obs::MetricsRegistry reg;
+    chain.ExportMetrics(&reg);
+    std::printf("\nper-node metrics:\n%s", reg.RenderTable().c_str());
+  }
 
   if (a.timeline) {
     std::printf("\ncommitted per second:\n");

@@ -9,8 +9,16 @@
 // keys off: a run that produced malformed output must fail the gate.
 //
 //   bench_report --out=BENCH_2026-08-06.json micro.json sweep1.json ...
+//
+// --gate-ratio=NUM_NAME/DEN_NAME:MAX (repeatable) compares the cpu_time
+// of two microbenchmarks from the same run and fails (non-zero exit)
+// when NUM/DEN exceeds MAX. Comparing two benchmarks of one run instead
+// of a committed snapshot keeps the gate meaningful across machines —
+// see docs/BENCHMARKING.md.
 
 #include <cstdio>
+#include <cstdlib>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -58,6 +66,24 @@ bb::Status ValidateSweep(const Json& doc, const std::string& path) {
   return bb::Status::Ok();
 }
 
+struct GateRatio {
+  std::string num, den;
+  double max = 0;
+};
+
+bool ParseGateRatio(const std::string& v, GateRatio* g) {
+  size_t slash = v.find('/');
+  size_t colon = v.rfind(':');
+  if (slash == std::string::npos || colon == std::string::npos ||
+      colon < slash || slash == 0) {
+    return false;
+  }
+  g->num = v.substr(0, slash);
+  g->den = v.substr(slash + 1, colon - slash - 1);
+  g->max = std::atof(v.substr(colon + 1).c_str());
+  return !g->num.empty() && !g->den.empty() && g->max > 0;
+}
+
 bb::Status ValidateMicro(const Json& doc, const std::string& path) {
   const Json* benchmarks = doc.Get("benchmarks");
   if (benchmarks == nullptr || !benchmarks->is_array()) {
@@ -76,14 +102,27 @@ bb::Status ValidateMicro(const Json& doc, const std::string& path) {
 int main(int argc, char** argv) {
   std::string out_path =
       bb::util::FlagValue(argc, argv, "--out").value_or("BENCH.json");
+  const char* usage =
+      "usage: bench_report [--out=PATH] "
+      "[--gate-ratio=NUM_NAME/DEN_NAME:MAX]... FILE.json...\n";
   std::vector<std::string> inputs;
+  std::vector<GateRatio> gates;
   for (int i = 1; i < argc; ++i) {
     std::string s = argv[i];
     if (s.rfind("--", 0) == 0) {
+      if (s.rfind("--gate-ratio=", 0) == 0) {
+        GateRatio g;
+        if (!ParseGateRatio(s.substr(sizeof("--gate-ratio=") - 1), &g)) {
+          std::fprintf(stderr, "bench_report: bad gate spec %s\n", s.c_str());
+          std::fprintf(stderr, "%s", usage);
+          return 2;
+        }
+        gates.push_back(std::move(g));
+        continue;
+      }
       if (s.rfind("--out=", 0) != 0) {
         std::fprintf(stderr, "bench_report: unknown flag %s\n", s.c_str());
-        std::fprintf(stderr,
-                     "usage: bench_report [--out=PATH] FILE.json...\n");
+        std::fprintf(stderr, "%s", usage);
         return 2;
       }
       continue;
@@ -92,12 +131,15 @@ int main(int argc, char** argv) {
   }
   if (inputs.empty()) {
     std::fprintf(stderr, "bench_report: no input files\n");
-    std::fprintf(stderr, "usage: bench_report [--out=PATH] FILE.json...\n");
+    std::fprintf(stderr, "%s", usage);
     return 2;
   }
 
   Json micro = Json::Array();
   Json macro = Json::Array();
+  // First sighting of each microbenchmark name -> cpu_time, for the
+  // ratio gates.
+  std::map<std::string, double> bench_cpu;
   for (const std::string& path : inputs) {
     auto text = ReadFile(path);
     if (!text.ok()) {
@@ -116,6 +158,13 @@ int main(int argc, char** argv) {
       if (!s.ok()) {
         std::fprintf(stderr, "bench_report: %s\n", s.ToString().c_str());
         return 1;
+      }
+      for (const Json& b : doc->Get("benchmarks")->items()) {
+        const Json* name = b.Get("name");
+        const Json* cpu = b.Get("cpu_time");
+        if (name != nullptr && cpu != nullptr && cpu->is_number()) {
+          bench_cpu.emplace(name->AsString(), cpu->AsDouble());
+        }
       }
       Json entry = Json::Object();
       entry.Set("source", path);
@@ -148,6 +197,30 @@ int main(int argc, char** argv) {
                    "bench_report: %s: neither a sweep document (rows) nor "
                    "google-benchmark output (benchmarks)\n",
                    path.c_str());
+      return 1;
+    }
+  }
+
+  for (const GateRatio& g : gates) {
+    auto num = bench_cpu.find(g.num);
+    auto den = bench_cpu.find(g.den);
+    if (num == bench_cpu.end() || den == bench_cpu.end()) {
+      std::fprintf(stderr, "bench_report: gate benchmark missing: %s\n",
+                   (num == bench_cpu.end() ? g.num : g.den).c_str());
+      return 1;
+    }
+    if (den->second <= 0) {
+      std::fprintf(stderr, "bench_report: gate denominator %s has cpu_time 0\n",
+                   g.den.c_str());
+      return 1;
+    }
+    double ratio = num->second / den->second;
+    std::printf("bench_report: gate %s/%s = %.4f (max %.4f)\n", g.num.c_str(),
+                g.den.c_str(), ratio, g.max);
+    if (ratio > g.max) {
+      std::fprintf(stderr,
+                   "bench_report: gate FAILED: %s/%s = %.4f exceeds %.4f\n",
+                   g.num.c_str(), g.den.c_str(), ratio, g.max);
       return 1;
     }
   }

@@ -1,0 +1,244 @@
+// trace_report: validates a Chrome/Perfetto trace written by
+// bbench --trace (or Tracer::WriteChromeTrace) and prints what the
+// trace says about where commit latency goes.
+//
+//   trace_report TRACE.json...
+//
+// Validation is structural: every event needs a known phase ('X', 'i',
+// 'b', 'e', 'M'), complete spans need a non-negative duration, and
+// every async 'b' needs a matching 'e' with the same (cat, name, id)
+// at a later-or-equal timestamp. Any violation is a non-zero exit —
+// the CI perf-smoke job keys off this.
+//
+// Reporting decomposes the mean commit latency of every complete
+// transaction (all four lifecycle legs present) into the per-leg means;
+// the legs telescope, so they sum to exactly the client-measured
+// latency. Named consensus spans ('X') are summarized per (cat, name).
+
+#include <array>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/flags.h"
+#include "util/json.h"
+
+using bb::util::Json;
+
+namespace {
+
+bb::Result<std::string> ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return bb::Status::NotFound("cannot open " + path);
+  }
+  std::string text;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return text;
+}
+
+// Lifecycle leg order; must match obs::Tracer::TxSpanName.
+constexpr const char* kTxSpans[] = {"tx.admission", "tx.pool_wait",
+                                    "tx.consensus", "tx.confirmation"};
+constexpr size_t kNumLegs = sizeof(kTxSpans) / sizeof(kTxSpans[0]);
+
+int LegIndex(const std::string& name) {
+  for (size_t i = 0; i < kNumLegs; ++i) {
+    if (name == kTxSpans[i]) return int(i);
+  }
+  return -1;
+}
+
+struct SpanStats {
+  uint64_t count = 0;
+  double total_us = 0;
+};
+
+struct TraceSummary {
+  uint64_t events = 0, complete_spans = 0, instants = 0, async_pairs = 0;
+  std::map<std::string, SpanStats> x_spans;  // "cat/name" -> stats
+  // tx id -> per-leg duration in µs (-1 until seen).
+  std::map<std::string, std::array<double, kNumLegs>> tx_legs;
+};
+
+bb::Status Analyze(const Json& doc, const std::string& path,
+                   TraceSummary* out) {
+  const Json* events = doc.Get("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return bb::Status::InvalidArgument(path + ": no traceEvents array");
+  }
+  // Open async 'b' events: (cat, name, id) -> start ts.
+  std::map<std::string, double> open_async;
+  for (size_t i = 0; i < events->items().size(); ++i) {
+    const Json& e = events->items()[i];
+    std::string at = path + ": event " + std::to_string(i);
+    if (!e.is_object()) return bb::Status::InvalidArgument(at + " not an object");
+    const Json* ph = e.Get("ph");
+    const Json* name = e.Get("name");
+    if (ph == nullptr || !ph->is_string() || ph->AsString().size() != 1) {
+      return bb::Status::InvalidArgument(at + " has no phase");
+    }
+    if (name == nullptr || !name->is_string()) {
+      return bb::Status::InvalidArgument(at + " has no name");
+    }
+    char p = ph->AsString()[0];
+    if (p == 'M') continue;  // metadata carries no timestamp
+    ++out->events;
+    const Json* ts = e.Get("ts");
+    if (ts == nullptr || !ts->is_number()) {
+      return bb::Status::InvalidArgument(at + " has no timestamp");
+    }
+    const Json* cat = e.Get("cat");
+    std::string key = (cat != nullptr ? cat->AsString() : "") + "/" +
+                      name->AsString();
+    switch (p) {
+      case 'X': {
+        const Json* dur = e.Get("dur");
+        if (dur == nullptr || !dur->is_number() || dur->AsDouble() < 0) {
+          return bb::Status::InvalidArgument(at + " ('" + name->AsString() +
+                                             "') has no valid duration");
+        }
+        SpanStats& s = out->x_spans[key];
+        ++s.count;
+        s.total_us += dur->AsDouble();
+        ++out->complete_spans;
+        break;
+      }
+      case 'i':
+        ++out->instants;
+        break;
+      case 'b':
+      case 'e': {
+        const Json* id = e.Get("id");
+        if (id == nullptr || !id->is_string()) {
+          return bb::Status::InvalidArgument(at + " async event without id");
+        }
+        std::string akey = key + "/" + id->AsString();
+        if (p == 'b') {
+          if (!open_async.emplace(akey, ts->AsDouble()).second) {
+            return bb::Status::InvalidArgument(at + " duplicate async begin " +
+                                               akey);
+          }
+        } else {
+          auto it = open_async.find(akey);
+          if (it == open_async.end()) {
+            return bb::Status::InvalidArgument(at + " async end without begin " +
+                                               akey);
+          }
+          double dur_us = ts->AsDouble() - it->second;
+          if (dur_us < 0) {
+            return bb::Status::InvalidArgument(at + " async span " + akey +
+                                               " ends before it begins");
+          }
+          open_async.erase(it);
+          ++out->async_pairs;
+          int leg = LegIndex(name->AsString());
+          if (leg >= 0) {
+            auto [li, inserted] = out->tx_legs.emplace(
+                id->AsString(), std::array<double, kNumLegs>{});
+            if (inserted) li->second.fill(-1);
+            li->second[size_t(leg)] = dur_us;
+          }
+        }
+        break;
+      }
+      default:
+        return bb::Status::InvalidArgument(at + " has unknown phase '" +
+                                           ph->AsString() + "'");
+    }
+  }
+  if (!open_async.empty()) {
+    return bb::Status::InvalidArgument(
+        path + ": " + std::to_string(open_async.size()) +
+        " async span(s) never closed, first: " + open_async.begin()->first);
+  }
+  return bb::Status::Ok();
+}
+
+void Report(const std::string& path, const TraceSummary& t) {
+  std::printf("%s: %llu events OK (%llu spans, %llu instants, %llu async "
+              "pairs, %zu txs)\n",
+              path.c_str(), (unsigned long long)t.events,
+              (unsigned long long)t.complete_spans,
+              (unsigned long long)t.instants,
+              (unsigned long long)t.async_pairs, t.tx_legs.size());
+
+  std::array<double, kNumLegs> leg_total{};
+  uint64_t complete = 0;
+  for (const auto& [id, legs] : t.tx_legs) {
+    bool all = true;
+    for (double d : legs) all = all && d >= 0;
+    if (!all) continue;
+    ++complete;
+    for (size_t i = 0; i < kNumLegs; ++i) leg_total[i] += legs[i];
+  }
+  if (complete > 0) {
+    double total_mean_us = 0;
+    for (double d : leg_total) total_mean_us += d / double(complete);
+    std::printf("\ncritical path of mean commit latency (%llu complete "
+                "txs):\n",
+                (unsigned long long)complete);
+    for (size_t i = 0; i < kNumLegs; ++i) {
+      double mean_us = leg_total[i] / double(complete);
+      std::printf("  %-15s mean %10.4f ms  %5.1f%%\n", kTxSpans[i],
+                  mean_us / 1e3,
+                  total_mean_us > 0 ? 100.0 * mean_us / total_mean_us : 0.0);
+    }
+    std::printf("  %-15s mean %10.4f ms\n", "total", total_mean_us / 1e3);
+  }
+
+  if (!t.x_spans.empty()) {
+    std::printf("\nnamed spans:\n");
+    for (const auto& [key, s] : t.x_spans) {
+      std::printf("  %-24s count %8llu  mean %10.4f ms\n", key.c_str(),
+                  (unsigned long long)s.count,
+                  s.count > 0 ? s.total_us / double(s.count) / 1e3 : 0.0);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    std::string s = argv[i];
+    if (s.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "trace_report: unknown flag %s\n", s.c_str());
+      std::fprintf(stderr, "usage: trace_report TRACE.json...\n");
+      return 2;
+    }
+    inputs.push_back(s);
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr, "trace_report: no input files\n");
+    std::fprintf(stderr, "usage: trace_report TRACE.json...\n");
+    return 2;
+  }
+  for (const std::string& path : inputs) {
+    auto text = ReadFile(path);
+    if (!text.ok()) {
+      std::fprintf(stderr, "trace_report: %s\n",
+                   text.status().ToString().c_str());
+      return 1;
+    }
+    auto doc = Json::Parse(*text);
+    if (!doc.ok()) {
+      std::fprintf(stderr, "trace_report: %s: %s\n", path.c_str(),
+                   doc.status().ToString().c_str());
+      return 1;
+    }
+    TraceSummary summary;
+    bb::Status s = Analyze(*doc, path, &summary);
+    if (!s.ok()) {
+      std::fprintf(stderr, "trace_report: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    Report(path, summary);
+  }
+  return 0;
+}
