@@ -19,11 +19,17 @@ int main(int argc, char** argv) {
   const double end_time = args.full ? 400 : 350;
 
   std::vector<std::vector<double>> totals(3), mains(3);
+  std::vector<obs::AuditReport> audits(3);
+  // One live sampler per case (periodic gauge probes -> the sweep row's
+  // "timeline" section); each case needs its own instance.
+  std::vector<std::unique_ptr<obs::Sampler>> samplers(3);
 
   SweepRunner runner("fig10_attack", args);
   for (int pi = 0; pi < 3; ++pi) {
     auto opts = OptionsFor(kPlatforms[pi]);
     if (!opts.ok()) return UsageError(argv[0], opts.status());
+    samplers[size_t(pi)] =
+        std::make_unique<obs::Sampler>(obs::Sampler::Config{10.0, 0.0});
     SweepCase c;
     c.config.options = *opts;
     c.config.servers = 8;
@@ -31,9 +37,11 @@ int main(int argc, char** argv) {
     c.config.rate = 60;
     c.config.duration = end_time;
     c.config.drain = 0;
+    c.config.sampler = samplers[size_t(pi)].get();
     c.labels = {{"platform", kPlatforms[pi]}};
     std::vector<double>* tot = &totals[size_t(pi)];
     std::vector<double>* mn = &mains[size_t(pi)];
+    obs::AuditReport* audit = &audits[size_t(pi)];
     c.before = [t_partition, t_heal, end_time, tot, mn](MacroRun& run) {
       auto& net = run.rplatform().network();
       run.rsim().At(t_partition, [&net] { net.Partition({0, 1, 2, 3}); });
@@ -54,6 +62,14 @@ int main(int argc, char** argv) {
           mn->push_back(double(best_main));
         });
       }
+    };
+    c.after = [audit, t_heal, end_time](MacroRun& run,
+                                        const core::BenchReport&) {
+      obs::AuditorConfig ac;
+      ac.confirmation_depth = run.config().options.confirmation_depth;
+      ac.heal_time = t_heal;
+      ac.end_time = end_time;
+      *audit = platform::RunAudit(run.rplatform(), ac);
     };
     runner.Add(std::move(c));
   }
@@ -81,6 +97,12 @@ int main(int argc, char** argv) {
     std::printf("  %-12s Δ = %.0f blocks (%.1f%% of generated)\n",
                 kPlatforms[pi], d,
                 100.0 * d / std::max(1.0, totals[size_t(pi)].back()));
+  }
+
+  PrintHeader("Ledger audit (cross-node fork forensics)");
+  for (int pi = 0; pi < 3; ++pi) {
+    std::printf("%s:\n%s", kPlatforms[pi],
+                audits[size_t(pi)].RenderTable().c_str());
   }
   return ok ? 0 : 1;
 }

@@ -19,6 +19,8 @@ int main(int argc, char** argv) {
   // series[platform][{12,16}] -> per-bin committed counts
   std::vector<std::vector<std::vector<double>>> series(
       3, std::vector<std::vector<double>>(2));
+  std::vector<std::vector<obs::AuditReport>> audits(
+      3, std::vector<obs::AuditReport>(2));
 
   SweepRunner runner("fig9_crash", args);
   for (int pi = 0; pi < 3; ++pi) {
@@ -44,7 +46,9 @@ int main(int argc, char** argv) {
         });
       };
       std::vector<double>* out = &series[size_t(pi)][size_t(si)];
-      c.after = [out, end_time](MacroRun& run, const core::BenchReport&) {
+      obs::AuditReport* audit = &audits[size_t(pi)][size_t(si)];
+      c.after = [out, audit, end_time](MacroRun& run,
+                                       const core::BenchReport&) {
         for (size_t s = 0; s < size_t(end_time); s += 10) {
           double sum = 0;
           for (size_t t = s; t < s + 10 && t < size_t(end_time); ++t) {
@@ -52,6 +56,10 @@ int main(int argc, char** argv) {
           }
           out->push_back(sum);
         }
+        obs::AuditorConfig ac;
+        ac.confirmation_depth = run.config().options.confirmation_depth;
+        ac.end_time = end_time;
+        *audit = platform::RunAudit(run.rplatform(), ac);
       };
       runner.Add(std::move(c));
     }
@@ -73,6 +81,14 @@ int main(int argc, char** argv) {
                   series[size_t(pi)][1][b]);
     }
     std::printf("\n");
+  }
+
+  PrintHeader("Ledger audit (cross-node forensics after the crashes)");
+  for (int pi = 0; pi < 3; ++pi) {
+    for (int si = 0; si < 2; ++si) {
+      std::printf("%s-%d:\n%s", kPlatforms[pi], si == 0 ? 12 : 16,
+                  audits[size_t(pi)][size_t(si)].RenderTable().c_str());
+    }
   }
   return ok ? 0 : 1;
 }

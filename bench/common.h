@@ -24,7 +24,9 @@
 
 #include "core/driver.h"
 #include "obs/metrics.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
+#include "platform/forensics.h"
 #include "platform/platform.h"
 #include "platform/registry.h"
 #include "util/flags.h"
@@ -74,6 +76,11 @@ struct MacroConfig {
   /// Optional tracer, attached to the simulation before the platform is
   /// built (so every layer sees it). Not owned; must outlive the run.
   obs::Tracer* tracer = nullptr;
+  /// Optional live sampler. Init() attaches the standard per-server
+  /// probes and schedules ticks through duration + drain; the timeline
+  /// lands in the sweep row / trace counter tracks. Not owned; must
+  /// outlive the run, and each sweep case needs its own instance.
+  obs::Sampler* sampler = nullptr;
 };
 
 /// One macro experiment: platform cluster + driver + workload.
@@ -139,6 +146,11 @@ class MacroRun {
     dc.warmup = config_.warmup;
     driver_ = std::make_unique<core::Driver>(platform_.get(), workload_.get(),
                                              dc);
+    if (config_.sampler != nullptr) {
+      platform::AttachStandardProbes(config_.sampler, platform_.get());
+      config_.sampler->Schedule(sim_.get(),
+                                config_.duration + config_.drain);
+    }
     return Status::Ok();
   }
 
@@ -218,6 +230,9 @@ struct SweepOutcome {
   /// Per-node counters harvested from every layer after the run
   /// (serialized as "node_metrics" in blockbench-sweep-v1 rows).
   obs::MetricsRegistry metrics;
+  /// Sampled gauge series when the case wired a sampler (serialized as
+  /// "timeline" in blockbench-sweep-v1 rows); null otherwise.
+  util::Json timeline;
 };
 
 /// Runs a set of independent MacroRun sweep points, `--jobs` at a time,
@@ -319,6 +334,9 @@ class SweepRunner {
     out.report = (*run)->Run();
     if (cases_[i].after) cases_[i].after(**run, out.report);
     (*run)->rplatform().ExportMetrics(&out.metrics);
+    if (cases_[i].config.sampler != nullptr) {
+      out.timeline = cases_[i].config.sampler->ToJson();
+    }
     out.events = (*run)->rsim().events_executed();
     out.wall_seconds = std::chrono::duration<double>(
                            std::chrono::steady_clock::now() - t0)
@@ -369,6 +387,7 @@ class SweepRunner {
         sim.Set("events_per_sec", o.events_per_sec);
         r.Set("sim", std::move(sim));
         if (!o.metrics.empty()) r.Set("node_metrics", o.metrics.ToJson());
+        if (!o.timeline.is_null()) r.Set("timeline", o.timeline);
       }
       rows.Push(std::move(r));
     }

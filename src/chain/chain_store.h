@@ -57,6 +57,13 @@ class ChainStore {
     return total_blocks() - main_chain_blocks();
   }
   size_t pending_orphans() const { return orphan_buffer_count_; }
+  const Hash256& genesis() const { return genesis_; }
+  /// Visits every attached block, genesis included, in storage order
+  /// (unspecified — callers needing determinism must sort by hash).
+  template <typename Fn>
+  void ForEachBlock(Fn&& fn) const {
+    for (const auto& [hash, entry] : entries_) fn(hash, entry.block);
+  }
   /// Blocks rejected for claiming an inconsistent height.
   uint64_t invalid_blocks() const { return invalid_blocks_; }
   /// Number of head reorganizations observed (head moved to a block whose

@@ -9,9 +9,11 @@
 #define BLOCKBENCH_CONSENSUS_ENGINE_H_
 
 #include <any>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "chain/block.h"
 #include "chain/chain_store.h"
@@ -88,6 +90,18 @@ class Engine {
     (void)reg;
     (void)labels;
   }
+
+  /// One live probe for the obs::Sampler: `fn` is polled at every
+  /// sampling tick while the run is in flight (names are static
+  /// strings, e.g. "pbft.view").
+  struct LiveGauge {
+    const char* name;
+    std::function<double()> fn;
+  };
+  /// Engine state worth watching live (current view/term/round, blocks
+  /// sealed so far, ...). The returned closures must stay valid for the
+  /// engine's lifetime. Default: nothing to watch.
+  virtual std::vector<LiveGauge> LiveGauges() { return {}; }
 
  protected:
   /// Shared chain-sync fallback for gossip-based engines: when a

@@ -64,6 +64,12 @@ class Pbft : public Engine {
   const char* name() const override { return "pbft"; }
   void ExportMetrics(obs::MetricsRegistry* reg,
                      const obs::Labels& labels) const override;
+  std::vector<LiveGauge> LiveGauges() override {
+    return {{"pbft.view", [this] { return double(view_); }},
+            {"pbft.view_changes",
+             [this] { return double(view_changes_started_); }},
+            {"pbft.inflight", [this] { return double(instances_.size()); }}};
+  }
 
   uint64_t view() const { return view_; }
   uint64_t view_changes_started() const { return view_changes_started_; }

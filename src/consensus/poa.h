@@ -35,6 +35,10 @@ class ProofOfAuthority : public Engine {
   const char* name() const override { return "poa"; }
   void ExportMetrics(obs::MetricsRegistry* reg,
                      const obs::Labels& labels) const override;
+  std::vector<LiveGauge> LiveGauges() override {
+    return {{"poa.blocks_sealed", [this] { return double(blocks_sealed_); }},
+            {"poa.active", [this] { return active_ ? 1.0 : 0.0; }}};
+  }
 
   uint64_t blocks_sealed() const { return blocks_sealed_; }
 

@@ -49,6 +49,10 @@ class ProofOfWork : public Engine {
   const char* name() const override { return "pow"; }
   void ExportMetrics(obs::MetricsRegistry* reg,
                      const obs::Labels& labels) const override;
+  std::vector<LiveGauge> LiveGauges() override {
+    return {{"pow.blocks_mined", [this] { return double(blocks_mined_); }},
+            {"pow.mining", [this] { return mining_ ? 1.0 : 0.0; }}};
+  }
 
   /// Mean time for THIS node to find a block, given current network size.
   double PerNodeMeanInterval() const;

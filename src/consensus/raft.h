@@ -52,6 +52,12 @@ class Raft : public Engine {
   const char* name() const override { return "raft"; }
   void ExportMetrics(obs::MetricsRegistry* reg,
                      const obs::Labels& labels) const override;
+  std::vector<LiveGauge> LiveGauges() override {
+    return {{"raft.term", [this] { return double(term_); }},
+            {"raft.role", [this] { return double(role_); }},
+            {"raft.elections",
+             [this] { return double(elections_started_); }}};
+  }
 
   enum class Role { kFollower, kCandidate, kLeader };
   Role role() const { return role_; }

@@ -56,6 +56,11 @@ class Tendermint : public Engine {
   const char* name() const override { return "tendermint"; }
   void ExportMetrics(obs::MetricsRegistry* reg,
                      const obs::Labels& labels) const override;
+  std::vector<LiveGauge> LiveGauges() override {
+    return {{"tm.round", [this] { return double(round_); }},
+            {"tm.rounds_failed",
+             [this] { return double(rounds_failed_); }}};
+  }
 
   uint64_t height() const { return Height(); }
   uint64_t round() const { return round_; }

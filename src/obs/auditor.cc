@@ -1,0 +1,423 @@
+#include "obs/auditor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+
+namespace bb::obs {
+
+namespace {
+
+/// One distinct block in the global fork tree, with which nodes saw it.
+struct TreeBlock {
+  AuditBlock block;
+  std::set<uint32_t> seen_by;
+  std::set<uint32_t> canonical_on;
+};
+
+std::string Shorten(const std::string& hash) {
+  return hash.size() > 12 ? hash.substr(0, 12) : hash;
+}
+
+}  // namespace
+
+AuditReport Auditor::Run() const {
+  AuditReport rep;
+  AuditorConfig cfg = config_;
+  // All maps are keyed by hash (or height); iteration order is sorted,
+  // which is what makes the report deterministic.
+  std::map<std::string, TreeBlock> tree;
+  std::string genesis = views_.empty() ? "" : views_.front().genesis;
+
+  auto violate = [&rep](const char* invariant, std::string detail) {
+    rep.violations.push_back(AuditViolation{invariant, std::move(detail)});
+  };
+
+  // --- Merge every view into the global tree ------------------------------
+  for (const NodeChainView& v : views_) {
+    if (v.genesis != genesis) {
+      violate("view_consistency",
+              "node " + std::to_string(v.node) + " roots at genesis " +
+                  Shorten(v.genesis) + ", node " +
+                  std::to_string(views_.front().node) + " at " +
+                  Shorten(genesis));
+    }
+    for (const AuditBlock& b : v.blocks) {
+      auto [it, inserted] = tree.emplace(b.hash, TreeBlock{b, {}, {}});
+      TreeBlock& tb = it->second;
+      if (!inserted && (tb.block.parent != b.parent ||
+                        tb.block.height != b.height)) {
+        violate("view_consistency",
+                "block " + Shorten(b.hash) + " has conflicting "
+                "parent/height across nodes");
+      }
+      tb.seen_by.insert(v.node);
+      if (b.canonical) tb.canonical_on.insert(v.node);
+    }
+  }
+  rep.distinct_blocks = tree.size();
+
+  // --- Structural invariant: heights follow parents -----------------------
+  for (const auto& [hash, tb] : tree) {
+    const AuditBlock& b = tb.block;
+    if (b.parent == genesis) {
+      if (b.height != 1) {
+        violate("height_continuity", "block " + Shorten(hash) +
+                                         " extends genesis at height " +
+                                         std::to_string(b.height));
+      }
+      continue;
+    }
+    auto parent = tree.find(b.parent);
+    if (parent == tree.end()) {
+      violate("height_continuity", "block " + Shorten(hash) +
+                                       " has unknown parent " +
+                                       Shorten(b.parent));
+    } else if (b.height != parent->second.block.height + 1) {
+      violate("height_continuity",
+              "block " + Shorten(hash) + " at height " +
+                  std::to_string(b.height) + " extends a parent at height " +
+                  std::to_string(parent->second.block.height));
+    }
+  }
+
+  // --- Per-node canonical chains ------------------------------------------
+  // node -> (height -> hash), plus structural checks on each chain.
+  std::map<uint32_t, std::map<uint64_t, std::string>> canon;
+  for (const NodeChainView& v : views_) {
+    std::map<uint64_t, std::string>& chain = canon[v.node];
+    for (const AuditBlock& b : v.blocks) {
+      if (!b.canonical) continue;
+      auto [it, inserted] = chain.emplace(b.height, b.hash);
+      if (!inserted) {
+        violate("canonical_completeness",
+                "node " + std::to_string(v.node) + " has two canonical "
+                "blocks at height " + std::to_string(b.height));
+      }
+    }
+    if (chain.size() != v.head_height) {
+      violate("canonical_completeness",
+              "node " + std::to_string(v.node) + " head height " +
+                  std::to_string(v.head_height) + " but " +
+                  std::to_string(chain.size()) + " canonical blocks");
+    }
+    for (uint64_t h = 1; h <= v.head_height; ++h) {
+      if (chain.find(h) == chain.end()) {
+        violate("canonical_completeness",
+                "node " + std::to_string(v.node) +
+                    " canonical chain has a gap at height " +
+                    std::to_string(h));
+        break;  // one gap report per node is enough
+      }
+    }
+  }
+
+  // --- Reference chain: heaviest canonical chain among live nodes ---------
+  // (falls back to all nodes when everything crashed). This is the chain
+  // an honest client would follow at run end.
+  const NodeChainView* ref_view = nullptr;
+  uint64_t ref_weight = 0;
+  for (const NodeChainView& v : views_) {
+    if (v.crashed) continue;
+    uint64_t w = 0;
+    for (const AuditBlock& b : v.blocks) {
+      if (b.canonical) w += b.weight;
+    }
+    if (ref_view == nullptr || w > ref_weight ||
+        (w == ref_weight && v.head_height > ref_view->head_height)) {
+      ref_view = &v;
+      ref_weight = w;
+    }
+  }
+  if (ref_view == nullptr && !views_.empty()) ref_view = &views_.front();
+
+  std::set<std::string> agreed;  // hashes on the reference chain
+  if (ref_view != nullptr) {
+    for (const AuditBlock& b : ref_view->blocks) {
+      if (b.canonical) agreed.insert(b.hash);
+    }
+  }
+  rep.agreed_blocks = agreed.size();
+  rep.forked_blocks = rep.distinct_blocks - rep.agreed_blocks;
+  rep.forked_pct = rep.distinct_blocks > 0
+                       ? 100.0 * double(rep.forked_blocks) /
+                             double(rep.distinct_blocks)
+                       : 0.0;
+
+  // --- Fork-tree shape ----------------------------------------------------
+  std::map<std::string, uint64_t> child_count;
+  for (const auto& [hash, tb] : tree) ++child_count[tb.block.parent];
+  for (const auto& [parent, n] : child_count) {
+    if (n > 1) ++rep.fork_points;
+  }
+  // Branch roots: forked blocks extending the agreed chain (or genesis).
+  // Depth via heights: blocks sorted by (height, hash) see their parent
+  // first, so one pass computes each forked block's branch depth.
+  std::map<std::string, uint64_t> branch_depth;
+  std::vector<const TreeBlock*> by_height;
+  by_height.reserve(tree.size());
+  for (const auto& [hash, tb] : tree) by_height.push_back(&tb);
+  std::stable_sort(by_height.begin(), by_height.end(),
+                   [](const TreeBlock* a, const TreeBlock* b) {
+                     return a->block.height < b->block.height;
+                   });
+  for (const TreeBlock* tb : by_height) {
+    const AuditBlock& b = tb->block;
+    if (agreed.count(b.hash) != 0) continue;
+    rep.wasted_weight += b.weight;
+    auto parent_depth = branch_depth.find(b.parent);
+    if (parent_depth == branch_depth.end()) {
+      // Parent is agreed or genesis: this block starts a branch.
+      branch_depth[b.hash] = 1;
+      ++rep.branches;
+    } else {
+      branch_depth[b.hash] = parent_depth->second + 1;
+    }
+    rep.max_branch_depth = std::max(rep.max_branch_depth,
+                                    branch_depth[b.hash]);
+  }
+
+  // --- Per-node summaries and divergence ----------------------------------
+  for (const NodeChainView& v : views_) {
+    AuditReport::NodeSummary ns;
+    ns.node = v.node;
+    ns.crashed = v.crashed;
+    ns.head_height = v.head_height;
+    ns.known_blocks = v.blocks.size();
+    for (const AuditBlock& b : v.blocks) {
+      if (b.canonical) ++ns.canonical_blocks;
+    }
+    ns.forked_blocks = ns.known_blocks - ns.canonical_blocks;
+    ns.reorgs = v.reorgs;
+    // Walk the head's ancestry until it joins the reference chain.
+    std::string cursor = v.head;
+    while (cursor != genesis && agreed.count(cursor) == 0) {
+      auto it = tree.find(cursor);
+      if (it == tree.end()) break;  // already reported as discontinuity
+      ++ns.divergence_depth;
+      cursor = it->second.block.parent;
+    }
+    rep.nodes.push_back(ns);
+  }
+  std::sort(rep.nodes.begin(), rep.nodes.end(),
+            [](const AuditReport::NodeSummary& a,
+               const AuditReport::NodeSummary& b) { return a.node < b.node; });
+
+  // --- Over-time series ---------------------------------------------------
+  double span = cfg.end_time;
+  for (const auto& [hash, tb] : tree) {
+    span = std::max(span, tb.block.timestamp);
+  }
+  size_t bins = cfg.series_bin > 0 ? size_t(span / cfg.series_bin) + 1 : 0;
+  rep.sealed_per_bin.assign(bins, 0);
+  rep.forked_per_bin.assign(bins, 0);
+  if (bins > 0) {
+    for (const auto& [hash, tb] : tree) {
+      size_t bin = std::min(bins - 1,
+                            size_t(tb.block.timestamp / cfg.series_bin));
+      ++rep.sealed_per_bin[bin];
+      if (agreed.count(hash) == 0) ++rep.forked_per_bin[bin];
+    }
+  }
+
+  // --- Recovery gap after the heal ----------------------------------------
+  if (cfg.heal_time >= 0) {
+    double first = -1;
+    for (const std::string& hash : agreed) {
+      const TreeBlock& tb = tree.at(hash);
+      if (tb.block.timestamp >= cfg.heal_time &&
+          (first < 0 || tb.block.timestamp < first)) {
+        first = tb.block.timestamp;
+      }
+    }
+    rep.first_seal_after_heal = first;
+    rep.recovery_gap = first >= 0 ? first - cfg.heal_time : -1;
+  }
+
+  // --- Safety invariants over confirmed state -----------------------------
+  // Conflicting finality: two live nodes each confirmed a different
+  // block at one height — the realized double-spend of Fig 10.
+  std::map<uint64_t, std::set<std::string>> confirmed_at;
+  for (const NodeChainView& v : views_) {
+    if (v.crashed) continue;
+    uint64_t confirmed = v.head_height > cfg.confirmation_depth
+                             ? v.head_height - cfg.confirmation_depth
+                             : 0;
+    const std::map<uint64_t, std::string>& chain = canon[v.node];
+    for (const auto& [h, hash] : chain) {
+      if (h <= confirmed) confirmed_at[h].insert(hash);
+    }
+  }
+  uint64_t conflicting_heights = 0;
+  std::string first_conflict;
+  for (const auto& [h, hashes] : confirmed_at) {
+    if (hashes.size() > 1) {
+      if (conflicting_heights == 0) {
+        first_conflict = "height " + std::to_string(h) + ": " +
+                         Shorten(*hashes.begin()) + " vs " +
+                         Shorten(*std::next(hashes.begin()));
+      }
+      ++conflicting_heights;
+    }
+  }
+  if (conflicting_heights > 0) {
+    violate("conflicting_finality",
+            std::to_string(conflicting_heights) +
+                " height(s) with two confirmed blocks on live nodes, "
+                "first at " + first_conflict);
+  }
+
+  // Confirmed-fork depth: a branch that outgrew the confirmation depth
+  // means blocks confirmed during the run were discarded later, even if
+  // the final views now agree.
+  if (rep.max_branch_depth > cfg.confirmation_depth &&
+      rep.forked_blocks > 0) {
+    violate("confirmed_fork_depth",
+            "a fork branch reached depth " +
+                std::to_string(rep.max_branch_depth) +
+                " > confirmation depth " +
+                std::to_string(cfg.confirmation_depth) +
+                ": confirmed blocks were discarded (double-spend window)");
+  }
+
+  // Post-heal agreement: once the partition healed, every live node must
+  // be back on the agreed chain (up to normal tip lag).
+  if (cfg.heal_time >= 0) {
+    for (const AuditReport::NodeSummary& ns : rep.nodes) {
+      if (ns.crashed) continue;
+      if (ns.divergence_depth > cfg.confirmation_depth) {
+        violate("post_heal_agreement",
+                "node " + std::to_string(ns.node) + " still diverges by " +
+                    std::to_string(ns.divergence_depth) +
+                    " blocks after the heal");
+      }
+    }
+  }
+
+  return rep;
+}
+
+util::Json AuditReport::ToJson(const AuditorConfig& config) const {
+  util::Json doc = util::Json::Object();
+  doc.Set("schema", "blockbench-audit-v1");
+
+  util::Json cfg = util::Json::Object();
+  cfg.Set("confirmation_depth", config.confirmation_depth);
+  cfg.Set("heal_time", config.heal_time);
+  cfg.Set("end_time", config.end_time);
+  cfg.Set("series_bin", config.series_bin);
+  doc.Set("config", std::move(cfg));
+
+  util::Json tree = util::Json::Object();
+  tree.Set("distinct_blocks", distinct_blocks);
+  tree.Set("agreed_blocks", agreed_blocks);
+  tree.Set("forked_blocks", forked_blocks);
+  tree.Set("forked_pct", forked_pct);
+  tree.Set("fork_points", fork_points);
+  tree.Set("branches", branches);
+  tree.Set("max_branch_depth", max_branch_depth);
+  tree.Set("wasted_weight", wasted_weight);
+  doc.Set("fork_tree", std::move(tree));
+
+  util::Json nodes_json = util::Json::Array();
+  for (const NodeSummary& ns : nodes) {
+    util::Json n = util::Json::Object();
+    n.Set("node", uint64_t(ns.node));
+    n.Set("crashed", ns.crashed);
+    n.Set("head_height", ns.head_height);
+    n.Set("known_blocks", ns.known_blocks);
+    n.Set("canonical_blocks", ns.canonical_blocks);
+    n.Set("forked_blocks", ns.forked_blocks);
+    n.Set("reorgs", ns.reorgs);
+    n.Set("divergence_depth", ns.divergence_depth);
+    nodes_json.Push(std::move(n));
+  }
+  doc.Set("nodes", std::move(nodes_json));
+
+  util::Json series = util::Json::Object();
+  series.Set("bin_seconds", config.series_bin);
+  util::Json sealed = util::Json::Array();
+  for (uint64_t v : sealed_per_bin) sealed.Push(v);
+  series.Set("sealed", std::move(sealed));
+  util::Json forked = util::Json::Array();
+  for (uint64_t v : forked_per_bin) forked.Push(v);
+  series.Set("forked", std::move(forked));
+  doc.Set("series", std::move(series));
+
+  util::Json recovery = util::Json::Object();
+  recovery.Set("heal_time", config.heal_time);
+  recovery.Set("first_seal_after_heal", first_seal_after_heal);
+  recovery.Set("gap_seconds", recovery_gap);
+  doc.Set("recovery", std::move(recovery));
+
+  util::Json invariants = util::Json::Object();
+  util::Json checked = util::Json::Array();
+  for (const char* name :
+       {"view_consistency", "height_continuity", "canonical_completeness",
+        "conflicting_finality", "confirmed_fork_depth",
+        "post_heal_agreement"}) {
+    checked.Push(name);
+  }
+  invariants.Set("checked", std::move(checked));
+  util::Json violations_json = util::Json::Array();
+  for (const AuditViolation& v : violations) {
+    util::Json vj = util::Json::Object();
+    vj.Set("invariant", v.invariant);
+    vj.Set("detail", v.detail);
+    violations_json.Push(std::move(vj));
+  }
+  invariants.Set("violations", std::move(violations_json));
+  doc.Set("invariants", std::move(invariants));
+  doc.Set("ok", ok());
+  return doc;
+}
+
+std::string AuditReport::RenderTable() const {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "  blocks sealed %llu, agreed %llu, forked %llu (%.1f%%)\n",
+                (unsigned long long)distinct_blocks,
+                (unsigned long long)agreed_blocks,
+                (unsigned long long)forked_blocks, forked_pct);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  fork points %llu, branches %llu (max depth %llu), "
+                "wasted weight %llu\n",
+                (unsigned long long)fork_points, (unsigned long long)branches,
+                (unsigned long long)max_branch_depth,
+                (unsigned long long)wasted_weight);
+  out += buf;
+  uint64_t max_div = 0;
+  for (const NodeSummary& ns : nodes) {
+    max_div = std::max(max_div, ns.divergence_depth);
+  }
+  std::snprintf(buf, sizeof(buf), "  max node divergence %llu block(s)\n",
+                (unsigned long long)max_div);
+  out += buf;
+  if (recovery_gap >= 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "  recovery: first agreed block %.1f s after the heal\n",
+                  recovery_gap);
+    out += buf;
+  } else if (first_seal_after_heal < 0 && recovery_gap < 0 &&
+             !nodes.empty() && violations.empty()) {
+    // Nothing to report: either no heal was configured or no block
+    // committed afterwards; the JSON carries the distinction.
+  }
+  if (violations.empty()) {
+    out += "  invariants: all OK\n";
+  } else {
+    std::snprintf(buf, sizeof(buf), "  invariants: %zu VIOLATION(S)\n",
+                  violations.size());
+    out += buf;
+    for (const AuditViolation& v : violations) {
+      out += "    [" + v.invariant + "] " + v.detail + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace bb::obs

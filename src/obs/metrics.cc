@@ -164,10 +164,17 @@ util::Json MetricsRegistry::ToJson() const {
 }
 
 std::string MetricsRegistry::RenderTable() const {
-  std::string out;
+  // Keys pad to one column so values align; histogram rows break out
+  // count / mean / p50 / p95 / p99 / max as fixed columns.
+  size_t key_width = 0;
   for (const auto& [key, inst] : by_key_) {
-    out += key;
-    out += " = ";
+    key_width = std::max(key_width, key.size());
+  }
+  std::string out;
+  char buf[192];
+  for (const auto& [key, inst] : by_key_) {
+    std::snprintf(buf, sizeof(buf), "%-*s  ", int(key_width), key.c_str());
+    out += buf;
     switch (inst.kind) {
       case Kind::kCounter:
         AppendNumber(&out, double(inst.counter));
@@ -175,9 +182,17 @@ std::string MetricsRegistry::RenderTable() const {
       case Kind::kGauge:
         AppendNumber(&out, inst.gauge);
         break;
-      case Kind::kHistogram:
-        out += inst.hist.Summary();
+      case Kind::kHistogram: {
+        const Histogram& h = inst.hist;
+        std::snprintf(buf, sizeof(buf),
+                      "count %8llu  mean %10.4f  p50 %10.4f  p95 %10.4f  "
+                      "p99 %10.4f  max %10.4f",
+                      (unsigned long long)h.count(), h.Mean(),
+                      h.Percentile(50), h.Percentile(95), h.Percentile(99),
+                      h.max());
+        out += buf;
         break;
+      }
     }
     out.push_back('\n');
   }

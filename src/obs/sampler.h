@@ -1,0 +1,101 @@
+// Sampler: a periodic virtual-time probe over live per-node state.
+//
+// Where the Tracer records *events* (something happened at t) and the
+// MetricsRegistry records *post-run totals*, the Sampler records
+// *levels*: what each node's mempool depth, chain height, consensus
+// progress coordinate (PBFT view / Raft term / Tendermint round) and
+// crash/partition status were at every sampling tick while the run was
+// still going. This is the live layer the fault/attack experiments need
+// — the interesting part of Fig 9/10 is chain state *during* the fault
+// window, which no end-of-run counter can show.
+//
+// Probes are registered up front (fixed series set, so output shape is
+// deterministic), then Schedule() pre-plants one tick event per period
+// on the simulation — no self-rescheduling, so RunToCompletion() still
+// drains and a run without a sampler carries zero overhead (there is
+// nothing to branch on: the tick events simply do not exist).
+//
+// Each tick appends to in-memory series; when the simulation has a
+// Tracer attached, numeric gauges are also emitted as Chrome/Perfetto
+// counter events ("ph":"C"), one counter track per (node, name). The
+// whole sample set serializes as the `timeline` section of
+// blockbench-sweep-v1 rows — byte-identical across runs and sweep
+// --jobs values, like the trace. See docs/OBSERVABILITY.md.
+
+#ifndef BLOCKBENCH_OBS_SAMPLER_H_
+#define BLOCKBENCH_OBS_SAMPLER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace bb::sim {
+class Simulation;
+}  // namespace bb::sim
+
+namespace bb::obs {
+
+class Sampler {
+ public:
+  struct Config {
+    /// Seconds of virtual time between samples.
+    double period = 1.0;
+    /// First sample fires at start + period.
+    double start = 0.0;
+  };
+
+  Sampler() = default;
+  explicit Sampler(Config config) : config_(config) {}
+
+  /// Registers a numeric per-node gauge polled at every tick. `name`
+  /// must have static lifetime (it becomes the counter-track name).
+  void AddGauge(uint32_t node, const char* name, std::function<double()> fn);
+  /// Registers a string-valued probe (e.g. the head block hash) —
+  /// serialized into the timeline JSON but not traced as a counter.
+  void AddTag(uint32_t node, const char* name,
+              std::function<std::string()> fn);
+
+  /// Plants one tick event per period on `sim`, covering (start, end].
+  /// Call after every probe is registered and before the run; the
+  /// sampler must outlive the simulation's run.
+  void Schedule(sim::Simulation* sim, double end);
+
+  size_t num_ticks() const { return ticks_.size(); }
+  size_t num_gauges() const { return gauges_.size(); }
+  const Config& config() const { return config_; }
+
+  /// Sampled value of gauge (node, name) at tick i; -1 when absent.
+  double ValueAt(uint32_t node, const std::string& name, size_t tick) const;
+
+  /// The `timeline` document: {"period","ticks","series","tags"}, with
+  /// series in registration order — deterministic for a fixed probe set.
+  util::Json ToJson() const;
+
+ private:
+  struct GaugeSeries {
+    uint32_t node;
+    const char* name;
+    std::function<double()> fn;
+    std::vector<double> values;  // one per tick
+  };
+  struct TagSeries {
+    uint32_t node;
+    const char* name;
+    std::function<std::string()> fn;
+    std::vector<std::string> values;
+  };
+
+  void Tick(sim::Simulation* sim, double t);
+
+  Config config_;
+  std::vector<double> ticks_;
+  std::vector<GaugeSeries> gauges_;
+  std::vector<TagSeries> tags_;
+};
+
+}  // namespace bb::obs
+
+#endif  // BLOCKBENCH_OBS_SAMPLER_H_

@@ -98,6 +98,13 @@ void Tracer::RenderEvent(const Event& e, std::string* out) {
     char buf[32];
     std::snprintf(buf, sizeof(buf), ",\"pid\":0,\"tid\":%u", e.tid);
     out->append(buf);
+    if (e.ph == 'C') {
+      // name + id identify one counter track: per-node series of the
+      // same gauge stay separate ("pool.depth" id 0, 1, ...).
+      std::snprintf(buf, sizeof(buf), ",\"id\":\"%llu\"",
+                    (unsigned long long)e.id);
+      out->append(buf);
+    }
   }
   out->append(",\"ts\":");
   AppendMicros(out, e.ts);

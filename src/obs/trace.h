@@ -72,6 +72,14 @@ class Tracer {
                const char* arg_key, double arg_value) {
     PushEvent(node, cat, name, 'i', t, 0, 0, arg_key, arg_value);
   }
+  /// A counter sample: one point of the per-node counter track
+  /// (name, id=node) — the obs::Sampler's output primitive. Renders as a
+  /// Chrome trace_event counter ("ph":"C"); Perfetto draws one track per
+  /// (name, id) pair.
+  void Counter(uint32_t node, const char* cat, const char* name, double t,
+               double value) {
+    PushEvent(node, cat, name, 'C', t, 0, node, "value", value);
+  }
 
   /// Starts (or restarts, on client retry after a rejection) the
   /// lifecycle record for `tx_id`: later milestones are cleared.
@@ -101,9 +109,9 @@ class Tracer {
     double ts;            // virtual seconds
     double dur;           // seconds, 'X' only
     double arg_val;
-    uint64_t id;          // async pair id ('b'/'e' only)
+    uint64_t id;          // async pair id ('b'/'e'), counter id ('C')
     uint32_t tid;
-    char ph;              // 'X', 'i', 'b', 'e'
+    char ph;              // 'X', 'i', 'b', 'e', 'C'
   };
 
   void PushEvent(uint32_t tid, const char* cat, const char* name, char ph,

@@ -1,0 +1,87 @@
+#include "platform/forensics.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace bb::platform {
+
+void AttachStandardProbes(obs::Sampler* sampler, Platform* platform) {
+  for (size_t i = 0; i < platform->num_servers(); ++i) {
+    uint32_t id = uint32_t(i);
+    PlatformNode* node = &platform->node(i);
+    sim::Network* net = &platform->network();
+    sampler->AddGauge(id, "chain.height", [node] {
+      return double(node->chain().head_height());
+    });
+    sampler->AddGauge(id, "chain.forks", [node] {
+      return double(node->chain().orphaned_blocks());
+    });
+    sampler->AddGauge(id, "pool.depth",
+                      [node] { return double(node->pending_txs()); });
+    sampler->AddGauge(id, "net.crashed", [net, id] {
+      return net->IsCrashed(id) ? 1.0 : 0.0;
+    });
+    sampler->AddGauge(id, "net.side", [net, id] {
+      return double(net->PartitionSideOf(id));
+    });
+    sampler->AddTag(id, "chain.head",
+                    [node] { return node->chain().head().ShortHex(); });
+    for (consensus::Engine::LiveGauge& g : node->engine().LiveGauges()) {
+      sampler->AddGauge(id, g.name, std::move(g.fn));
+    }
+  }
+}
+
+obs::NodeChainView CollectNodeView(Platform& platform, size_t i) {
+  PlatformNode& node = platform.node(i);
+  const chain::ChainStore& store = node.chain();
+  obs::NodeChainView view;
+  view.node = uint32_t(i);
+  view.crashed = platform.network().IsCrashed(uint32_t(i));
+  view.genesis = store.genesis().ToHex();
+  view.head = store.head().ToHex();
+  view.head_height = store.head_height();
+  view.reorgs = store.reorgs();
+  view.invalid_blocks = store.invalid_blocks();
+  view.blocks.reserve(store.total_blocks());
+  store.ForEachBlock([&](const Hash256& hash, const chain::Block& block) {
+    if (hash == store.genesis()) return;
+    obs::AuditBlock b;
+    b.hash = hash.ToHex();
+    b.parent = block.header.parent.ToHex();
+    b.height = block.header.height;
+    b.proposer = block.header.proposer;
+    b.timestamp = block.header.timestamp;
+    b.weight = block.header.weight;
+    b.canonical = store.IsCanonical(hash);
+    view.blocks.push_back(std::move(b));
+  });
+  // ChainStore iterates an unordered_map; sort so the extracted view is
+  // deterministic on its own, not only after the auditor re-sorts.
+  std::sort(view.blocks.begin(), view.blocks.end(),
+            [](const obs::AuditBlock& a, const obs::AuditBlock& b) {
+              return a.height != b.height ? a.height < b.height
+                                          : a.hash < b.hash;
+            });
+  return view;
+}
+
+std::vector<obs::NodeChainView> CollectAuditViews(Platform& platform) {
+  std::vector<obs::NodeChainView> views;
+  views.reserve(platform.num_servers());
+  for (size_t i = 0; i < platform.num_servers(); ++i) {
+    views.push_back(CollectNodeView(platform, i));
+  }
+  return views;
+}
+
+obs::AuditReport RunAudit(Platform& platform,
+                          const obs::AuditorConfig& config) {
+  obs::Auditor auditor(config);
+  for (obs::NodeChainView& v : CollectAuditViews(platform)) {
+    auditor.AddNode(std::move(v));
+  }
+  return auditor.Run();
+}
+
+}  // namespace bb::platform

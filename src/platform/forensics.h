@@ -1,0 +1,44 @@
+// Forensics: the platform-side bridge into the observability stack.
+//
+// Two jobs, both spanning the whole cluster:
+//   * AttachStandardProbes wires a live obs::Sampler to every server —
+//     chain height, pool depth, fork count, crash/partition status, plus
+//     whatever each consensus engine exposes through LiveGauges()
+//     (current PBFT view, Raft term, Tendermint round, ...).
+//   * CollectAuditViews / RunAudit extract every node's final ChainStore
+//     into the neutral obs::NodeChainView records the obs::Auditor
+//     consumes (obs cannot see chain:: types — bb_chain links bb_obs).
+//
+// See docs/OBSERVABILITY.md for the sampler/auditor user guide.
+
+#ifndef BLOCKBENCH_PLATFORM_FORENSICS_H_
+#define BLOCKBENCH_PLATFORM_FORENSICS_H_
+
+#include <vector>
+
+#include "obs/auditor.h"
+#include "obs/sampler.h"
+#include "platform/platform.h"
+
+namespace bb::platform {
+
+/// Registers the standard per-server gauge set on `sampler`:
+///   chain.height, chain.forks, pool.depth, net.crashed, net.side
+/// plus the engine's LiveGauges(). The platform must outlive the
+/// sampler's run (the gauges hold raw pointers into it).
+void AttachStandardProbes(obs::Sampler* sampler, Platform* platform);
+
+/// Extracts server `i`'s final ledger view. Blocks are sorted by
+/// (height, hash) so the view itself is deterministic.
+obs::NodeChainView CollectNodeView(Platform& platform, size_t i);
+
+/// Every server's view, in node-id order.
+std::vector<obs::NodeChainView> CollectAuditViews(Platform& platform);
+
+/// Convenience: collect all views and run the audit in one step.
+obs::AuditReport RunAudit(Platform& platform,
+                          const obs::AuditorConfig& config);
+
+}  // namespace bb::platform
+
+#endif  // BLOCKBENCH_PLATFORM_FORENSICS_H_

@@ -85,6 +85,11 @@ class Network {
   void Partition(const std::vector<NodeId>& group_a);
   void HealPartition();
   bool partitioned() const { return partitioned_; }
+  /// Side a node currently sits on: 0 (group A) or 1; -1 when no
+  /// partition is active. Live-sampled by the observability probes.
+  int PartitionSideOf(NodeId id) const {
+    return partitioned_ && id < side_.size() ? side_[id] : -1;
+  }
 
   /// Adds `extra` seconds of one-way latency to every message.
   void InjectDelay(double extra) { injected_delay_ = extra; }

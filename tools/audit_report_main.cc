@@ -1,0 +1,280 @@
+// audit_report: validates blockbench-audit-v1 documents written by
+// bbench --audit (or obs::AuditReport::ToJson) and applies scenario
+// expectations — the CI gate for the fault/attack experiments.
+//
+//   audit_report [flags] REPORT.json...
+//
+// Structural validation always runs: schema tag, required sections,
+// fork-tree arithmetic (distinct = agreed + forked), per-node summaries
+// consistent with the tree, series arrays of equal length. Expectation
+// flags then encode what a scenario SHOULD have produced:
+//
+//   --fail-on-violation     exit 4 when the report records any
+//                           safety-invariant violation
+//   --expect-violation      exit 4 when it records NONE (a partitioned
+//                           PoW run that kept safety is itself a red
+//                           flag — the scenario did not bite)
+//   --min-forked-pct=X      forked_pct must be >= X (Ethereum model
+//                           under partition: double-digit forks)
+//   --max-forked-pct=X      forked_pct must be <= X (Hyperledger model:
+//                           zero forks, ever)
+//   --require-recovery      recovery.gap_seconds must be present and
+//                           >= 0 (the chain resumed after the heal)
+//
+// Exit codes: 0 ok, 1 I/O or structural error, 2 usage, 4 expectation
+// failed.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "util/flags.h"
+#include "util/json.h"
+
+using bb::util::Json;
+
+namespace {
+
+bb::Result<std::string> ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return bb::Status::NotFound("cannot open " + path);
+  }
+  std::string text;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return text;
+}
+
+struct Expectations {
+  bool fail_on_violation = false;
+  bool expect_violation = false;
+  double min_forked_pct = -1;
+  double max_forked_pct = -1;
+  bool require_recovery = false;
+};
+
+const Json* Need(const Json& doc, const char* key, Json::Type type,
+                 const std::string& path, bb::Status* status) {
+  const Json* v = doc.Get(key);
+  if (v == nullptr || v->type() != type) {
+    *status = bb::Status::InvalidArgument(path + ": missing or mistyped '" +
+                                          key + "'");
+    return nullptr;
+  }
+  return v;
+}
+
+bb::Status Validate(const Json& doc, const std::string& path) {
+  bb::Status status = bb::Status::Ok();
+  const Json* schema = Need(doc, "schema", Json::Type::kString, path, &status);
+  if (schema == nullptr) return status;
+  if (schema->AsString() != "blockbench-audit-v1") {
+    return bb::Status::InvalidArgument(path + ": unexpected schema '" +
+                                       schema->AsString() + "'");
+  }
+  const Json* tree = Need(doc, "fork_tree", Json::Type::kObject, path, &status);
+  const Json* nodes = Need(doc, "nodes", Json::Type::kArray, path, &status);
+  const Json* series = Need(doc, "series", Json::Type::kObject, path, &status);
+  const Json* inv =
+      Need(doc, "invariants", Json::Type::kObject, path, &status);
+  if (tree == nullptr || nodes == nullptr || series == nullptr ||
+      inv == nullptr) {
+    return status;
+  }
+  for (const char* key : {"distinct_blocks", "agreed_blocks", "forked_blocks",
+                          "forked_pct", "fork_points", "branches",
+                          "max_branch_depth", "wasted_weight"}) {
+    if (Need(*tree, key, Json::Type::kNumber, path, &status) == nullptr) {
+      return status;
+    }
+  }
+  uint64_t distinct = tree->Get("distinct_blocks")->AsUint();
+  uint64_t agreed = tree->Get("agreed_blocks")->AsUint();
+  uint64_t forked = tree->Get("forked_blocks")->AsUint();
+  if (agreed + forked != distinct) {
+    return bb::Status::InvalidArgument(
+        path + ": fork-tree arithmetic broken (agreed " +
+        std::to_string(agreed) + " + forked " + std::to_string(forked) +
+        " != distinct " + std::to_string(distinct) + ")");
+  }
+  if (nodes->size() == 0) {
+    return bb::Status::InvalidArgument(path + ": empty nodes section");
+  }
+  for (size_t i = 0; i < nodes->items().size(); ++i) {
+    const Json& n = nodes->items()[i];
+    std::string at = path + ": node " + std::to_string(i);
+    for (const char* key : {"node", "head_height", "known_blocks",
+                            "canonical_blocks", "forked_blocks", "reorgs",
+                            "divergence_depth"}) {
+      if (n.Get(key) == nullptr || !n.Get(key)->is_number()) {
+        return bb::Status::InvalidArgument(at + " missing '" + key + "'");
+      }
+    }
+    uint64_t known = n.Get("known_blocks")->AsUint();
+    if (known > distinct) {
+      return bb::Status::InvalidArgument(
+          at + " knows more blocks than the global tree holds");
+    }
+    if (n.Get("canonical_blocks")->AsUint() +
+            n.Get("forked_blocks")->AsUint() != known) {
+      return bb::Status::InvalidArgument(at + " block accounting broken");
+    }
+  }
+  const Json* sealed = series->Get("sealed");
+  const Json* forked_bins = series->Get("forked");
+  if (sealed == nullptr || !sealed->is_array() || forked_bins == nullptr ||
+      !forked_bins->is_array() ||
+      sealed->size() != forked_bins->size()) {
+    return bb::Status::InvalidArgument(
+        path + ": series arrays missing or of unequal length");
+  }
+  const Json* violations = inv->Get("violations");
+  const Json* ok = doc.Get("ok");
+  if (violations == nullptr || !violations->is_array() || ok == nullptr ||
+      !ok->is_bool()) {
+    return bb::Status::InvalidArgument(path +
+                                       ": invariants section malformed");
+  }
+  if (ok->AsBool() != (violations->size() == 0)) {
+    return bb::Status::InvalidArgument(
+        path + ": 'ok' contradicts the violations list");
+  }
+  return bb::Status::Ok();
+}
+
+/// Returns false when a scenario expectation failed (printed to stderr).
+bool CheckExpectations(const Json& doc, const std::string& path,
+                       const Expectations& want) {
+  bool ok = true;
+  size_t violations = doc.Get("invariants")->Get("violations")->size();
+  double forked_pct = doc.Get("fork_tree")->Get("forked_pct")->AsDouble();
+  if (want.fail_on_violation && violations > 0) {
+    std::fprintf(stderr,
+                 "audit_report: %s: %zu safety violation(s) recorded\n",
+                 path.c_str(), violations);
+    ok = false;
+  }
+  if (want.expect_violation && violations == 0) {
+    std::fprintf(stderr,
+                 "audit_report: %s: expected a safety violation, found "
+                 "none — the scenario did not bite\n",
+                 path.c_str());
+    ok = false;
+  }
+  if (want.min_forked_pct >= 0 && forked_pct < want.min_forked_pct) {
+    std::fprintf(stderr,
+                 "audit_report: %s: forked_pct %.2f below expected "
+                 "minimum %.2f\n",
+                 path.c_str(), forked_pct, want.min_forked_pct);
+    ok = false;
+  }
+  if (want.max_forked_pct >= 0 && forked_pct > want.max_forked_pct) {
+    std::fprintf(stderr,
+                 "audit_report: %s: forked_pct %.2f above expected "
+                 "maximum %.2f\n",
+                 path.c_str(), forked_pct, want.max_forked_pct);
+    ok = false;
+  }
+  if (want.require_recovery) {
+    const Json* rec = doc.Get("recovery");
+    double gap = rec != nullptr && rec->Get("gap_seconds") != nullptr
+                     ? rec->Get("gap_seconds")->AsDouble()
+                     : -1;
+    if (gap < 0) {
+      std::fprintf(stderr,
+                   "audit_report: %s: no post-heal recovery recorded\n",
+                   path.c_str());
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+void Summarize(const Json& doc, const std::string& path) {
+  const Json* tree = doc.Get("fork_tree");
+  size_t violations = doc.Get("invariants")->Get("violations")->size();
+  const Json* rec = doc.Get("recovery");
+  double gap = rec != nullptr && rec->Get("gap_seconds") != nullptr
+                   ? rec->Get("gap_seconds")->AsDouble()
+                   : -1;
+  std::printf("%s: %llu blocks, %llu forked (%.1f%%), max branch depth "
+              "%llu, %zu violation(s)",
+              path.c_str(),
+              (unsigned long long)tree->Get("distinct_blocks")->AsUint(),
+              (unsigned long long)tree->Get("forked_blocks")->AsUint(),
+              tree->Get("forked_pct")->AsDouble(),
+              (unsigned long long)tree->Get("max_branch_depth")->AsUint(),
+              violations);
+  if (gap >= 0) std::printf(", recovery gap %.1f s", gap);
+  std::printf("\n");
+}
+
+int UsageError(const char* msg) {
+  std::fprintf(stderr, "audit_report: %s\n", msg);
+  std::fprintf(stderr,
+               "usage: audit_report [--fail-on-violation] "
+               "[--expect-violation]\n"
+               "                    [--min-forked-pct=X] "
+               "[--max-forked-pct=X]\n"
+               "                    [--require-recovery] REPORT.json...\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Expectations want;
+  want.fail_on_violation = bb::util::HasFlag(argc, argv, "--fail-on-violation");
+  want.expect_violation = bb::util::HasFlag(argc, argv, "--expect-violation");
+  want.min_forked_pct =
+      bb::util::FlagDouble(argc, argv, "--min-forked-pct", -1);
+  want.max_forked_pct =
+      bb::util::FlagDouble(argc, argv, "--max-forked-pct", -1);
+  want.require_recovery = bb::util::HasFlag(argc, argv, "--require-recovery");
+  if (want.fail_on_violation && want.expect_violation) {
+    return UsageError("--fail-on-violation and --expect-violation conflict");
+  }
+
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    std::string s = argv[i];
+    if (s.rfind("--", 0) != 0) {
+      inputs.push_back(s);
+      continue;
+    }
+    bool known = s == "--fail-on-violation" || s == "--expect-violation" ||
+                 s == "--require-recovery" ||
+                 s.rfind("--min-forked-pct=", 0) == 0 ||
+                 s.rfind("--max-forked-pct=", 0) == 0;
+    if (!known) return UsageError(("unknown flag " + s).c_str());
+  }
+  if (inputs.empty()) return UsageError("no input files");
+
+  bool expectations_ok = true;
+  for (const std::string& path : inputs) {
+    auto text = ReadFile(path);
+    if (!text.ok()) {
+      std::fprintf(stderr, "audit_report: %s\n",
+                   text.status().ToString().c_str());
+      return 1;
+    }
+    auto doc = Json::Parse(*text);
+    if (!doc.ok()) {
+      std::fprintf(stderr, "audit_report: %s: %s\n", path.c_str(),
+                   doc.status().ToString().c_str());
+      return 1;
+    }
+    bb::Status s = Validate(*doc, path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "audit_report: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    Summarize(*doc, path);
+    if (!CheckExpectations(*doc, path, want)) expectations_ok = false;
+  }
+  return expectations_ok ? 0 : 4;
+}

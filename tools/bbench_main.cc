@@ -12,6 +12,13 @@
 //   --partition=T0:T1     split the network in half during [T0, T1)
 //   --delay=SECONDS       inject one-way network delay
 //   --corrupt=P           corrupt each message with probability P
+//
+// Observability:
+//   --sample=PERIOD       live-sample per-node state every PERIOD seconds
+//                         (feeds --trace counter tracks)
+//   --audit=PATH          post-run cross-node ledger audit; writes the
+//                         blockbench-audit-v1 report to PATH and exits 3
+//                         when a safety invariant was violated
 
 #include <cstdio>
 #include <cstdlib>
@@ -21,8 +28,11 @@
 #include <vector>
 
 #include "core/driver.h"
+#include "obs/auditor.h"
 #include "obs/metrics.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
+#include "platform/forensics.h"
 #include "platform/platform.h"
 #include "platform/registry.h"
 #include "util/flags.h"
@@ -54,6 +64,8 @@ struct Args {
   bool timeline = false;
   std::string trace_path;
   bool metrics = false;
+  double sample = 0;
+  std::string audit_path;
 };
 
 void Usage() {
@@ -70,6 +82,10 @@ void Usage() {
   --timeline (print committed tx per second)
   --trace=PATH (write a Chrome/Perfetto trace of the run; also prints the
                 per-phase commit latency breakdown)
+  --sample=PERIOD (live-sample per-node state every PERIOD virtual seconds;
+                   sampled gauges land in --trace as counter tracks)
+  --audit=PATH (run the post-run ledger audit, write blockbench-audit-v1
+                JSON to PATH; exit code 3 on a safety-invariant violation)
   --metrics (print the per-node metrics table after the run)
   --list-platforms (print the platform registry and exit)
 )");
@@ -82,7 +98,8 @@ bool Parse(int argc, char** argv, Args* a) {
                             "--clients",         "--rate",     "--duration",
                             "--warmup",          "--seed",     "--max-outstanding",
                             "--delay",           "--corrupt",  "--crash",
-                            "--partition",       "--trace"};
+                            "--partition",       "--trace",    "--sample",
+                            "--audit"};
   for (int i = 1; i < argc; ++i) {
     std::string s = argv[i];
     if (s == "--timeline" || s == "--list-platforms" || s == "--metrics") {
@@ -126,6 +143,8 @@ bool Parse(int argc, char** argv, Args* a) {
   a->timeline = util::HasFlag(argc, argv, "--timeline");
   a->trace_path = util::FlagValue(argc, argv, "--trace").value_or("");
   a->metrics = util::HasFlag(argc, argv, "--metrics");
+  a->sample = util::FlagDouble(argc, argv, "--sample", a->sample);
+  a->audit_path = util::FlagValue(argc, argv, "--audit").value_or("");
 
   // --crash is repeatable, so collect every occurrence by hand.
   for (int i = 1; i < argc; ++i) {
@@ -219,6 +238,14 @@ int main(int argc, char** argv) {
   dc.seed = a.seed;
   core::Driver driver(&chain, workload.get(), dc);
 
+  std::unique_ptr<obs::Sampler> sampler;
+  if (a.sample > 0) {
+    sampler = std::make_unique<obs::Sampler>(
+        obs::Sampler::Config{a.sample, 0.0});
+    platform::AttachStandardProbes(sampler.get(), &chain);
+    sampler->Schedule(&sim, a.duration + dc.drain);
+  }
+
   std::printf("bbench: %s / %s, %zu servers, %zu clients, %.0f tx/s/client, "
               "%.0f s\n",
               a.platform.c_str(), a.workload.c_str(), a.servers, a.clients,
@@ -279,6 +306,35 @@ int main(int argc, char** argv) {
       }
       std::printf("  t=%4zu  %8.0f tx (%6.0f tx/s)\n", t, sum, sum / 5);
     }
+  }
+
+  if (sampler != nullptr) {
+    std::printf("\nsampler: %zu gauges x %zu ticks (period %.2f s)\n",
+                sampler->num_gauges(), sampler->num_ticks(), a.sample);
+  }
+
+  if (!a.audit_path.empty()) {
+    obs::AuditorConfig ac;
+    ac.confirmation_depth = chain.options().confirmation_depth;
+    ac.heal_time = a.partition_start >= 0 ? a.partition_end : -1;
+    ac.end_time = a.duration + dc.drain;
+    obs::AuditReport audit = platform::RunAudit(chain, ac);
+    std::printf("\nledger audit (%zu nodes):\n%s", a.servers,
+                audit.RenderTable().c_str());
+    std::string text = audit.ToJson(ac).Dump(2);
+    text.push_back('\n');
+    std::FILE* f = std::fopen(a.audit_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", a.audit_path.c_str());
+      return 1;
+    }
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    std::printf("audit report -> %s\n", a.audit_path.c_str());
+    // Exit 3 signals "the run completed but the ledger is unsafe" —
+    // distinct from usage (2) and setup (1) failures. A partitioned
+    // Ethereum-model run is EXPECTED to exit 3 (Fig 10).
+    if (!audit.ok()) return 3;
   }
   return 0;
 }

@@ -5,16 +5,18 @@
 //   trace_report TRACE.json...
 //
 // Validation is structural: every event needs a known phase ('X', 'i',
-// 'b', 'e', 'M'), complete spans need a non-negative duration, and
+// 'b', 'e', 'C', 'M'), complete spans need a non-negative duration,
 // every async 'b' needs a matching 'e' with the same (cat, name, id)
-// at a later-or-equal timestamp. Any violation is a non-zero exit —
-// the CI perf-smoke job keys off this.
+// at a later-or-equal timestamp, and every counter sample ('C', the
+// sampler's gauge tracks) needs an id and numeric-only args. Any
+// violation is a non-zero exit — the CI perf-smoke job keys off this.
 //
 // Reporting decomposes the mean commit latency of every complete
 // transaction (all four lifecycle legs present) into the per-leg means;
 // the legs telescope, so they sum to exactly the client-measured
 // latency. Named consensus spans ('X') are summarized per (cat, name).
 
+#include <algorithm>
 #include <array>
 #include <cstdio>
 #include <map>
@@ -58,9 +60,17 @@ struct SpanStats {
   double total_us = 0;
 };
 
+struct CounterStats {
+  uint64_t samples = 0;
+  std::map<std::string, uint64_t> tracks;  // id -> samples on that track
+  double min = 0, max = 0, last = 0;
+};
+
 struct TraceSummary {
   uint64_t events = 0, complete_spans = 0, instants = 0, async_pairs = 0;
+  uint64_t counter_samples = 0;
   std::map<std::string, SpanStats> x_spans;  // "cat/name" -> stats
+  std::map<std::string, CounterStats> counters;  // "cat/name" -> stats
   // tx id -> per-leg duration in µs (-1 until seen).
   std::map<std::string, std::array<double, kNumLegs>> tx_legs;
 };
@@ -111,6 +121,38 @@ bb::Status Analyze(const Json& doc, const std::string& path,
       case 'i':
         ++out->instants;
         break;
+      case 'C': {
+        // Counter track: needs an id (node) and numeric-only args —
+        // these are the obs::Sampler's gauge samples.
+        const Json* id = e.Get("id");
+        if (id == nullptr || !id->is_string()) {
+          return bb::Status::InvalidArgument(at + " counter without id");
+        }
+        const Json* args = e.Get("args");
+        if (args == nullptr || !args->is_object() || args->size() == 0) {
+          return bb::Status::InvalidArgument(at + " counter without args");
+        }
+        double value = 0;
+        for (const auto& [k, v] : args->members()) {
+          if (!v.is_number()) {
+            return bb::Status::InvalidArgument(
+                at + " counter arg '" + k + "' is not numeric");
+          }
+          value = v.AsDouble();
+        }
+        CounterStats& c = out->counters[key];
+        if (c.samples == 0) {
+          c.min = c.max = value;
+        } else {
+          c.min = std::min(c.min, value);
+          c.max = std::max(c.max, value);
+        }
+        c.last = value;
+        ++c.samples;
+        ++c.tracks[id->AsString()];
+        ++out->counter_samples;
+        break;
+      }
       case 'b':
       case 'e': {
         const Json* id = e.Get("id");
@@ -161,11 +203,12 @@ bb::Status Analyze(const Json& doc, const std::string& path,
 
 void Report(const std::string& path, const TraceSummary& t) {
   std::printf("%s: %llu events OK (%llu spans, %llu instants, %llu async "
-              "pairs, %zu txs)\n",
+              "pairs, %llu counter samples, %zu txs)\n",
               path.c_str(), (unsigned long long)t.events,
               (unsigned long long)t.complete_spans,
               (unsigned long long)t.instants,
-              (unsigned long long)t.async_pairs, t.tx_legs.size());
+              (unsigned long long)t.async_pairs,
+              (unsigned long long)t.counter_samples, t.tx_legs.size());
 
   std::array<double, kNumLegs> leg_total{};
   uint64_t complete = 0;
@@ -197,6 +240,15 @@ void Report(const std::string& path, const TraceSummary& t) {
       std::printf("  %-24s count %8llu  mean %10.4f ms\n", key.c_str(),
                   (unsigned long long)s.count,
                   s.count > 0 ? s.total_us / double(s.count) / 1e3 : 0.0);
+    }
+  }
+
+  if (!t.counters.empty()) {
+    std::printf("\ncounter tracks (sampler gauges):\n");
+    for (const auto& [key, c] : t.counters) {
+      std::printf("  %-24s %zu track(s)  %6llu samples  min %g  max %g\n",
+                  key.c_str(), c.tracks.size(),
+                  (unsigned long long)c.samples, c.min, c.max);
     }
   }
 }
