@@ -70,6 +70,10 @@ struct MacroConfig {
   double warmup = 15;
   WorkloadKind workload = WorkloadKind::kYcsb;
   uint64_t seed = 1;
+  /// Fraction of YCSB/Smallbank transactions that deliberately straddle
+  /// shards (only meaningful when options.num_shards > 1). `servers` is
+  /// then the per-shard cluster size.
+  double cross_shard_ratio = 0;
   /// Smaller preloads keep bench startup fast without changing shape.
   uint64_t ycsb_records = 2000;
   uint64_t smallbank_accounts = 2000;
@@ -114,18 +118,22 @@ class MacroRun {
     BB_RETURN_IF_ERROR(config_.options.Validate());
     sim_ = std::make_unique<sim::Simulation>(config_.seed);
     if (config_.tracer != nullptr) sim_->set_tracer(config_.tracer);
-    platform_ = std::make_unique<platform::Platform>(
-        sim_.get(), config_.options, config_.servers);
+    // MakePlatform dispatches on options.num_shards: `servers` is the
+    // per-shard cluster size, so the sharded total is shards * servers.
+    platform_ = platform::MakePlatform(sim_.get(), config_.options,
+                                       config_.servers);
     switch (config_.workload) {
       case WorkloadKind::kYcsb: {
         workloads::YcsbConfig yc;
         yc.record_count = config_.ycsb_records;
+        yc.cross_shard_ratio = config_.cross_shard_ratio;
         workload_ = std::make_unique<workloads::YcsbWorkload>(yc);
         break;
       }
       case WorkloadKind::kSmallbank: {
         workloads::SmallbankConfig sc;
         sc.num_accounts = config_.smallbank_accounts;
+        sc.cross_shard_ratio = config_.cross_shard_ratio;
         workload_ = std::make_unique<workloads::SmallbankWorkload>(sc);
         break;
       }
@@ -368,6 +376,10 @@ class SweepRunner {
       config.Set("duration", c.config.duration);
       config.Set("workload", WorkloadName(c.config.workload));
       config.Set("seed", c.config.seed);
+      if (c.config.options.num_shards > 1) {
+        config.Set("num_shards", c.config.options.num_shards);
+        config.Set("cross_shard_ratio", c.config.cross_shard_ratio);
+      }
       r.Set("config", std::move(config));
       r.Set("status", o.status.ToString());
       if (o.status.ok()) {
@@ -380,6 +392,13 @@ class SweepRunner {
         metrics.Set("submitted", o.report.submitted);
         metrics.Set("committed", o.report.committed);
         metrics.Set("rejected", o.report.rejected);
+        if (o.report.xs_submitted > 0) {
+          metrics.Set("xs_submitted", o.report.xs_submitted);
+          metrics.Set("xs_committed", o.report.xs_committed);
+          metrics.Set("xs_aborted", o.report.xs_aborted);
+          metrics.Set("xs_latency_mean", o.report.xs_latency_mean);
+          metrics.Set("xs_latency_p95", o.report.xs_latency_p95);
+        }
         r.Set("metrics", std::move(metrics));
         util::Json sim = util::Json::Object();
         sim.Set("events", o.events);

@@ -61,9 +61,24 @@ void HStoreSite::Load(const std::string& key, const std::string& value) {
   data_[key] = value;
 }
 
-double HStoreSite::ExecuteOps(const std::vector<KvOp>& ops) {
+std::optional<std::string> HStoreSite::Get(const std::string& key) const {
+  auto it = data_.find(key);
+  if (it == data_.end()) return std::nullopt;
+  return it->second;
+}
+
+double HStoreSite::ExecuteOps(const std::vector<KvOp>& ops,
+                              std::vector<UndoEntry>* undo) {
   for (const auto& op : ops) {
     if (op.is_write) {
+      if (undo != nullptr) {
+        UndoEntry u;
+        u.key = op.key;
+        auto it = data_.find(op.key);
+        u.existed = it != data_.end();
+        if (u.existed) u.old_value = it->second;
+        undo->push_back(std::move(u));
+      }
       data_[op.key] = op.value;
     } else {
       auto it = data_.find(op.key);
@@ -71,6 +86,19 @@ double HStoreSite::ExecuteOps(const std::vector<KvOp>& ops) {
     }
   }
   return options_.op_cpu * double(ops.size());
+}
+
+void HStoreSite::Rollback(std::vector<UndoEntry>& undo) {
+  // Reverse order, so a transaction writing one key twice restores the
+  // oldest before-image last.
+  for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
+    if (it->existed) {
+      data_[it->key] = it->old_value;
+    } else {
+      data_.erase(it->key);
+    }
+  }
+  undo.clear();
 }
 
 double HStoreSite::HandleClientTxn(const sim::Message& msg) {
@@ -90,13 +118,14 @@ double HStoreSite::HandleClientTxn(const sim::Message& msg) {
     return cpu;
   }
 
-  // Multi-partition: two-phase commit.
+  // Multi-partition: two-phase commit. The coordinator's own writes are
+  // only prepared (undo-logged) until every participant votes yes.
   Pending2pc p;
   p.client = msg.from;
   p.txn_id = txn.id;
   for (auto& [site, ops] : per_site) {
     if (site == id()) {
-      cpu += ExecuteOps(ops);
+      cpu += ExecuteOps(ops, &p.local_undo);
     } else {
       p.waiting_prepare.insert(site);
       p.waiting_ack.insert(site);
@@ -117,7 +146,13 @@ double HStoreSite::HandleMessage(const sim::Message& msg) {
 
   if (msg.type == "hs_prepare") {
     const auto& m = std::any_cast<const PrepareMsg&>(msg.payload);
-    double cpu = options_.twopc_msg_cpu + ExecuteOps(m.ops);
+    if (vote_abort_) {
+      Send(msg.from, "hs_vote_abort", TxnIdMsg{m.txn_id}, 40);
+      return options_.twopc_msg_cpu;
+    }
+    std::vector<UndoEntry> undo;
+    double cpu = options_.twopc_msg_cpu + ExecuteOps(m.ops, &undo);
+    prepared_[m.txn_id] = std::move(undo);
     Send(msg.from, "hs_prepared", TxnIdMsg{m.txn_id}, 40);
     return cpu;
   }
@@ -135,9 +170,36 @@ double HStoreSite::HandleMessage(const sim::Message& msg) {
     return options_.twopc_msg_cpu;
   }
 
+  if (msg.type == "hs_vote_abort") {
+    // One participant said no: roll back everywhere and tell the client.
+    const auto& m = std::any_cast<const TxnIdMsg&>(msg.payload);
+    auto it = coordinating_.find(m.txn_id);
+    if (it == coordinating_.end()) return options_.twopc_msg_cpu;
+    Pending2pc& p = it->second;
+    for (const auto& [site, ops] : p.per_site_ops) {
+      if (site != msg.from) Send(site, "hs_abort", TxnIdMsg{m.txn_id}, 40);
+    }
+    Rollback(p.local_undo);
+    ++aborted_txns_;
+    Send(p.client, "hs_aborted", TxnIdMsg{m.txn_id}, 40);
+    coordinating_.erase(it);
+    return options_.twopc_msg_cpu;
+  }
+
   if (msg.type == "hs_commit") {
     const auto& m = std::any_cast<const TxnIdMsg&>(msg.payload);
+    prepared_.erase(m.txn_id);  // decision is commit: drop the undo log
     Send(msg.from, "hs_ack", TxnIdMsg{m.txn_id}, 40);
+    return options_.twopc_msg_cpu;
+  }
+
+  if (msg.type == "hs_abort") {
+    const auto& m = std::any_cast<const TxnIdMsg&>(msg.payload);
+    auto it = prepared_.find(m.txn_id);
+    if (it != prepared_.end()) {
+      Rollback(it->second);
+      prepared_.erase(it);
+    }
     return options_.twopc_msg_cpu;
   }
 
@@ -193,6 +255,10 @@ double HStoreClient::HandleMessage(const sim::Message& msg) {
       stats_->RecordCommit(Now(), Now() - it->second);
       outstanding_.erase(it);
     }
+  }
+  if (msg.type == "hs_aborted") {
+    const auto& m = std::any_cast<const TxnIdMsg&>(msg.payload);
+    if (outstanding_.erase(m.txn_id) > 0) stats_->RecordReject(Now());
   }
   return 0;
 }

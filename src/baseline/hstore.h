@@ -14,6 +14,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <unordered_map>
 #include <vector>
@@ -86,23 +87,50 @@ class HStoreSite : public sim::Node {
   /// Direct (setup-time) data loading.
   void Load(const std::string& key, const std::string& value);
   size_t num_keys() const { return data_.size(); }
+  /// Current value of `key` at this site (nullopt when absent) — lets
+  /// tests check that an aborted transaction left no trace.
+  std::optional<std::string> Get(const std::string& key) const;
+
+  /// Test hook: when set, this site votes abort on every incoming
+  /// prepare instead of executing it — the single-site failure that 2PC
+  /// must turn into a clean cluster-wide rollback.
+  void set_vote_abort(bool vote_abort) { vote_abort_ = vote_abort; }
+
+  uint64_t aborted_txns() const { return aborted_txns_; }
 
  private:
+  /// Before-image of one write, captured while a transaction is only
+  /// prepared; replayed in reverse on abort.
+  struct UndoEntry {
+    std::string key;
+    bool existed = false;
+    std::string old_value;
+  };
+
   struct Pending2pc {
     sim::NodeId client;
     uint64_t txn_id;
     std::set<sim::NodeId> waiting_prepare;
     std::set<sim::NodeId> waiting_ack;
     std::map<sim::NodeId, std::vector<KvOp>> per_site_ops;
+    std::vector<UndoEntry> local_undo;
   };
 
-  double ExecuteOps(const std::vector<KvOp>& ops);
+  /// Applies `ops`; when `undo` is non-null, captures before-images so
+  /// the effects can be rolled back.
+  double ExecuteOps(const std::vector<KvOp>& ops,
+                    std::vector<UndoEntry>* undo = nullptr);
+  void Rollback(std::vector<UndoEntry>& undo);
   double HandleClientTxn(const sim::Message& msg);
 
   HStoreCluster* cluster_;
   HStoreOptions options_;
   std::unordered_map<std::string, std::string> data_;
   std::unordered_map<uint64_t, Pending2pc> coordinating_;
+  /// Prepared-but-undecided participant state: txn -> undo log.
+  std::unordered_map<uint64_t, std::vector<UndoEntry>> prepared_;
+  bool vote_abort_ = false;
+  uint64_t aborted_txns_ = 0;
 };
 
 /// Open/closed-loop benchmark client feeding HsTransactions to the

@@ -32,6 +32,11 @@ class ConsensusHost {
 
   virtual sim::NodeId node_id() const = 0;
   virtual size_t num_nodes() const = 0;
+  /// First node id of this engine's consensus group. The group spans ids
+  /// [peer_base, peer_base + num_nodes); unsharded platforms keep the
+  /// default 0. Engines must derive leader/proposer rotation and peer
+  /// loops from this base rather than assuming ids start at 0.
+  virtual sim::NodeId peer_base() const { return 0; }
   virtual sim::Simulation* host_sim() = 0;
   virtual double HostNow() const = 0;
 

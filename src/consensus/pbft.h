@@ -130,7 +130,7 @@ class Pbft : public Engine {
   };
 
   sim::NodeId LeaderOf(uint64_t view) const {
-    return sim::NodeId(view % host_->num_nodes());
+    return sim::NodeId(host_->peer_base() + view % host_->num_nodes());
   }
   uint64_t ExecHeight() const { return host_->chain_store().head_height(); }
 

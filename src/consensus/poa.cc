@@ -24,8 +24,9 @@ void ProofOfAuthority::ScheduleNextStep() {
   uint64_t current_step = uint64_t(now / config_.step_duration);
   // Next step slot assigned to this authority.
   uint64_t n = host_->num_nodes();
+  uint64_t self = host_->node_id() - host_->peer_base();
   uint64_t next = current_step + 1;
-  while (next % n != host_->node_id()) ++next;
+  while (next % n != self) ++next;
   double when = double(next) * config_.step_duration;
   host_->host_sim()->At(when, [this, next] { OnStep(next); });
 }

@@ -152,7 +152,8 @@ void Raft::MaybePropose() {
     propose_time_[tail + 1] = host_->HostNow();
   }
   last_proposal_time_ = host_->HostNow();
-  for (sim::NodeId peer = 0; peer < host_->num_nodes(); ++peer) {
+  sim::NodeId base = host_->peer_base();
+  for (sim::NodeId peer = base; peer < base + host_->num_nodes(); ++peer) {
     if (peer != host_->node_id()) ReplicateTo(peer);
   }
 }
@@ -199,7 +200,8 @@ void Raft::SendHeartbeats() {
       AppendEntriesMsg{term_, 0, Hash256::Zero(), nullptr, committed_height_},
       kControlBytes);
   // Also push replication forward for laggards.
-  for (sim::NodeId peer = 0; peer < host_->num_nodes(); ++peer) {
+  sim::NodeId base = host_->peer_base();
+  for (sim::NodeId peer = base; peer < base + host_->num_nodes(); ++peer) {
     if (peer != host_->node_id()) ReplicateTo(peer);
   }
 }

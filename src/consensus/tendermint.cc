@@ -55,9 +55,9 @@ sim::NodeId Tendermint::ProposerOf(uint64_t height, uint64_t round) const {
   double acc = 0;
   for (size_t i = 0; i < n; ++i) {
     acc += config_.stake[i % config_.stake.size()];
-    if (point < acc) return sim::NodeId(i);
+    if (point < acc) return sim::NodeId(host_->peer_base() + i);
   }
-  return sim::NodeId(n - 1);
+  return sim::NodeId(host_->peer_base() + n - 1);
 }
 
 void Tendermint::Poll() {

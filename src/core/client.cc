@@ -13,10 +13,12 @@ uint64_t MakeTxId(uint32_t client_index, uint64_t seq) {
 DriverClient::DriverClient(sim::NodeId id, sim::Network* network,
                            uint32_t client_index, sim::NodeId server,
                            WorkloadConnector* workload, StatsCollector* stats,
-                           ClientConfig config, uint64_t seed)
+                           ClientConfig config, uint64_t seed,
+                           platform::Platform* platform)
     : sim::Node(id, network),
       client_index_(client_index),
       server_(server),
+      platform_(platform),
       workload_(workload),
       stats_(stats),
       config_(config),
@@ -64,6 +66,31 @@ void DriverClient::TrySubmit(chain::Transaction tx) {
     // A resubmission after rejection restarts the lifecycle record, so
     // traced spans telescope to the latency measured from this submit.
     tr->TxMilestone(it->second.id, obs::Tracer::kSubmit, Now());
+  }
+
+  // Key-partition routing (sharded platforms only): a transaction whose
+  // keys all hash to one shard goes straight to that shard; one that
+  // straddles shards goes to the 2PC coordinator.
+  if (platform_ != nullptr && platform_->num_shards() > 1) {
+    std::vector<uint32_t> shards;
+    for (const std::string& key : workload_->TouchedKeys(it->second)) {
+      uint32_t s = platform_->ShardOfKey(key);
+      bool seen = false;
+      for (uint32_t have : shards) seen = seen || have == s;
+      if (!seen) shards.push_back(s);
+    }
+    if (shards.size() > 1) {
+      cross_ids_.insert(it->second.id);
+      stats_->RecordXsSubmit();
+      Send(platform_->coordinator_id(), "xs_client_tx",
+           platform::XsClientTx{it->second, std::move(shards)}, wire_bytes);
+      return;
+    }
+    if (shards.size() == 1) {
+      Send(platform_->ServerInShard(shards[0], client_index_), "client_tx",
+           platform::ClientTx{it->second}, wire_bytes);
+      return;
+    }
   }
   Send(server_, "client_tx", platform::ClientTx{it->second}, wire_bytes);
 }
@@ -115,6 +142,10 @@ void DriverClient::OnBlocks(const platform::RpcBlocks& m) {
       if (it == outstanding_.end()) continue;
       if (!committed_.insert(tx.id).second) continue;
       stats_->RecordCommit(Now(), Now() - it->second.submit_time);
+      if (auto xs = cross_ids_.find(tx.id); xs != cross_ids_.end()) {
+        stats_->RecordXsCommit(Now() - it->second.submit_time);
+        cross_ids_.erase(xs);
+      }
       if (auto* tr = sim()->tracer()) {
         tr->TxMilestone(tx.id, obs::Tracer::kConfirm, Now());
         if (const auto* ms = tr->FindTx(tx.id)) {
@@ -162,6 +193,10 @@ double DriverClient::HandleMessage(const sim::Message& msg) {
     auto it = outstanding_.find(m.tx_id);
     if (it != outstanding_.end()) {
       stats_->RecordReject(Now());
+      // A cross-shard id rejected here is a 2PC abort (the coordinator
+      // rejects on prepare timeout); the retry path resubmits it as a
+      // fresh cross-shard attempt.
+      if (cross_ids_.erase(m.tx_id) > 0) stats_->RecordXsAbort();
       backlog_.push_back(std::move(it->second));
       outstanding_.erase(it);
     }

@@ -34,9 +34,15 @@ struct ClientConfig {
 
 class DriverClient : public sim::Node, public BlockchainConnector {
  public:
+  /// `platform` (may be null in connector-level tests) supplies the
+  /// sharding topology: key-partition routing sends single-shard
+  /// transactions to the owning shard and multi-shard ones to the 2PC
+  /// coordinator. Commit discovery always polls `server` (the home
+  /// shard), which the workload guarantees participates.
   DriverClient(sim::NodeId id, sim::Network* network, uint32_t client_index,
                sim::NodeId server, WorkloadConnector* workload,
-               StatsCollector* stats, ClientConfig config, uint64_t seed);
+               StatsCollector* stats, ClientConfig config, uint64_t seed,
+               platform::Platform* platform = nullptr);
 
   void Start() override;
   double HandleMessage(const sim::Message& msg) override;
@@ -61,6 +67,7 @@ class DriverClient : public sim::Node, public BlockchainConnector {
 
   uint32_t client_index_;
   sim::NodeId server_;
+  platform::Platform* platform_ = nullptr;
   WorkloadConnector* workload_;
   StatsCollector* stats_;
   ClientConfig config_;
@@ -75,6 +82,8 @@ class DriverClient : public sim::Node, public BlockchainConnector {
   // Generated or rejected, waiting for submission capacity.
   std::deque<chain::Transaction> backlog_;
   std::unordered_set<uint64_t> committed_;
+  /// Outstanding ids routed through the cross-shard coordinator.
+  std::unordered_set<uint64_t> cross_ids_;
   std::unordered_map<uint64_t, BlocksCallback> block_callbacks_;
   RejectCallback on_reject_;
 };

@@ -39,6 +39,15 @@ class WorkloadConnector {
   virtual chain::Transaction NextTransaction(uint32_t client_id,
                                              Rng& rng) = 0;
 
+  /// State keys `tx` reads or writes, for key-partition routing on
+  /// sharded platforms. The default (empty) routes every transaction to
+  /// the client's home server, which is always correct unsharded.
+  virtual std::vector<std::string> TouchedKeys(
+      const chain::Transaction& tx) const {
+    (void)tx;
+    return {};
+  }
+
   virtual std::string name() const = 0;
 };
 

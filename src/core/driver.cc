@@ -8,17 +8,20 @@ Driver::Driver(platform::Platform* platform, WorkloadConnector* workload,
                DriverConfig config)
     : platform_(platform), config_(config), stats_(config.num_clients) {
   Rng seeder(config_.seed);
-  size_t servers = platform_->num_servers();
   for (size_t i = 0; i < config_.num_clients; ++i) {
     ClientConfig cc;
     cc.request_rate = config_.request_rate;
     cc.max_outstanding = config_.max_outstanding;
     cc.poll_interval = config_.poll_interval;
     cc.load_end = platform_->psim()->Now() + config_.duration;
-    sim::NodeId client_node_id = sim::NodeId(servers + i);
+    // Client ids start where the platform's node-id space ends (after
+    // the coordinator on sharded platforms); client i submits to and
+    // polls its platform-assigned home server.
+    sim::NodeId client_node_id = platform_->first_client_id() + sim::NodeId(i);
     clients_.push_back(std::make_unique<DriverClient>(
         client_node_id, &platform_->network(), uint32_t(i),
-        sim::NodeId(i % servers), workload, &stats_, cc, seeder.Next()));
+        platform_->SubmitServerFor(i), workload, &stats_, cc, seeder.Next(),
+        platform_));
   }
 }
 
@@ -50,6 +53,12 @@ BenchReport Driver::Report(double from, double to) const {
   r.submitted = stats_.total_submitted();
   r.committed = stats_.total_committed();
   r.rejected = stats_.total_rejected();
+  r.xs_submitted = stats_.xs_submitted();
+  r.xs_committed = stats_.xs_committed();
+  r.xs_aborted = stats_.xs_aborted();
+  const Histogram& xs = stats_.xs_latencies();
+  r.xs_latency_mean = xs.Mean();
+  r.xs_latency_p95 = xs.Percentile(95);
   return r;
 }
 

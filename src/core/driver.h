@@ -39,6 +39,12 @@ struct BenchReport {
   uint64_t submitted = 0;
   uint64_t committed = 0;
   uint64_t rejected = 0;
+  /// Cross-shard 2PC transactions (all zero on unsharded platforms).
+  uint64_t xs_submitted = 0;
+  uint64_t xs_committed = 0;
+  uint64_t xs_aborted = 0;
+  double xs_latency_mean = 0;
+  double xs_latency_p95 = 0;
 };
 
 class Driver {

@@ -39,10 +39,25 @@ class StatsCollector {
   void ObserveQueue(double t, uint32_t client, size_t outstanding,
                     size_t backlog);
 
+  /// Cross-shard transactions are additionally tracked on their own
+  /// counters and latency histogram (they also count in the totals):
+  /// the 2PC prepare round makes their latency profile categorically
+  /// different from single-shard commits.
+  void RecordXsSubmit() { ++xs_submitted_; }
+  void RecordXsCommit(double latency_sec) {
+    ++xs_committed_;
+    xs_latency_.Add(latency_sec);
+  }
+  void RecordXsAbort() { ++xs_aborted_; }
+
   // --- Aggregates ---------------------------------------------------------
   uint64_t total_submitted() const { return total_submitted_; }
   uint64_t total_committed() const { return total_committed_; }
   uint64_t total_rejected() const { return total_rejected_; }
+  uint64_t xs_submitted() const { return xs_submitted_; }
+  uint64_t xs_committed() const { return xs_committed_; }
+  uint64_t xs_aborted() const { return xs_aborted_; }
+  const Histogram& xs_latencies() const { return xs_latency_; }
 
   /// Committed tx/s within [from, to).
   double Throughput(double from, double to) const;
@@ -76,6 +91,10 @@ class StatsCollector {
   uint64_t total_submitted_ = 0;
   uint64_t total_committed_ = 0;
   uint64_t total_rejected_ = 0;
+  Histogram xs_latency_;
+  uint64_t xs_submitted_ = 0;
+  uint64_t xs_committed_ = 0;
+  uint64_t xs_aborted_ = 0;
 };
 
 }  // namespace bb::core

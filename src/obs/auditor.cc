@@ -23,25 +23,27 @@ std::string Shorten(const std::string& hash) {
 
 }  // namespace
 
-AuditReport Auditor::Run() const {
+AuditReport Auditor::RunGroup(
+    const std::vector<const NodeChainView*>& views) const {
   AuditReport rep;
   AuditorConfig cfg = config_;
   // All maps are keyed by hash (or height); iteration order is sorted,
   // which is what makes the report deterministic.
   std::map<std::string, TreeBlock> tree;
-  std::string genesis = views_.empty() ? "" : views_.front().genesis;
+  std::string genesis = views.empty() ? "" : views.front()->genesis;
 
   auto violate = [&rep](const char* invariant, std::string detail) {
     rep.violations.push_back(AuditViolation{invariant, std::move(detail)});
   };
 
   // --- Merge every view into the global tree ------------------------------
-  for (const NodeChainView& v : views_) {
+  for (const NodeChainView* vp : views) {
+    const NodeChainView& v = *vp;
     if (v.genesis != genesis) {
       violate("view_consistency",
               "node " + std::to_string(v.node) + " roots at genesis " +
                   Shorten(v.genesis) + ", node " +
-                  std::to_string(views_.front().node) + " at " +
+                  std::to_string(views.front()->node) + " at " +
                   Shorten(genesis));
     }
     for (const AuditBlock& b : v.blocks) {
@@ -86,7 +88,8 @@ AuditReport Auditor::Run() const {
   // --- Per-node canonical chains ------------------------------------------
   // node -> (height -> hash), plus structural checks on each chain.
   std::map<uint32_t, std::map<uint64_t, std::string>> canon;
-  for (const NodeChainView& v : views_) {
+  for (const NodeChainView* vp : views) {
+    const NodeChainView& v = *vp;
     std::map<uint64_t, std::string>& chain = canon[v.node];
     for (const AuditBlock& b : v.blocks) {
       if (!b.canonical) continue;
@@ -119,7 +122,8 @@ AuditReport Auditor::Run() const {
   // an honest client would follow at run end.
   const NodeChainView* ref_view = nullptr;
   uint64_t ref_weight = 0;
-  for (const NodeChainView& v : views_) {
+  for (const NodeChainView* vp : views) {
+    const NodeChainView& v = *vp;
     if (v.crashed) continue;
     uint64_t w = 0;
     for (const AuditBlock& b : v.blocks) {
@@ -131,7 +135,7 @@ AuditReport Auditor::Run() const {
       ref_weight = w;
     }
   }
-  if (ref_view == nullptr && !views_.empty()) ref_view = &views_.front();
+  if (ref_view == nullptr && !views.empty()) ref_view = views.front();
 
   std::set<std::string> agreed;  // hashes on the reference chain
   if (ref_view != nullptr) {
@@ -180,7 +184,8 @@ AuditReport Auditor::Run() const {
   }
 
   // --- Per-node summaries and divergence ----------------------------------
-  for (const NodeChainView& v : views_) {
+  for (const NodeChainView* vp : views) {
+    const NodeChainView& v = *vp;
     AuditReport::NodeSummary ns;
     ns.node = v.node;
     ns.crashed = v.crashed;
@@ -240,7 +245,8 @@ AuditReport Auditor::Run() const {
   // Conflicting finality: two live nodes each confirmed a different
   // block at one height — the realized double-spend of Fig 10.
   std::map<uint64_t, std::set<std::string>> confirmed_at;
-  for (const NodeChainView& v : views_) {
+  for (const NodeChainView* vp : views) {
+    const NodeChainView& v = *vp;
     if (v.crashed) continue;
     uint64_t confirmed = v.head_height > cfg.confirmation_depth
                              ? v.head_height - cfg.confirmation_depth
@@ -299,6 +305,138 @@ AuditReport Auditor::Run() const {
   return rep;
 }
 
+AuditReport Auditor::Run() const {
+  std::vector<const NodeChainView*> all;
+  all.reserve(views_.size());
+  for (const NodeChainView& v : views_) all.push_back(&v);
+  if (config_.num_shards <= 1) return RunGroup(all);
+
+  // Shards grow independent chains off the shared genesis, so the
+  // structural audit runs per consensus group — one shard's blocks are
+  // not forks of another's — and the results merge into one report.
+  std::map<uint32_t, std::vector<const NodeChainView*>> groups;
+  for (const NodeChainView& v : views_) groups[v.shard].push_back(&v);
+  AuditReport rep;
+  for (auto& [shard, group] : groups) {
+    AuditReport sub = RunGroup(group);
+    rep.distinct_blocks += sub.distinct_blocks;
+    rep.agreed_blocks += sub.agreed_blocks;
+    rep.forked_blocks += sub.forked_blocks;
+    rep.fork_points += sub.fork_points;
+    rep.branches += sub.branches;
+    rep.max_branch_depth = std::max(rep.max_branch_depth,
+                                    sub.max_branch_depth);
+    rep.wasted_weight += sub.wasted_weight;
+    rep.nodes.insert(rep.nodes.end(), sub.nodes.begin(), sub.nodes.end());
+    if (sub.sealed_per_bin.size() > rep.sealed_per_bin.size()) {
+      rep.sealed_per_bin.resize(sub.sealed_per_bin.size(), 0);
+      rep.forked_per_bin.resize(sub.sealed_per_bin.size(), 0);
+    }
+    for (size_t i = 0; i < sub.sealed_per_bin.size(); ++i) {
+      rep.sealed_per_bin[i] += sub.sealed_per_bin[i];
+    }
+    for (size_t i = 0; i < sub.forked_per_bin.size(); ++i) {
+      rep.forked_per_bin[i] += sub.forked_per_bin[i];
+    }
+    if (sub.first_seal_after_heal >= 0 &&
+        (rep.first_seal_after_heal < 0 ||
+         sub.first_seal_after_heal < rep.first_seal_after_heal)) {
+      rep.first_seal_after_heal = sub.first_seal_after_heal;
+      rep.recovery_gap = sub.recovery_gap;
+    }
+    for (AuditViolation& viol : sub.violations) {
+      viol.detail = "shard " + std::to_string(shard) + ": " + viol.detail;
+      rep.violations.push_back(std::move(viol));
+    }
+  }
+  rep.forked_pct =
+      rep.distinct_blocks > 0
+          ? 100.0 * double(rep.forked_blocks) / double(rep.distinct_blocks)
+          : 0.0;
+  std::sort(rep.nodes.begin(), rep.nodes.end(),
+            [](const AuditReport::NodeSummary& a,
+               const AuditReport::NodeSummary& b) { return a.node < b.node; });
+  CheckCrossShardAtomicity(&rep);
+  return rep;
+}
+
+void Auditor::CheckCrossShardAtomicity(AuditReport* rep) const {
+  // Replay the sealed 2PC records from one live replica per shard (all
+  // replicas in a shard agree — that is the per-shard audit's job) and
+  // check every decision resolved the same way on every participant.
+  std::map<uint32_t, const NodeChainView*> shard_rep;
+  for (const NodeChainView& v : views_) {
+    auto [it, inserted] = shard_rep.emplace(v.shard, &v);
+    if (!inserted && it->second->crashed && !v.crashed) it->second = &v;
+  }
+
+  struct Decision {
+    std::vector<uint32_t> participants;
+    std::map<uint32_t, std::string> outcome;  // shard -> latest phase
+    double prepare_time = 0;
+  };
+  std::map<uint64_t, Decision> decisions;
+  for (const auto& [shard, view] : shard_rep) {
+    for (const XsRecord& r : view->xs_records) {
+      Decision& d = decisions[r.base_id];
+      if (r.phase == "prepare") {
+        if (d.participants.empty()) d.participants = r.participants;
+        d.prepare_time = std::max(d.prepare_time, r.timestamp);
+        d.outcome.emplace(shard, "prepare");  // keep commit/abort if seen
+      } else {
+        d.outcome[shard] = r.phase;
+      }
+    }
+  }
+
+  auto violate = [rep](std::string detail) {
+    rep->violations.push_back(
+        AuditViolation{"cross_shard_atomicity", std::move(detail)});
+  };
+  for (const auto& [id, d] : decisions) {
+    ++rep->xs_decisions;
+    std::vector<uint32_t> participants = d.participants;
+    if (participants.empty()) {
+      for (const auto& [shard, phase] : d.outcome) {
+        participants.push_back(shard);
+      }
+    }
+    size_t commits = 0, aborts = 0;
+    std::string detail;
+    for (uint32_t shard : participants) {
+      auto it = d.outcome.find(shard);
+      std::string phase = it == d.outcome.end() ? "missing" : it->second;
+      if (phase == "commit") ++commits;
+      if (phase == "abort") ++aborts;
+      if (!detail.empty()) detail += ", ";
+      detail += "shard " + std::to_string(shard) + "=" + phase;
+    }
+    const bool in_grace = d.prepare_time > config_.end_time - config_.xs_grace;
+    if (commits > 0 && aborts > 0) {
+      violate("transaction " + std::to_string(id) +
+              " decided both ways: " + detail);
+    } else if (commits == participants.size()) {
+      ++rep->xs_committed;
+    } else if (commits > 0) {
+      // Partially sealed commit: legitimate only while the remaining
+      // participants' commit blocks can still be in flight.
+      if (in_grace) {
+        ++rep->xs_in_flight;
+      } else {
+        violate("transaction " + std::to_string(id) +
+                " committed on a strict subset of participants: " + detail);
+      }
+    } else if (aborts > 0) {
+      ++rep->xs_aborted;
+    } else if (in_grace) {
+      ++rep->xs_in_flight;
+    } else {
+      violate("transaction " + std::to_string(id) +
+              " prepared but never decided: " + detail);
+    }
+  }
+}
+
 util::Json AuditReport::ToJson(const AuditorConfig& config) const {
   util::Json doc = util::Json::Object();
   doc.Set("schema", "blockbench-audit-v1");
@@ -308,6 +446,12 @@ util::Json AuditReport::ToJson(const AuditorConfig& config) const {
   cfg.Set("heal_time", config.heal_time);
   cfg.Set("end_time", config.end_time);
   cfg.Set("series_bin", config.series_bin);
+  if (config.num_shards > 1) {
+    // Sharded-only members keep the unsharded document byte-identical
+    // (its SHA-256 is pinned by golden tests).
+    cfg.Set("num_shards", uint64_t(config.num_shards));
+    cfg.Set("xs_grace", config.xs_grace);
+  }
   doc.Set("config", std::move(cfg));
 
   util::Json tree = util::Json::Object();
@@ -352,6 +496,15 @@ util::Json AuditReport::ToJson(const AuditorConfig& config) const {
   recovery.Set("gap_seconds", recovery_gap);
   doc.Set("recovery", std::move(recovery));
 
+  if (config.num_shards > 1) {
+    util::Json xs = util::Json::Object();
+    xs.Set("decisions", xs_decisions);
+    xs.Set("committed", xs_committed);
+    xs.Set("aborted", xs_aborted);
+    xs.Set("in_flight", xs_in_flight);
+    doc.Set("cross_shard", std::move(xs));
+  }
+
   util::Json invariants = util::Json::Object();
   util::Json checked = util::Json::Array();
   for (const char* name :
@@ -360,6 +513,7 @@ util::Json AuditReport::ToJson(const AuditorConfig& config) const {
         "post_heal_agreement"}) {
     checked.Push(name);
   }
+  if (config.num_shards > 1) checked.Push("cross_shard_atomicity");
   invariants.Set("checked", std::move(checked));
   util::Json violations_json = util::Json::Array();
   for (const AuditViolation& v : violations) {
@@ -397,6 +551,16 @@ std::string AuditReport::RenderTable() const {
   std::snprintf(buf, sizeof(buf), "  max node divergence %llu block(s)\n",
                 (unsigned long long)max_div);
   out += buf;
+  if (xs_decisions > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "  cross-shard: %llu decision(s), %llu committed, "
+                  "%llu aborted, %llu in flight\n",
+                  (unsigned long long)xs_decisions,
+                  (unsigned long long)xs_committed,
+                  (unsigned long long)xs_aborted,
+                  (unsigned long long)xs_in_flight);
+    out += buf;
+  }
   if (recovery_gap >= 0) {
     std::snprintf(buf, sizeof(buf),
                   "  recovery: first agreed block %.1f s after the heal\n",

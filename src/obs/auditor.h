@@ -47,9 +47,24 @@ struct AuditBlock {
   bool canonical = false;  // on THIS node's canonical chain
 };
 
+/// One cross-shard commit-protocol record replayed from a node's
+/// canonical chain (sharded platforms only). `phase` is "prepare" or
+/// "abort" for the sealed __xshard marker records, "commit" for the
+/// sealed original transaction.
+struct XsRecord {
+  uint64_t base_id = 0;  // the client transaction id (phase bits cleared)
+  std::string phase;
+  std::vector<uint32_t> participants;  // prepare only: the shard set
+  double timestamp = 0;                // seal time of the carrying block
+};
+
 /// One node's complete final ledger view (genesis excluded).
 struct NodeChainView {
   uint32_t node = 0;
+  /// Consensus group this node belongs to (0 when unsharded). Nodes are
+  /// only compared against peers in the same shard; each shard grows an
+  /// independent chain off the shared genesis.
+  uint32_t shard = 0;
   bool crashed = false;
   std::string genesis;  // hex digest every chain must root at
   std::string head;
@@ -57,6 +72,9 @@ struct NodeChainView {
   uint64_t reorgs = 0;
   uint64_t invalid_blocks = 0;
   std::vector<AuditBlock> blocks;
+  /// Cross-shard 2PC records on this node's canonical chain, in seal
+  /// order (empty when unsharded).
+  std::vector<XsRecord> xs_records;
 };
 
 struct AuditorConfig {
@@ -70,6 +88,14 @@ struct AuditorConfig {
   double end_time = 0;
   /// Bin width of the sealed/forked-over-time series, seconds.
   double series_bin = 10;
+  /// Number of consensus groups the views split into (1 = unsharded).
+  /// When > 1, structural invariants run per shard and the
+  /// cross_shard_atomicity invariant replays the sealed 2PC records.
+  uint32_t num_shards = 1;
+  /// Cross-shard decisions whose prepare sealed within this many virtual
+  /// seconds of end_time may still be legitimately in flight; they are
+  /// counted but not treated as atomicity violations.
+  double xs_grace = 10;
 };
 
 struct AuditViolation {
@@ -116,6 +142,12 @@ struct AuditReport {
   /// Hyperledger model's "recovers ~50 s slower" shows up here.
   double recovery_gap = -1;
 
+  // --- Cross-shard 2PC replay (sharded runs only) -------------------------
+  uint64_t xs_decisions = 0;  // distinct base ids with a sealed prepare
+  uint64_t xs_committed = 0;  // decided commit on every participant
+  uint64_t xs_aborted = 0;    // decided abort on every participant
+  uint64_t xs_in_flight = 0;  // undecided but inside the grace window
+
   std::vector<AuditViolation> violations;
 
   bool ok() const { return violations.empty(); }
@@ -135,10 +167,16 @@ class Auditor {
   size_t num_nodes() const { return views_.size(); }
 
   /// Reconstructs the fork tree and checks every invariant. Views are
-  /// consumed read-only; Run() may be called repeatedly.
+  /// consumed read-only; Run() may be called repeatedly. Sharded configs
+  /// audit each shard's group independently, merge the results, and then
+  /// replay the cross-shard 2PC records for atomicity.
   AuditReport Run() const;
 
  private:
+  /// The single-group audit (the whole pre-sharding pipeline).
+  AuditReport RunGroup(const std::vector<const NodeChainView*>& views) const;
+  void CheckCrossShardAtomicity(AuditReport* rep) const;
+
   AuditorConfig config_;
   std::vector<NodeChainView> views_;
 };

@@ -1,15 +1,50 @@
 #include "platform/forensics.h"
 
 #include <algorithm>
+#include <map>
+#include <set>
 #include <utility>
 
+#include "platform/rpc.h"
+#include "platform/sharding.h"
+
 namespace bb::platform {
+
+namespace {
+
+/// Parses a prepare record's "0,2,3" participant list.
+std::vector<uint32_t> ParseParticipants(const chain::Transaction& tx) {
+  std::vector<uint32_t> shards;
+  if (tx.args.empty() || !tx.args[0].is_str()) return shards;
+  const std::string& csv = tx.args[0].AsStr();
+  uint32_t current = 0;
+  bool have = false;
+  for (char c : csv) {
+    if (c >= '0' && c <= '9') {
+      current = current * 10 + uint32_t(c - '0');
+      have = true;
+    } else if (c == ',' && have) {
+      shards.push_back(current);
+      current = 0;
+      have = false;
+    }
+  }
+  if (have) shards.push_back(current);
+  return shards;
+}
+
+}  // namespace
 
 void AttachStandardProbes(obs::Sampler* sampler, Platform* platform) {
   for (size_t i = 0; i < platform->num_servers(); ++i) {
     uint32_t id = uint32_t(i);
     PlatformNode* node = &platform->node(i);
     sim::Network* net = &platform->network();
+    if (platform->num_shards() > 1) {
+      uint32_t shard = uint32_t(i / platform->servers_per_shard());
+      sampler->AddGauge(id, "shard.id",
+                        [shard] { return double(shard); });
+    }
     sampler->AddGauge(id, "chain.height", [node] {
       return double(node->chain().head_height());
     });
@@ -29,6 +64,16 @@ void AttachStandardProbes(obs::Sampler* sampler, Platform* platform) {
     for (consensus::Engine::LiveGauge& g : node->engine().LiveGauges()) {
       sampler->AddGauge(id, g.name, std::move(g.fn));
     }
+  }
+  if (auto* sharded = dynamic_cast<ShardedPlatform*>(platform)) {
+    uint32_t id = uint32_t(sharded->coordinator_id());
+    ShardCoordinator* coord = &sharded->coordinator();
+    sampler->AddGauge(id, "xs.pending",
+                      [coord] { return double(coord->pending()); });
+    sampler->AddGauge(id, "xs.committed",
+                      [coord] { return double(coord->committed()); });
+    sampler->AddGauge(id, "xs.aborted",
+                      [coord] { return double(coord->aborted()); });
   }
 }
 
@@ -63,6 +108,45 @@ obs::NodeChainView CollectNodeView(Platform& platform, size_t i) {
               return a.height != b.height ? a.height < b.height
                                           : a.hash < b.hash;
             });
+
+  if (platform.num_shards() > 1) {
+    view.shard = uint32_t(i / platform.servers_per_shard());
+    // Replay the 2PC protocol off this node's canonical chain: pass one
+    // finds the sealed "__xshard" prepare markers, pass two matches the
+    // sealed original transactions (the commits) against them.
+    std::vector<const chain::Block*> canonical;
+    store.ForEachBlock([&](const Hash256& hash, const chain::Block& block) {
+      if (hash == store.genesis() || !store.IsCanonical(hash)) return;
+      canonical.push_back(&block);
+    });
+    std::sort(canonical.begin(), canonical.end(),
+              [](const chain::Block* a, const chain::Block* b) {
+                return a->header.height < b->header.height;
+              });
+    std::set<uint64_t> prepared;
+    for (const chain::Block* block : canonical) {
+      for (const chain::Transaction& tx : block->txs) {
+        if (tx.contract == kXsContract) prepared.insert(XsBaseId(tx.id));
+      }
+    }
+    for (const chain::Block* block : canonical) {
+      for (const chain::Transaction& tx : block->txs) {
+        obs::XsRecord r;
+        if (tx.contract == kXsContract) {
+          r.base_id = XsBaseId(tx.id);
+          r.phase = tx.function;
+          if (tx.function == "prepare") r.participants = ParseParticipants(tx);
+        } else if (prepared.count(tx.id) != 0) {
+          r.base_id = tx.id;
+          r.phase = "commit";
+        } else {
+          continue;
+        }
+        r.timestamp = block->header.timestamp;
+        view.xs_records.push_back(std::move(r));
+      }
+    }
+  }
   return view;
 }
 
@@ -77,7 +161,9 @@ std::vector<obs::NodeChainView> CollectAuditViews(Platform& platform) {
 
 obs::AuditReport RunAudit(Platform& platform,
                           const obs::AuditorConfig& config) {
-  obs::Auditor auditor(config);
+  obs::AuditorConfig cfg = config;
+  if (cfg.num_shards <= 1) cfg.num_shards = uint32_t(platform.num_shards());
+  obs::Auditor auditor(cfg);
   for (obs::NodeChainView& v : CollectAuditViews(platform)) {
     auditor.AddNode(std::move(v));
   }

@@ -74,9 +74,10 @@ void PlatformNode::OnRestart() { engine().OnRestart(); }
 
 void PlatformNode::HostBroadcast(const std::string& type, std::any payload,
                                  uint64_t size_bytes) {
-  // Consensus traffic flows only among the server set (clients have
-  // higher node ids).
-  for (sim::NodeId to = 0; to < num_peers_; ++to) {
+  // Consensus traffic flows only among this node's consensus group
+  // (clients and other shards' servers live outside [peer_base_,
+  // peer_base_ + num_peers_)).
+  for (sim::NodeId to = peer_base_; to < peer_base_ + num_peers_; ++to) {
     if (to == id()) continue;
     Send(to, type, payload, size_bytes);
   }
@@ -418,6 +419,9 @@ void PlatformNode::ExecuteCanonical(double* cpu) {
       block_gas += gas;
       committed_ids_.insert(tx.id);
       if (tr != nullptr) tr->TxMilestone(tx.id, obs::Tracer::kCommit, Now());
+      if (xs_notify_.has_value() && tx.contract == kXsContract) {
+        Send(*xs_notify_, "xs_sealed", XsSealed{tx.id}, 60);
+      }
     }
     // Non-empty blocks only: PoA/PoW seal empty blocks continuously and
     // a flood of zeros would drown the distribution.

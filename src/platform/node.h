@@ -64,6 +64,7 @@ class PlatformNode : public sim::Node, public consensus::ConsensusHost {
                                          bool allow_empty,
                                          double* build_cpu) override;
   bool CommitBlock(const chain::Block& block, double* cpu) override;
+  sim::NodeId peer_base() const override { return peer_base_; }
   const chain::ChainStore& chain_store() const override {
     return stack_->data().chain();
   }
@@ -92,6 +93,17 @@ class PlatformNode : public sim::Node, public consensus::ConsensusHost {
   void ExportMetrics(obs::MetricsRegistry* reg) const;
   /// Peers whose id is the server set (set by Platform during setup).
   void set_num_peers(size_t n) { num_peers_ = n; }
+  /// Narrows this node's consensus group to ids [base, base + n): a
+  /// ShardedPlatform assigns each node to its shard's group. Unsharded
+  /// platforms keep the default [0, num_servers).
+  void set_peer_group(sim::NodeId base, size_t n) {
+    peer_base_ = base;
+    num_peers_ = n;
+  }
+  /// Enables cross-shard 2PC participation: whenever a "__xshard"
+  /// prepare/abort record is canonically executed, notify `coordinator`
+  /// with an XsSealed message so it can drive the protocol forward.
+  void set_xs_notify(sim::NodeId coordinator) { xs_notify_ = coordinator; }
 
   /// Executes a read-only contract call against current state (shared by
   /// the RPC path and local analytics). Discards any writes.
@@ -114,6 +126,9 @@ class PlatformNode : public sim::Node, public consensus::ConsensusHost {
 
   PlatformOptions options_;
   size_t num_peers_ = 1;
+  sim::NodeId peer_base_ = 0;
+  /// Coordinator to notify when __xshard records seal (-1 = disabled).
+  std::optional<sim::NodeId> xs_notify_;
 
   chain::TxPool pool_;
   std::unique_ptr<LayerStack> stack_;

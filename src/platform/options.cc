@@ -50,39 +50,88 @@ std::string ToString(const StackSpec& spec) {
 }
 
 Status PlatformOptions::Validate() const {
-  auto bad = [&](const std::string& why) {
-    return Status::InvalidArgument("platform '" + name + "' (" +
-                                   ToString(stack) + "): " + why);
+  // Every rejection names the offending field and suggests a stack spec
+  // that would accept it, so a failed sweep line is self-diagnosing.
+  auto bad = [&](const std::string& field, const std::string& why,
+                 const StackSpec& suggestion) {
+    std::string spec = ToString(suggestion);
+    if (num_shards > 1) {
+      spec += "@shards=" + std::to_string(num_shards);
+    }
+    return Status::InvalidArgument(
+        "platform '" + name + "' (" + ToString(stack) + "): " + field + ": " +
+        why + "; try e.g. '" + spec + "'");
   };
   if (block_tx_limit == 0) {
-    return bad("block_tx_limit must be at least 1");
+    return bad("block_tx_limit", "must be at least 1", stack);
   }
   if (block_gas_limit > 0 && stack.exec_engine != ExecEngineKind::kEvm) {
-    return bad(
-        "gas-based block packing (block_gas_limit) requires the EVM "
-        "execution layer; the '" +
-        std::string(ToString(stack.exec_engine)) +
-        "' layer has no gas metering");
+    StackSpec s = stack;
+    s.exec_engine = ExecEngineKind::kEvm;
+    return bad("block_gas_limit",
+               "gas-based block packing requires the EVM execution layer; "
+               "the '" +
+                   std::string(ToString(stack.exec_engine)) +
+                   "' layer has no gas metering",
+               s);
   }
   if (seal_sign_cpu > 0 && stack.consensus != ConsensusKind::kPoa) {
-    return bad(
-        "the per-transaction sealing budget (seal_sign_cpu) is defined by "
-        "the PoA step duration and requires the PoA consensus layer");
+    StackSpec s = stack;
+    s.consensus = ConsensusKind::kPoa;
+    return bad("seal_sign_cpu",
+               "the per-transaction sealing budget is defined by the PoA "
+               "step duration and requires the PoA consensus layer",
+               s);
   }
   if (seal_budget_fraction <= 0 || seal_budget_fraction > 1) {
-    return bad("seal_budget_fraction must be in (0, 1]");
+    return bad("seal_budget_fraction", "must be in (0, 1]", stack);
   }
   if (consensus_channel_capacity > 0 &&
       stack.consensus != ConsensusKind::kPbft) {
-    return bad(
-        "consensus_channel_capacity bounds the \"pbft_*\" message class "
-        "and requires the PBFT consensus layer");
+    StackSpec s = stack;
+    s.consensus = ConsensusKind::kPbft;
+    return bad("consensus_channel_capacity",
+               "bounds the \"pbft_*\" message class and requires the PBFT "
+               "consensus layer",
+               s);
   }
   if (stack.storage == StorageBackendKind::kDiskKv && data_dir.empty()) {
-    return bad("the diskkv storage backend requires a non-empty data_dir");
+    StackSpec s = stack;
+    s.storage = StorageBackendKind::kMemKv;
+    return bad("data_dir",
+               "the diskkv storage backend requires a non-empty data_dir "
+               "(or drop the disk backend)",
+               s);
   }
   if (admission_rate_limit < 0) {
-    return bad("admission_rate_limit must be >= 0");
+    return bad("admission_rate_limit", "must be >= 0", stack);
+  }
+  if (num_shards == 0) {
+    return bad("num_shards",
+               "must be at least 1 (spell shard counts as '@shards=S')",
+               stack);
+  }
+  if (num_shards > 1) {
+    // Cross-shard 2PC pins prepare/commit records into each participant
+    // chain and needs them final once sealed: probabilistic-finality
+    // consensus (PoW/PoA fork-and-reorg) could un-commit a prepare.
+    if (stack.consensus != ConsensusKind::kPbft &&
+        stack.consensus != ConsensusKind::kTendermint &&
+        stack.consensus != ConsensusKind::kRaft) {
+      StackSpec s = stack;
+      s.consensus = ConsensusKind::kPbft;
+      return bad("num_shards",
+                 "sharding requires a finality consensus layer "
+                 "(pbft/tendermint/raft); '" +
+                     std::string(ToString(stack.consensus)) +
+                     "' blocks can be reorged after a cross-shard prepare "
+                     "is sealed",
+                 s);
+    }
+    if (xs_prepare_timeout <= 0) {
+      return bad("xs_prepare_timeout", "must be > 0 when num_shards > 1",
+                 stack);
+    }
   }
   return Status::Ok();
 }

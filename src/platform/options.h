@@ -144,6 +144,20 @@ struct PlatformOptions {
   /// RPC --------------------------------------------------------------------
   double rpc_request_cpu = 2e-4;
 
+  /// Sharding ---------------------------------------------------------------
+  /// Number of independent consensus groups the platform is partitioned
+  /// into. 1 (the default) is the classic unsharded platform; S > 1
+  /// builds a ShardedPlatform (platform/sharding.h): S full LayerStacks
+  /// over a hash-partitioned state space with 2PC cross-shard commit.
+  /// Spelled "@shards=S" in stack specs ("pbft+trie+evm@shards=4").
+  size_t num_shards = 1;
+  /// Virtual seconds the coordinator waits for every participant shard to
+  /// seal a prepare record before aborting the cross-shard transaction.
+  double xs_prepare_timeout = 30.0;
+  /// Coordinator CPU per cross-shard protocol step (record fan-out,
+  /// vote bookkeeping).
+  double xs_coordinator_cpu = 1e-4;
+
   /// Rejects inconsistent layer combinations (gas-based packing on a
   /// non-EVM execution layer, a sealing budget without PoA, a disk
   /// backend without a data_dir, ...) with a message naming the conflict.

@@ -27,6 +27,8 @@ Platform::Platform(sim::Simulation* sim, PlatformOptions options,
   for (auto& n : nodes_) n->set_num_peers(num_servers);
 }
 
+Platform::~Platform() = default;
+
 Status Platform::DeployContract(const std::string& name,
                                 const std::string& casm) {
   auto program = vm::Assemble(casm);

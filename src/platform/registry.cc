@@ -139,6 +139,34 @@ PlatformOptions CustomStackOptions(const StackSpec& spec, std::string name) {
 }
 
 Result<PlatformOptions> StackOptionsFromString(const std::string& desc) {
+  // Peel the sharding axis first: both registered names and raw stack
+  // specs accept an "@shards=S" suffix ("hyperledger@shards=4",
+  // "pbft+trie+evm@shards=2").
+  if (size_t at = desc.rfind("@shards="); at != std::string::npos) {
+    std::string count = desc.substr(at + 8);
+    size_t shards = 0;
+    size_t consumed = 0;
+    try {
+      shards = std::stoull(count, &consumed);
+    } catch (...) {
+      consumed = 0;
+    }
+    if (consumed != count.size() || count.empty() || shards == 0) {
+      return Status::InvalidArgument(
+          "stack spec '" + desc +
+          "': num_shards: '@shards=' needs a positive integer shard count; "
+          "try e.g. '" +
+          desc.substr(0, at) + "@shards=4'");
+    }
+    auto base = StackOptionsFromString(desc.substr(0, at));
+    if (!base.ok()) return base.status();
+    PlatformOptions o = std::move(*base);
+    o.num_shards = shards;
+    if (shards > 1) o.name += "@shards=" + std::to_string(shards);
+    BB_RETURN_IF_ERROR(o.Validate());
+    return o;
+  }
+
   auto& registry = PlatformRegistry::Instance();
   if (registry.Contains(desc)) return registry.Make(desc);
   if (desc.find('+') == std::string::npos) return registry.Make(desc);

@@ -27,6 +27,36 @@ struct ClientTxReject {
   uint64_t tx_id;
 };
 
+/// Cross-shard 2PC wire protocol (platform/sharding.h) ---------------------
+
+/// Pseudo-contract name of 2PC prepare/abort records. The records are
+/// ordinary transactions sealed into participant chains; executing them
+/// is a no-op (no such contract is deployed, value = 0), but the auditor
+/// replays them to check cross-shard atomicity.
+inline constexpr char kXsContract[] = "__xshard";
+
+/// Record-id encoding: the prepare/abort records for transaction `id`
+/// reuse the id with one distinguishing high bit (client tx ids occupy
+/// the low 48 bits, so bits 62/63 are free).
+inline constexpr uint64_t kXsPrepareBit = uint64_t(1) << 62;
+inline constexpr uint64_t kXsAbortBit = uint64_t(1) << 63;
+inline uint64_t XsBaseId(uint64_t record_id) {
+  return record_id & ~(kXsPrepareBit | kXsAbortBit);
+}
+
+/// type = "xs_client_tx". Client -> coordinator: a transaction whose keys
+/// straddle `shards` (at least two of them).
+struct XsClientTx {
+  chain::Transaction tx;
+  std::vector<uint32_t> shards;
+};
+
+/// type = "xs_sealed". Participant server -> coordinator: a "__xshard"
+/// record (or cross-shard commit) was canonically executed on its chain.
+struct XsSealed {
+  uint64_t record_id;
+};
+
 /// type = "rpc_getblocks". getLatestBlock(h): confirmed blocks above h.
 struct RpcGetBlocks {
   uint64_t req_id;

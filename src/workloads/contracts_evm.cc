@@ -29,6 +29,14 @@ const std::string& KvStoreCasm() {
   ARG 1
   SSTORE
   STOP
+.func write2             ; (k1, v1, k2, v2): two-key write, the
+  ARG 0                  ; cross-shard workload operation
+  ARG 1
+  SSTORE
+  ARG 2
+  ARG 3
+  SSTORE
+  STOP
 )";
   return kSrc;
 }

@@ -99,6 +99,13 @@ class KvStoreChaincode : public Chaincode {
       *result = Value(int64_t{0});
       return Status::Ok();
     }
+    if (ctx.function == "write2") {
+      BB_RETURN_IF_ERROR(NeedArgs(ctx, 4));
+      stub->PutState(ArgStr(ctx, 0), ctx.args[1].Serialize());
+      stub->PutState(ArgStr(ctx, 2), ctx.args[3].Serialize());
+      *result = Value(int64_t{0});
+      return Status::Ok();
+    }
     return Status::InvalidArgument("kvstore: unknown function " + ctx.function);
   }
 };

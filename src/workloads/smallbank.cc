@@ -10,6 +10,8 @@ SmallbankWorkload::SmallbankWorkload(SmallbankConfig config)
 }
 
 Status SmallbankWorkload::Setup(platform::Platform* platform) {
+  platform_ = platform;
+  shards_ = platform->num_shards();
   BB_RETURN_IF_ERROR(platform->DeployWorkloadContract(
       config_.contract, SmallbankCasm(), kSmallbankChaincode));
   for (uint64_t i = 0; i < config_.num_accounts; ++i) {
@@ -23,15 +25,60 @@ Status SmallbankWorkload::Setup(platform::Platform* platform) {
   return platform->FinalizeGenesis();
 }
 
+std::string SmallbankWorkload::AccountInShard(Rng& rng,
+                                              uint32_t shard) const {
+  for (int tries = 0; tries < 1024; ++tries) {
+    std::string a = AccountName(rng.Uniform(config_.num_accounts));
+    if (platform_->ShardOfKey(a) == shard) return a;
+  }
+  // A shard owning (almost) no accounts: probe linearly so generation
+  // always terminates.
+  uint64_t n = rng.Uniform(config_.num_accounts);
+  for (uint64_t step = 0; step < config_.num_accounts; ++step) {
+    std::string a = AccountName((n + step) % config_.num_accounts);
+    if (platform_->ShardOfKey(a) == shard) return a;
+  }
+  return AccountName(n);
+}
+
 chain::Transaction SmallbankWorkload::NextTransaction(uint32_t client_id,
                                                       Rng& rng) {
-  (void)client_id;
-  chain::Transaction tx;
-  tx.contract = config_.contract;
+  // Sharded platforms pin both accounts to the client's home shard (so
+  // the transaction is single-shard), except for the configured fraction
+  // of deliberately cross-shard payments. The unsharded path draws from
+  // the rng in the exact historical order — golden digests depend on it.
+  const bool sharded = shards_ > 1 && platform_ != nullptr;
+  if (sharded) {
+    uint32_t home = uint32_t(client_id % shards_);
+    if (config_.cross_shard_ratio > 0 &&
+        rng.NextDouble() < config_.cross_shard_ratio) {
+      uint32_t other =
+          uint32_t((home + 1 + rng.Uniform(uint64_t(shards_) - 1)) % shards_);
+      chain::Transaction tx;
+      tx.contract = config_.contract;
+      tx.function = "sendPayment";
+      tx.args = {vm::Value(AccountInShard(rng, home)),
+                 vm::Value(AccountInShard(rng, other)),
+                 vm::Value(int64_t(rng.Range(1, 100)))};
+      return tx;
+    }
+    std::string a = AccountInShard(rng, home);
+    std::string b = AccountInShard(rng, home);
+    int64_t amount = int64_t(rng.Range(1, 100));
+    return MixTransaction(rng, std::move(a), std::move(b), amount);
+  }
 
   std::string a = AccountName(rng.Uniform(config_.num_accounts));
   std::string b = AccountName(rng.Uniform(config_.num_accounts));
   int64_t amount = int64_t(rng.Range(1, 100));
+  return MixTransaction(rng, std::move(a), std::move(b), amount);
+}
+
+chain::Transaction SmallbankWorkload::MixTransaction(Rng& rng, std::string a,
+                                                     std::string b,
+                                                     int64_t amount) const {
+  chain::Transaction tx;
+  tx.contract = config_.contract;
 
   double p = rng.NextDouble();
   double acc = config_.p_transact_savings;
@@ -67,6 +114,21 @@ chain::Transaction SmallbankWorkload::NextTransaction(uint32_t client_id,
   tx.function = "getBalance";
   tx.args = {vm::Value(a)};
   return tx;
+}
+
+std::vector<std::string> SmallbankWorkload::TouchedKeys(
+    const chain::Transaction& tx) const {
+  // Accounts are the partition unit (each account's s_/c_ keys live
+  // together), so the touched-key set is the account name arguments.
+  std::vector<std::string> keys;
+  if (!tx.args.empty() && tx.args[0].is_str()) {
+    keys.push_back(tx.args[0].AsStr());
+  }
+  if ((tx.function == "sendPayment" || tx.function == "amalgamate") &&
+      tx.args.size() >= 2 && tx.args[1].is_str()) {
+    keys.push_back(tx.args[1].AsStr());
+  }
+  return keys;
 }
 
 }  // namespace bb::workloads

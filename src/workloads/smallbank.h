@@ -18,6 +18,10 @@ struct SmallbankConfig {
   double p_write_check = 0.15;
   double p_amalgamate = 0.15;
   std::string contract = "smallbank";
+  /// Sharded platforms only: probability that a transaction's accounts
+  /// straddle shards (emitted as a sendPayment from a home-shard account
+  /// to an account on another shard). Ignored when unsharded.
+  double cross_shard_ratio = 0.0;
 };
 
 class SmallbankWorkload : public core::WorkloadConnector {
@@ -26,6 +30,8 @@ class SmallbankWorkload : public core::WorkloadConnector {
 
   Status Setup(platform::Platform* platform) override;
   chain::Transaction NextTransaction(uint32_t client_id, Rng& rng) override;
+  std::vector<std::string> TouchedKeys(
+      const chain::Transaction& tx) const override;
   std::string name() const override { return "smallbank"; }
 
   static std::string AccountName(uint64_t n) {
@@ -33,7 +39,18 @@ class SmallbankWorkload : public core::WorkloadConnector {
   }
 
  private:
+  /// Shard-aware draw: rejection-samples accounts until one partitions
+  /// onto `shard` (accounts — not their s_/c_ state keys — are the
+  /// partition unit, so one account never straddles shards).
+  std::string AccountInShard(Rng& rng, uint32_t shard) const;
+  /// Draws the procedure selector and builds the transaction for the
+  /// standard six-procedure mix over accounts `a`/`b`.
+  chain::Transaction MixTransaction(Rng& rng, std::string a, std::string b,
+                                    int64_t amount) const;
+
   SmallbankConfig config_;
+  size_t shards_ = 1;
+  const platform::Platform* platform_ = nullptr;
 };
 
 }  // namespace bb::workloads

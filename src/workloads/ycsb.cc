@@ -23,6 +23,8 @@ std::string YcsbWorkload::KeyFor(uint64_t n) {
 }
 
 Status YcsbWorkload::Setup(platform::Platform* platform) {
+  platform_ = platform;
+  shards_ = platform->num_shards();
   BB_RETURN_IF_ERROR(platform->DeployWorkloadContract(
       config_.contract, KvStoreCasm(), kKvStoreChaincode));
   Rng rng(0x5cb5);
@@ -39,28 +41,67 @@ uint64_t YcsbWorkload::NextKeyNum(Rng& rng) {
   return rng.Uniform(config_.record_count);
 }
 
+uint64_t YcsbWorkload::NextKeyNumInShard(Rng& rng, uint32_t shard) {
+  // Rejection sampling keeps the per-shard key distribution equal to the
+  // configured one restricted to the shard (expected tries ~= shards_).
+  for (int tries = 0; tries < 1024; ++tries) {
+    uint64_t n = NextKeyNum(rng);
+    if (platform_->ShardOfKey(KeyFor(n)) == shard) return n;
+  }
+  // A shard with (almost) no keys in range: probe linearly so generation
+  // always terminates.
+  uint64_t n = NextKeyNum(rng);
+  for (uint64_t step = 0; step < config_.record_count; ++step) {
+    uint64_t candidate = (n + step) % config_.record_count;
+    if (platform_->ShardOfKey(KeyFor(candidate)) == shard) return candidate;
+  }
+  return n;
+}
+
 chain::Transaction YcsbWorkload::NextTransaction(uint32_t client_id,
                                                  Rng& rng) {
   chain::Transaction tx;
   tx.contract = config_.contract;
+
+  // Sharded platforms: pin keys to the client's home shard, except for
+  // the configured fraction of deliberately cross-shard transactions.
+  // The unsharded path below draws from the rng in the exact historical
+  // order, so existing golden digests are untouched.
+  const bool sharded = shards_ > 1 && platform_ != nullptr;
+  const uint32_t home = sharded ? uint32_t(client_id % shards_) : 0;
+  if (sharded && config_.cross_shard_ratio > 0 &&
+      rng.NextDouble() < config_.cross_shard_ratio) {
+    uint32_t other =
+        uint32_t((home + 1 + rng.Uniform(uint64_t(shards_) - 1)) % shards_);
+    tx.function = "write2";
+    tx.args = {vm::Value(KeyFor(NextKeyNumInShard(rng, home))),
+               vm::Value(rng.AsciiString(config_.value_size)),
+               vm::Value(KeyFor(NextKeyNumInShard(rng, other))),
+               vm::Value(rng.AsciiString(config_.value_size))};
+    return tx;
+  }
+  auto next_key = [&] {
+    return sharded ? NextKeyNumInShard(rng, home) : NextKeyNum(rng);
+  };
+
   double p = rng.NextDouble();
   double acc = config_.read_proportion;
   if (p < acc) {
     tx.function = "read";
-    tx.args = {vm::Value(KeyFor(NextKeyNum(rng)))};
+    tx.args = {vm::Value(KeyFor(next_key()))};
     return tx;
   }
   acc += config_.update_proportion;
   if (p < acc) {
     tx.function = "write";
-    tx.args = {vm::Value(KeyFor(NextKeyNum(rng))),
+    tx.args = {vm::Value(KeyFor(next_key())),
                vm::Value(rng.AsciiString(config_.value_size))};
     return tx;
   }
   acc += config_.rmw_proportion;
   if (p < acc) {
     tx.function = "readmodifywrite";
-    tx.args = {vm::Value(KeyFor(NextKeyNum(rng))),
+    tx.args = {vm::Value(KeyFor(next_key())),
                vm::Value(rng.AsciiString(config_.value_size))};
     return tx;
   }
@@ -73,6 +114,14 @@ chain::Transaction YcsbWorkload::NextTransaction(uint32_t client_id,
     // collide: id = record_count + client * 2^32 + counter.
     uint64_t id = config_.record_count +
                   (uint64_t(client_id) << 32) + insert_counters_[client_id]++;
+    if (sharded) {
+      // Advance past fresh ids whose key hashes off-shard; skipped ids
+      // are simply never used.
+      while (platform_->ShardOfKey(KeyFor(id)) != home) {
+        id = config_.record_count + (uint64_t(client_id) << 32) +
+             insert_counters_[client_id]++;
+      }
+    }
     tx.function = "write";
     tx.args = {vm::Value(KeyFor(id)),
                vm::Value(rng.AsciiString(config_.value_size))};
@@ -81,12 +130,24 @@ chain::Transaction YcsbWorkload::NextTransaction(uint32_t client_id,
   acc += config_.delete_proportion;
   if (p < acc) {
     tx.function = "remove";
-    tx.args = {vm::Value(KeyFor(NextKeyNum(rng)))};
+    tx.args = {vm::Value(KeyFor(next_key()))};
     return tx;
   }
   tx.function = "read";
-  tx.args = {vm::Value(KeyFor(NextKeyNum(rng)))};
+  tx.args = {vm::Value(KeyFor(next_key()))};
   return tx;
+}
+
+std::vector<std::string> YcsbWorkload::TouchedKeys(
+    const chain::Transaction& tx) const {
+  std::vector<std::string> keys;
+  if (!tx.args.empty() && tx.args[0].is_str()) {
+    keys.push_back(tx.args[0].AsStr());
+  }
+  if (tx.function == "write2" && tx.args.size() >= 3 && tx.args[2].is_str()) {
+    keys.push_back(tx.args[2].AsStr());
+  }
+  return keys;
 }
 
 }  // namespace bb::workloads

@@ -27,6 +27,11 @@ struct YcsbConfig {
   double zipf_theta = 0.99;
   /// Contract deployment name.
   std::string contract = "ycsb";
+  /// Sharded platforms only: probability that a transaction touches a
+  /// key outside the client's home shard (emitted as a two-key "write2",
+  /// one key home, one on another shard). 0 keeps every transaction
+  /// single-shard; ignored when the platform is unsharded.
+  double cross_shard_ratio = 0.0;
 };
 
 class YcsbWorkload : public core::WorkloadConnector {
@@ -36,6 +41,8 @@ class YcsbWorkload : public core::WorkloadConnector {
 
   Status Setup(platform::Platform* platform) override;
   chain::Transaction NextTransaction(uint32_t client_id, Rng& rng) override;
+  std::vector<std::string> TouchedKeys(
+      const chain::Transaction& tx) const override;
   std::string name() const override { return "ycsb"; }
 
   /// Key for record `n` ("userXXXXXXXX").
@@ -43,11 +50,17 @@ class YcsbWorkload : public core::WorkloadConnector {
 
  private:
   uint64_t NextKeyNum(Rng& rng);
+  /// Shard-aware draw: rejection-samples NextKeyNum until the key hashes
+  /// to `shard`.
+  uint64_t NextKeyNumInShard(Rng& rng, uint32_t shard);
 
   YcsbConfig config_;
   std::unique_ptr<ScrambledZipfian> zipf_;
   /// Next fresh key id per client (inserts).
   std::vector<uint64_t> insert_counters_;
+  /// Sharding topology, captured at Setup (1 / null when unsharded).
+  size_t shards_ = 1;
+  const platform::Platform* platform_ = nullptr;
 };
 
 }  // namespace bb::workloads

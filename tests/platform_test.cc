@@ -443,6 +443,65 @@ TEST(PlatformOptionsTest, ValidateRejectsInconsistentLayers) {
   EXPECT_NE(o.Validate().ToString().find("parity"), std::string::npos);
 }
 
+// Every Validate() rejection must name the offending field and suggest
+// a stack spec that would accept the setting — one test per error path.
+TEST(PlatformOptionsTest, ValidateMessagesNameFieldAndSuggestSpec) {
+  auto expect = [](const platform::PlatformOptions& o, const char* field,
+                   const char* suggestion_fragment) {
+    Status s = o.Validate();
+    ASSERT_FALSE(s.ok()) << field;
+    std::string msg = s.ToString();
+    EXPECT_NE(msg.find(field), std::string::npos) << msg;
+    EXPECT_NE(msg.find("try e.g. '"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(suggestion_fragment), std::string::npos) << msg;
+  };
+
+  auto o = platform::HyperledgerOptions();
+  o.block_tx_limit = 0;
+  expect(o, "block_tx_limit", "pbft+bucket/memkv+native");
+
+  o = platform::HyperledgerOptions();
+  o.block_gas_limit = 1000000;  // native engine: no gas
+  expect(o, "block_gas_limit", "+evm");
+
+  o = platform::HyperledgerOptions();
+  o.seal_sign_cpu = 0.001;  // PBFT stack: no PoA sealing stage
+  expect(o, "seal_sign_cpu", "poa+");
+
+  o = platform::ParityOptions();
+  o.seal_budget_fraction = 1.5;
+  expect(o, "seal_budget_fraction", "poa+trie/memkv+evm");
+
+  o = platform::EthereumOptions();
+  o.consensus_channel_capacity = 30;  // PoW stack: no PBFT inbox
+  expect(o, "consensus_channel_capacity", "pbft+");
+
+  o = platform::EthereumOptions();
+  o.stack.storage = platform::StorageBackendKind::kDiskKv;
+  o.data_dir.clear();
+  expect(o, "data_dir", "/memkv");
+
+  o = platform::ParityOptions();
+  o.admission_rate_limit = -1;
+  expect(o, "admission_rate_limit", "poa+trie/memkv+evm");
+
+  o = platform::HyperledgerOptions();
+  o.num_shards = 0;
+  expect(o, "num_shards", "@shards=S");
+
+  // Sharding on a probabilistic-finality chain: suggest a finality stack
+  // carrying the same shard count.
+  o = platform::EthereumOptions();
+  o.num_shards = 2;
+  expect(o, "num_shards", "pbft+trie/memkv+evm@shards=2");
+  EXPECT_NE(o.Validate().ToString().find("finality"), std::string::npos);
+
+  o = platform::HyperledgerOptions();
+  o.num_shards = 2;
+  o.xs_prepare_timeout = 0;
+  expect(o, "xs_prepare_timeout", "pbft+bucket/memkv+native@shards=2");
+}
+
 TEST(PlatformOptionsTest, CanonicalOptionsValidate) {
   for (auto opts :
        {EthereumOptions(), ParityOptions(), HyperledgerOptions(),

@@ -1,0 +1,423 @@
+// Sharding tests: the "@shards=S" platform axis end to end — spec
+// parsing, key partitioning, cluster topology, cross-shard 2PC commit,
+// the auditor's atomicity replay (including a deliberately broken
+// coordinator it must catch), scaling, and the 2-shard golden digest
+// that pins the whole sharded pipeline byte-for-byte.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/driver.h"
+#include "platform/forensics.h"
+#include "platform/platform.h"
+#include "platform/registry.h"
+#include "platform/sharding.h"
+#include "workloads/contracts.h"
+#include "workloads/smallbank.h"
+#include "workloads/ycsb.h"
+
+namespace bb {
+namespace {
+
+using platform::ShardedPlatform;
+
+// --- Spec parsing ----------------------------------------------------------------------
+
+TEST(ShardSpecTest, ParsesShardSuffixOnStackSpec) {
+  auto o = platform::StackOptionsFromString("pbft+trie+evm@shards=4");
+  ASSERT_TRUE(o.ok()) << o.status().ToString();
+  EXPECT_EQ(o->num_shards, 4u);
+  // The shard count is an options axis, not a stack layer: the rendered
+  // stack must stay identical to the unsharded spec (golden strings in
+  // platform_test depend on this).
+  EXPECT_EQ(ToString(o->stack), "pbft+trie/memkv+evm");
+  EXPECT_EQ(o->name, "pbft+trie/memkv+evm@shards=4");
+}
+
+TEST(ShardSpecTest, ParsesShardSuffixOnRegisteredName) {
+  auto o = platform::StackOptionsFromString("hyperledger@shards=2");
+  ASSERT_TRUE(o.ok()) << o.status().ToString();
+  EXPECT_EQ(o->num_shards, 2u);
+  EXPECT_EQ(o->name, "hyperledger@shards=2");
+  EXPECT_EQ(ToString(o->stack), "pbft+bucket/memkv+native");
+}
+
+TEST(ShardSpecTest, ShardsOneIsTheUnshardedPlatform) {
+  auto o = platform::StackOptionsFromString("hyperledger@shards=1");
+  ASSERT_TRUE(o.ok()) << o.status().ToString();
+  EXPECT_EQ(o->num_shards, 1u);
+  EXPECT_EQ(o->name, "hyperledger");  // no suffix: plain platform
+}
+
+TEST(ShardSpecTest, RejectsBadShardCounts) {
+  auto zero = platform::StackOptionsFromString("pbft+trie+evm@shards=0");
+  ASSERT_FALSE(zero.ok());
+  EXPECT_NE(zero.status().ToString().find("num_shards"), std::string::npos);
+  EXPECT_FALSE(
+      platform::StackOptionsFromString("pbft+trie+evm@shards=abc").ok());
+  EXPECT_FALSE(platform::StackOptionsFromString("hyperledger@shards=").ok());
+}
+
+TEST(ShardSpecTest, RejectsProbabilisticFinalityConsensus) {
+  // PoW blocks can reorg after a cross-shard prepare sealed; Validate()
+  // must refuse and point at a finality stack.
+  auto o = platform::StackOptionsFromString("pow+trie+evm@shards=2");
+  ASSERT_FALSE(o.ok());
+  std::string msg = o.status().ToString();
+  EXPECT_NE(msg.find("finality"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("pbft+trie/memkv+evm@shards=2"), std::string::npos)
+      << msg;
+}
+
+// --- Key partitioning ------------------------------------------------------------------
+
+TEST(ShardHashTest, PinnedFnv1aValues) {
+  // FNV-1a 32-bit reference vectors: a silent hash change would remap
+  // every key and invalidate the golden digests below.
+  EXPECT_EQ(ShardedPlatform::HashKey(""), 2166136261u);
+  EXPECT_EQ(ShardedPlatform::HashKey("a"), 0xE40C292Cu);
+  EXPECT_EQ(ShardedPlatform::HashKey("b"), 0xE70C2DE5u);
+}
+
+TEST(ShardHashTest, KeysSpreadAcrossShards) {
+  sim::Simulation sim(1);
+  auto opts = platform::StackOptionsFromString("hyperledger@shards=4");
+  ASSERT_TRUE(opts.ok());
+  auto p = platform::MakePlatform(&sim, *opts, 2);
+  std::vector<size_t> hits(4, 0);
+  for (uint64_t n = 0; n < 1000; ++n) {
+    uint32_t s = p->ShardOfKey(workloads::YcsbWorkload::KeyFor(n));
+    ASSERT_LT(s, 4u);
+    ++hits[s];
+  }
+  for (size_t s = 0; s < 4; ++s) {
+    EXPECT_GT(hits[s], 150u) << "shard " << s;  // ~250 expected
+  }
+}
+
+// --- Topology --------------------------------------------------------------------------
+
+TEST(ShardTopologyTest, LaysOutShardsCoordinatorThenClients) {
+  sim::Simulation sim(1);
+  auto opts = platform::StackOptionsFromString("hyperledger@shards=2");
+  ASSERT_TRUE(opts.ok());
+  auto p = platform::MakePlatform(&sim, *opts, 4);
+  auto* sharded = dynamic_cast<ShardedPlatform*>(p.get());
+  ASSERT_NE(sharded, nullptr);
+
+  EXPECT_EQ(p->num_shards(), 2u);
+  EXPECT_EQ(p->servers_per_shard(), 4u);
+  EXPECT_EQ(p->num_servers(), 8u);  // 2 shards x 4 servers
+  EXPECT_EQ(p->coordinator_id(), sim::NodeId(8));
+  EXPECT_EQ(p->first_client_id(), sim::NodeId(9));
+
+  // Every in-shard submission server must actually belong to the shard.
+  for (uint32_t shard = 0; shard < 2; ++shard) {
+    for (size_t client = 0; client < 16; ++client) {
+      sim::NodeId id = p->ServerInShard(shard, client);
+      EXPECT_GE(size_t(id), size_t(shard) * 4) << shard << "/" << client;
+      EXPECT_LT(size_t(id), size_t(shard + 1) * 4) << shard << "/" << client;
+    }
+  }
+  // Client i's home shard is i % S.
+  EXPECT_LT(size_t(p->SubmitServerFor(0)), 4u);
+  EXPECT_GE(size_t(p->SubmitServerFor(1)), 4u);
+
+  // The unsharded platform stays the degenerate case.
+  sim::Simulation sim2(1);
+  auto base = platform::StackOptionsFromString("hyperledger");
+  ASSERT_TRUE(base.ok());
+  auto up = platform::MakePlatform(&sim2, *base, 4);
+  EXPECT_EQ(dynamic_cast<ShardedPlatform*>(up.get()), nullptr);
+  EXPECT_EQ(up->num_shards(), 1u);
+  EXPECT_EQ(up->first_client_id(), sim::NodeId(4));
+}
+
+// --- Workload partition hooks ----------------------------------------------------------
+
+TEST(ShardWorkloadTest, TouchedKeysNameThePartitionUnits) {
+  workloads::SmallbankWorkload sb;
+  chain::Transaction pay;
+  pay.function = "sendPayment";
+  pay.args = {vm::Value("acct1"), vm::Value("acct2"), vm::Value(5)};
+  EXPECT_EQ(sb.TouchedKeys(pay),
+            (std::vector<std::string>{"acct1", "acct2"}));
+  chain::Transaction bal;
+  bal.function = "getBalance";
+  bal.args = {vm::Value("acct7")};
+  EXPECT_EQ(sb.TouchedKeys(bal), (std::vector<std::string>{"acct7"}));
+
+  workloads::YcsbWorkload yw;
+  chain::Transaction w2;
+  w2.function = "write2";
+  w2.args = {vm::Value("user1"), vm::Value("v"), vm::Value("user2"),
+             vm::Value("v")};
+  EXPECT_EQ(yw.TouchedKeys(w2),
+            (std::vector<std::string>{"user1", "user2"}));
+  chain::Transaction rd;
+  rd.function = "read";
+  rd.args = {vm::Value("user3")};
+  EXPECT_EQ(yw.TouchedKeys(rd), (std::vector<std::string>{"user3"}));
+}
+
+// --- Cross-shard 2PC end to end --------------------------------------------------------
+
+struct ShardedRun {
+  sim::Simulation sim;
+  std::unique_ptr<platform::Platform> platform;
+  workloads::SmallbankWorkload workload;
+  std::unique_ptr<core::Driver> driver;
+
+  ShardedRun(size_t shards, double cross_ratio, uint64_t seed,
+             bool break_atomicity = false)
+      : sim(seed),
+        workload([&] {
+          workloads::SmallbankConfig sc;
+          sc.num_accounts = 500;
+          sc.cross_shard_ratio = cross_ratio;
+          return sc;
+        }()) {
+    Init(shards, seed, break_atomicity);
+  }
+
+  // Fatal gtest assertions must run in a void function, not the ctor.
+  void Init(size_t shards, uint64_t seed, bool break_atomicity) {
+    workloads::RegisterAllChaincodes();
+    auto opts = platform::StackOptionsFromString(
+        "hyperledger@shards=" + std::to_string(shards));
+    ASSERT_TRUE(opts.ok()) << opts.status().ToString();
+    platform = platform::MakePlatform(&sim, *opts, 4);
+    if (break_atomicity) {
+      auto* sharded = dynamic_cast<ShardedPlatform*>(platform.get());
+      ASSERT_NE(sharded, nullptr);
+      sharded->coordinator().set_break_atomicity(true);
+    }
+    ASSERT_TRUE(workload.Setup(platform.get()).ok());
+    core::DriverConfig dc;
+    dc.num_clients = 4;
+    dc.request_rate = 15;
+    dc.duration = 40;
+    dc.drain = 15;
+    dc.seed = seed * 31 + 1;
+    driver = std::make_unique<core::Driver>(platform.get(), &workload, dc);
+    driver->Run();
+  }
+
+  double end_time() const { return 55; }
+};
+
+TEST(CrossShardTest, TwoPhaseCommitLandsCrossShardTransactions) {
+  ShardedRun run(2, 0.3, 4242);
+  const auto& stats = run.driver->stats();
+  EXPECT_GT(stats.total_committed(), 0u);
+  EXPECT_GT(stats.xs_submitted(), 0u);
+  EXPECT_GT(stats.xs_committed(), 0u);
+  // Nearly all cross-shard submissions decide within the generous drain.
+  EXPECT_GE(stats.xs_committed() + stats.xs_aborted(),
+            stats.xs_submitted() * 9 / 10);
+
+  auto* sharded = dynamic_cast<ShardedPlatform*>(run.platform.get());
+  ASSERT_NE(sharded, nullptr);
+  EXPECT_EQ(sharded->coordinator().started(), stats.xs_submitted());
+  EXPECT_EQ(sharded->coordinator().committed(), stats.xs_committed());
+
+  // Cross-shard latency carries the extra 2PC round trips.
+  core::BenchReport rep = run.driver->Report();
+  EXPECT_GT(rep.xs_latency_mean, 0.0);
+
+  // PBFT replicas within a shard agree on the head; the two shards grow
+  // distinct chains.
+  for (uint32_t shard = 0; shard < 2; ++shard) {
+    Hash256 head = run.platform->node(shard * 4).chain().head();
+    for (size_t i = 1; i < 4; ++i) {
+      EXPECT_EQ(run.platform->node(shard * 4 + i).chain().head(), head)
+          << "shard " << shard << " node " << i;
+    }
+  }
+  EXPECT_FALSE(run.platform->node(0).chain().head() ==
+               run.platform->node(4).chain().head());
+}
+
+TEST(CrossShardTest, AuditReplaysTwoPhaseCommitCleanly) {
+  ShardedRun run(2, 0.3, 4242);
+  obs::AuditorConfig ac;
+  ac.end_time = run.end_time();
+  obs::AuditReport rep = platform::RunAudit(*run.platform, ac);
+  EXPECT_TRUE(rep.ok()) << rep.RenderTable();
+  EXPECT_GT(rep.xs_decisions, 0u);
+  EXPECT_GT(rep.xs_committed, 0u);
+  EXPECT_EQ(rep.nodes.size(), 8u);
+  // The sharded chains must not read as forks of each other.
+  EXPECT_EQ(rep.forked_blocks, 0u);
+}
+
+TEST(CrossShardTest, BrokenCoordinatorFailsTheAtomicityInvariant) {
+  // A coordinator that commits on one participant and aborts on the rest
+  // is exactly the failure the 7th invariant exists to catch.
+  ShardedRun run(2, 0.5, 4242, /*break_atomicity=*/true);
+  ASSERT_GT(run.driver->stats().xs_submitted(), 0u);
+  obs::AuditorConfig ac;
+  ac.end_time = run.end_time();
+  obs::AuditReport rep = platform::RunAudit(*run.platform, ac);
+  EXPECT_FALSE(rep.ok());
+  bool atomicity_violation = false;
+  for (const auto& v : rep.violations) {
+    if (v.invariant == "cross_shard_atomicity") atomicity_violation = true;
+  }
+  EXPECT_TRUE(atomicity_violation) << rep.RenderTable();
+}
+
+TEST(CrossShardTest, RatioZeroNeverCrossesShards) {
+  ShardedRun run(2, 0.0, 99);
+  EXPECT_GT(run.driver->stats().total_committed(), 0u);
+  EXPECT_EQ(run.driver->stats().xs_submitted(), 0u);
+  auto* sharded = dynamic_cast<ShardedPlatform*>(run.platform.get());
+  ASSERT_NE(sharded, nullptr);
+  EXPECT_EQ(sharded->coordinator().started(), 0u);
+}
+
+// --- Determinism and the 2-shard golden digest -----------------------------------------
+
+struct ShardedOutcome {
+  uint64_t committed = 0;
+  uint64_t xs_submitted = 0;
+  uint64_t xs_committed = 0;
+  std::string head0;  // shard 0 head (node 0)
+  std::string head1;  // shard 1 head (node 4)
+
+  bool operator==(const ShardedOutcome& o) const {
+    return committed == o.committed && xs_submitted == o.xs_submitted &&
+           xs_committed == o.xs_committed && head0 == o.head0 &&
+           head1 == o.head1;
+  }
+};
+
+ShardedOutcome RunSharded(uint64_t seed) {
+  ShardedRun run(2, 0.1, seed);
+  ShardedOutcome o;
+  o.committed = run.driver->stats().total_committed();
+  o.xs_submitted = run.driver->stats().xs_submitted();
+  o.xs_committed = run.driver->stats().xs_committed();
+  o.head0 = run.platform->node(0).chain().head().ToHex();
+  o.head1 = run.platform->node(4).chain().head().ToHex();
+  return o;
+}
+
+TEST(ShardedDeterminismTest, SameSeedSameOutcome) {
+  ShardedOutcome a = RunSharded(12345);
+  ShardedOutcome b = RunSharded(12345);
+  EXPECT_TRUE(a == b) << a.committed << " vs " << b.committed;
+  EXPECT_GT(a.committed, 0u);
+  EXPECT_GT(a.xs_committed, 0u);
+}
+
+// Pins the complete sharded pipeline — partitioning, 2PC record layout,
+// coordinator scheduling, per-shard consensus — byte for byte. Captured
+// from the first green build of the sharded platform; recapture
+// deliberately (and note why in the commit) if the protocol changes.
+TEST(ShardedDeterminismTest, TwoShardGoldenDigest) {
+  ShardedOutcome o = RunSharded(12345);
+  EXPECT_EQ(o.head0,
+            "178f676836b4a06711297afc7fcb3f57981b34f275de1323edc6b3a8b274ed52");
+  EXPECT_EQ(o.head1,
+            "0beabba024489bb775680bc4665c8ef6766008ae2a0d8f6f53317fb5e23a76d0");
+  EXPECT_EQ(o.committed, 2400u);
+  EXPECT_EQ(o.xs_submitted, 242u);
+  EXPECT_EQ(o.xs_committed, 242u);
+}
+
+// The SweepRunner contract extends to sharded rows: a parallel sweep
+// must reproduce the serial rows, cross-shard metrics included.
+std::vector<std::string> ShardedSweepRows(size_t jobs) {
+  bench::BenchArgs args;
+  args.jobs = jobs;
+  bench::SweepRunner runner("sharded_sweep_test", args);
+  for (size_t shards : {1, 2}) {
+    auto opts = bench::OptionsFor(
+        shards > 1 ? "hyperledger@shards=" + std::to_string(shards)
+                   : "hyperledger");
+    EXPECT_TRUE(opts.ok());
+    bench::MacroConfig cfg;
+    cfg.options = *opts;
+    cfg.servers = 4;
+    cfg.clients = 2 * shards;
+    cfg.rate = 10;
+    cfg.duration = 10;
+    cfg.drain = 5;
+    cfg.warmup = 2;
+    cfg.workload = bench::WorkloadKind::kSmallbank;
+    cfg.smallbank_accounts = 200;
+    cfg.cross_shard_ratio = shards > 1 ? 0.2 : 0.0;
+    runner.Add(std::move(cfg), {{"shards", std::to_string(shards)}});
+  }
+  std::vector<std::string> rows;
+  bool ok = runner.Run([&](size_t i, const bench::SweepOutcome& o) {
+    EXPECT_EQ(i, rows.size());
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "%zu|%.6f|%.6f|%llu|%llu|%llu|%llu", i,
+                  o.report.throughput, o.report.xs_latency_mean,
+                  (unsigned long long)o.report.committed,
+                  (unsigned long long)o.report.xs_submitted,
+                  (unsigned long long)o.report.xs_committed,
+                  (unsigned long long)o.report.xs_aborted);
+    rows.push_back(buf);
+  });
+  EXPECT_TRUE(ok);
+  return rows;
+}
+
+TEST(ShardedDeterminismTest, ParallelSweepMatchesSerial) {
+  std::vector<std::string> serial = ShardedSweepRows(1);
+  std::vector<std::string> parallel = ShardedSweepRows(8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "row " << i;
+  }
+}
+
+// --- Scaling ---------------------------------------------------------------------------
+
+TEST(ShardScalingTest, FourShardsBeatSingleShardAtRatioZero) {
+  // Saturate one 4-server PBFT cluster (1800 tx/s offered vs ~1250 tx/s
+  // sustainable), then give 4 shards the same per-shard offered load:
+  // disjoint consensus groups must scale committed throughput at least
+  // 2.5x (the fig14-sharded gate). Saturation matters — below it the
+  // ratio would just restate the offered load.
+  auto run = [](size_t shards) {
+    uint64_t seed = 7;
+    sim::Simulation sim(seed);
+    auto opts = platform::StackOptionsFromString(
+        shards > 1 ? "hyperledger@shards=" + std::to_string(shards)
+                   : "hyperledger");
+    EXPECT_TRUE(opts.ok());
+    auto p = platform::MakePlatform(&sim, *opts, 4);
+    workloads::SmallbankConfig sc;
+    sc.num_accounts = 1000;
+    workloads::SmallbankWorkload wl(sc);
+    EXPECT_TRUE(wl.Setup(p.get()).ok());
+    core::DriverConfig dc;
+    dc.num_clients = 4 * shards;
+    dc.request_rate = 450;
+    dc.duration = 20;
+    dc.drain = 10;
+    dc.seed = seed * 31 + 1;
+    core::Driver d(p.get(), &wl, dc);
+    d.Run();
+    // In-window committed throughput: under saturation the drain would
+    // otherwise let the backlog catch up and flatter the ratio.
+    return d.Report().throughput;
+  };
+  double one = run(1);
+  double four = run(4);
+  ASSERT_GT(one, 0.0);
+  EXPECT_GE(four, 2.5 * one)
+      << "1 shard: " << one << " tx/s, 4 shards: " << four << " tx/s";
+}
+
+}  // namespace
+}  // namespace bb

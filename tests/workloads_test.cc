@@ -235,6 +235,51 @@ TEST(HStoreTest, MultiPartitionTxnsRunTwoPhaseCommit) {
   EXPECT_GT(stats.latencies().Percentile(50), 0.0005);
 }
 
+TEST(HStoreTest, MultiPartitionAbortLeavesAllSitesUnchanged) {
+  sim::Simulation sim(3);
+  baseline::HStoreOptions opts;
+  baseline::HStoreCluster cluster(&sim, opts);
+
+  // Two keys on different partitions; the non-coordinator participant
+  // votes abort on every prepare — 2PC must roll the transaction back
+  // everywhere, including the coordinator's already-executed local ops.
+  std::string ka = "ka", kb;
+  for (int i = 0; i < 1000 && kb.empty(); ++i) {
+    std::string candidate = "kb" + std::to_string(i);
+    if (cluster.PartitionOf(candidate) != cluster.PartitionOf(ka)) {
+      kb = candidate;
+    }
+  }
+  ASSERT_FALSE(kb.empty());
+  size_t site_a = cluster.PartitionOf(ka);  // coordinator (first key)
+  size_t site_b = cluster.PartitionOf(kb);
+  cluster.site(site_a).Load(ka, "orig_a");
+  cluster.site(site_b).Load(kb, "orig_b");
+  cluster.site(site_b).set_vote_abort(true);
+
+  core::StatsCollector stats(1);
+  baseline::HStoreClient client(
+      sim::NodeId(opts.num_sites), &cluster, 0,
+      [&ka, &kb](Rng&) {
+        baseline::HsTransaction t;
+        t.ops.push_back({true, ka, "dirty_a"});
+        t.ops.push_back({true, kb, "dirty_b"});
+        return t;
+      },
+      &stats, 50, 5, 99);
+  client.Start();
+  sim.RunUntil(8);
+
+  EXPECT_EQ(stats.total_committed(), 0u);
+  EXPECT_GT(stats.total_rejected(), 0u);  // clients see clean aborts
+  EXPECT_GT(cluster.site(site_a).aborted_txns(), 0u);
+  // No site kept any trace of the aborted writes.
+  EXPECT_EQ(cluster.site(site_a).Get(ka),
+            std::optional<std::string>("orig_a"));
+  EXPECT_EQ(cluster.site(site_b).Get(kb),
+            std::optional<std::string>("orig_b"));
+}
+
 TEST(HStoreTest, DataLandsOnOwningPartition) {
   sim::Simulation sim(2);
   baseline::HStoreOptions opts;

@@ -52,6 +52,8 @@ struct Args {
   std::string workload = "ycsb";
   size_t servers = 8;
   size_t clients = 8;
+  size_t shards = 0;  // 0 = leave the spec's @shards= (or unsharded) alone
+  double cross_shard = 0;
   double rate = 100;
   double duration = 120;
   double warmup = 10;
@@ -72,9 +74,12 @@ void Usage() {
   std::fprintf(stderr, R"(usage: bbench [options]
   --platform=NAME or a layer-stack spec "consensus+tree[/backend]+exec"
              (e.g. --platform=hyperledger or --platform=pbft+trie+evm;
-              --list-platforms shows the registry)
+              append "@shards=S" for a sharded stack;
+              --list-platforms shows the registry and the option axes)
   --workload=ycsb|smallbank|etherid|doubler|wavespresale|donothing
   --servers=N --clients=N --rate=TXS --duration=SEC --warmup=SEC
+  --shards=S (shorthand for "@shards=S"; --servers is then PER SHARD)
+  --cross-shard=P (ycsb/smallbank: fraction of txs straddling shards)
   --max-outstanding=N (closed-loop window; 0 = open loop)
   --seed=N
   --crash=ID@T (repeatable)  --partition=T0:T1
@@ -99,7 +104,7 @@ bool Parse(int argc, char** argv, Args* a) {
                             "--warmup",          "--seed",     "--max-outstanding",
                             "--delay",           "--corrupt",  "--crash",
                             "--partition",       "--trace",    "--sample",
-                            "--audit"};
+                            "--audit",           "--shards",   "--cross-shard"};
   for (int i = 1; i < argc; ++i) {
     std::string s = argv[i];
     if (s == "--timeline" || s == "--list-platforms" || s == "--metrics") {
@@ -120,11 +125,24 @@ bool Parse(int argc, char** argv, Args* a) {
   }
 
   if (util::HasFlag(argc, argv, "--list-platforms")) {
+    std::fprintf(stderr, "registered platforms:\n");
     for (const auto& [name, def] :
          platform::PlatformRegistry::Instance().definitions()) {
       std::fprintf(stderr, "  %-12s %s\n", name.c_str(),
                    def.description.c_str());
     }
+    std::fprintf(stderr, R"(
+stack spec axes ("consensus+tree[/backend]+exec[@shards=S]"):
+  consensus    pow | poa | pbft | tendermint | raft
+  tree         trie | bucket
+  backend      /memkv (default) | /diskkv (needs options.data_dir)
+  exec         evm | native
+  @shards=S    S independent consensus groups of --servers nodes each
+               over a hash-partitioned state space, with 2PC cross-shard
+               commit (requires a finality consensus: pbft | tendermint
+               | raft)
+examples: pbft+trie+evm   tendermint+bucket+native   pbft+trie+evm@shards=4
+)");
     std::exit(0);
   }
 
@@ -138,6 +156,9 @@ bool Parse(int argc, char** argv, Args* a) {
   a->seed = util::FlagUint(argc, argv, "--seed", a->seed);
   a->max_outstanding = size_t(
       util::FlagUint(argc, argv, "--max-outstanding", a->max_outstanding));
+  a->shards = size_t(util::FlagUint(argc, argv, "--shards", a->shards));
+  a->cross_shard =
+      util::FlagDouble(argc, argv, "--cross-shard", a->cross_shard);
   a->delay = util::FlagDouble(argc, argv, "--delay", a->delay);
   a->corrupt = util::FlagDouble(argc, argv, "--corrupt", a->corrupt);
   a->timeline = util::HasFlag(argc, argv, "--timeline");
@@ -175,10 +196,18 @@ platform::PlatformOptions PlatformFor(const std::string& name) {
   return *opts;
 }
 
-std::unique_ptr<core::WorkloadConnector> WorkloadFor(const std::string& name) {
-  if (name == "ycsb") return std::make_unique<workloads::YcsbWorkload>();
-  if (name == "smallbank")
-    return std::make_unique<workloads::SmallbankWorkload>();
+std::unique_ptr<core::WorkloadConnector> WorkloadFor(const std::string& name,
+                                                     double cross_shard) {
+  if (name == "ycsb") {
+    workloads::YcsbConfig yc;
+    yc.cross_shard_ratio = cross_shard;
+    return std::make_unique<workloads::YcsbWorkload>(yc);
+  }
+  if (name == "smallbank") {
+    workloads::SmallbankConfig sc;
+    sc.cross_shard_ratio = cross_shard;
+    return std::make_unique<workloads::SmallbankWorkload>(sc);
+  }
   if (name == "etherid") return std::make_unique<workloads::EtherIdWorkload>();
   if (name == "doubler") return std::make_unique<workloads::DoublerWorkload>();
   if (name == "wavespresale")
@@ -198,14 +227,25 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // --shards overrides whatever the spec says (including removing an
+  // existing "@shards=" suffix when --shards=1).
+  if (a.shards > 0) {
+    if (size_t at = a.platform.rfind("@shards="); at != std::string::npos) {
+      a.platform.resize(at);
+    }
+    if (a.shards > 1) a.platform += "@shards=" + std::to_string(a.shards);
+  }
+
   sim::Simulation sim(a.seed);
   std::unique_ptr<obs::Tracer> tracer;
   if (!a.trace_path.empty()) {
     tracer = std::make_unique<obs::Tracer>();
     sim.set_tracer(tracer.get());
   }
-  platform::Platform chain(&sim, PlatformFor(a.platform), a.servers, a.seed);
-  auto workload = WorkloadFor(a.workload);
+  std::unique_ptr<platform::Platform> chain_ptr =
+      platform::MakePlatform(&sim, PlatformFor(a.platform), a.servers, a.seed);
+  platform::Platform& chain = *chain_ptr;
+  auto workload = WorkloadFor(a.workload, a.cross_shard);
   Status s = workload->Setup(&chain);
   if (!s.ok()) {
     std::fprintf(stderr, "setup failed: %s\n", s.ToString().c_str());
@@ -215,7 +255,7 @@ int main(int argc, char** argv) {
   if (a.delay > 0) chain.network().InjectDelay(a.delay);
   if (a.corrupt > 0) chain.network().SetCorruptProbability(a.corrupt);
   for (auto [id, t] : a.crashes) {
-    if (id >= a.servers) {
+    if (id >= chain.num_servers()) {
       std::fprintf(stderr, "--crash server id out of range\n");
       return 2;
     }
@@ -223,7 +263,9 @@ int main(int argc, char** argv) {
   }
   if (a.partition_start >= 0) {
     std::vector<sim::NodeId> half;
-    for (size_t i = 0; i < a.servers / 2; ++i) half.push_back(sim::NodeId(i));
+    for (size_t i = 0; i < chain.num_servers() / 2; ++i) {
+      half.push_back(sim::NodeId(i));
+    }
     sim.At(a.partition_start,
            [&chain, half] { chain.network().Partition(half); });
     sim.At(a.partition_end, [&chain] { chain.network().HealPartition(); });
@@ -262,9 +304,20 @@ int main(int argc, char** argv) {
   std::printf("  submitted     %10llu\n", (unsigned long long)r.submitted);
   std::printf("  committed     %10llu\n", (unsigned long long)r.committed);
   std::printf("  rejected      %10llu\n", (unsigned long long)r.rejected);
-  std::printf("  blocks        %10llu on the main branch, %llu orphaned\n",
-              (unsigned long long)chain.node(0).chain().main_chain_blocks(),
-              (unsigned long long)chain.node(0).chain().orphaned_blocks());
+  if (chain.num_shards() > 1) {
+    std::printf("  cross-shard   %10llu submitted, %llu committed "
+                "(mean %.3f s), %llu aborted\n",
+                (unsigned long long)r.xs_submitted,
+                (unsigned long long)r.xs_committed, r.xs_latency_mean,
+                (unsigned long long)r.xs_aborted);
+    std::printf("  blocks        %10llu on the main branches of %zu shards\n",
+                (unsigned long long)chain.CanonicalBlocks(),
+                chain.num_shards());
+  } else {
+    std::printf("  blocks        %10llu on the main branch, %llu orphaned\n",
+                (unsigned long long)chain.node(0).chain().main_chain_blocks(),
+                (unsigned long long)chain.node(0).chain().orphaned_blocks());
+  }
 
   if (tracer != nullptr) {
     const core::StatsCollector& st = driver.stats();
@@ -318,8 +371,9 @@ int main(int argc, char** argv) {
     ac.confirmation_depth = chain.options().confirmation_depth;
     ac.heal_time = a.partition_start >= 0 ? a.partition_end : -1;
     ac.end_time = a.duration + dc.drain;
+    ac.num_shards = uint32_t(chain.num_shards());
     obs::AuditReport audit = platform::RunAudit(chain, ac);
-    std::printf("\nledger audit (%zu nodes):\n%s", a.servers,
+    std::printf("\nledger audit (%zu nodes):\n%s", chain.num_servers(),
                 audit.RenderTable().c_str());
     std::string text = audit.ToJson(ac).Dump(2);
     text.push_back('\n');
