@@ -2,6 +2,7 @@
 
 #include "storage/merkle_tree.h"
 #include "util/codec.h"
+#include "util/perf.h"
 
 namespace bb::chain {
 
@@ -24,16 +25,35 @@ std::string BlockHeader::Serialize() const {
 
 Hash256 BlockHeader::HashOf() const { return Sha256::Digest(Serialize()); }
 
+Hash256 Block::HashOf() const {
+  const bool legacy = perf::LegacyMode();
+  if (!legacy && hash_valid_ && hash_witness_ == header) return cached_hash_;
+  Hash256 h = header.HashOf();
+  if (!legacy) {
+    cached_hash_ = h;
+    hash_witness_ = header;
+    hash_valid_ = true;
+  }
+  return h;
+}
+
 void Block::SealTxRoot() {
   std::vector<Hash256> leaves;
-  leaves.reserve(txs.size());
-  for (const auto& tx : txs) leaves.push_back(tx.HashOf());
+  Transaction::HashAll(txs, &leaves);
   header.tx_root = storage::MerkleTree(std::move(leaves)).root();
 }
 
 size_t Block::SizeBytes() const {
+  const bool legacy = perf::LegacyMode();
+  if (!legacy && size_valid_ && size_witness_ == txs.size())
+    return cached_size_;
   size_t n = kHeaderWireBytes;
   for (const auto& tx : txs) n += tx.SizeBytes();
+  if (!legacy) {
+    cached_size_ = n;
+    size_witness_ = txs.size();
+    size_valid_ = true;
+  }
   return n;
 }
 

@@ -28,20 +28,36 @@ struct BlockHeader {
 
   std::string Serialize() const;
   Hash256 HashOf() const;
+
+  bool operator==(const BlockHeader&) const = default;
 };
 
 struct Block {
   BlockHeader header;
   std::vector<Transaction> txs;
 
-  /// Content hash (cached by ChainStore on insert; recomputed here).
-  Hash256 HashOf() const { return header.HashOf(); }
+  /// Content hash. Memoized: the digest is witnessed by a full copy of the
+  /// header, so any header mutation (SealTxRoot, consensus engines stamping
+  /// proposer/timestamp/nonce after BuildBlock) naturally invalidates it on
+  /// the next call. perf::LegacyMode() bypasses the cache entirely.
+  Hash256 HashOf() const;
 
-  /// Computes and installs the Merkle root over txs into the header.
+  /// Computes and installs the Merkle root over txs into the header
+  /// (batch-hashing the transactions; see Transaction::HashAll).
   void SealTxRoot();
 
-  /// Wire size of the whole block.
+  /// Wire size of the whole block. Memoized, witnessed by the tx count —
+  /// blocks only ever grow/shrink their tx list, never swap same-count
+  /// payloads in place.
   size_t SizeBytes() const;
+
+ private:
+  mutable BlockHeader hash_witness_;
+  mutable Hash256 cached_hash_;
+  mutable bool hash_valid_ = false;
+  mutable size_t cached_size_ = 0;
+  mutable size_t size_witness_ = 0;
+  mutable bool size_valid_ = false;
 };
 
 }  // namespace bb::chain

@@ -9,19 +9,25 @@ ChainStore::ChainStore(Block genesis) {
   Hash256 h = genesis.HashOf();
   genesis_ = h;
   head_ = h;
-  entries_.emplace(h, Entry{std::move(genesis), 0});
+  entries_.emplace(h,
+                   Entry{std::make_shared<const Block>(std::move(genesis)), 0});
   canonical_.push_back(h);
 }
 
 const Block* ChainStore::GetBlock(const Hash256& hash) const {
   auto it = entries_.find(hash);
-  return it == entries_.end() ? nullptr : &it->second.block;
+  return it == entries_.end() ? nullptr : it->second.block.get();
+}
+
+BlockPtr ChainStore::GetBlockPtr(const Hash256& hash) const {
+  auto it = entries_.find(hash);
+  return it == entries_.end() ? nullptr : it->second.block;
 }
 
 uint64_t ChainStore::HeightOf(const Hash256& hash) const {
   auto it = entries_.find(hash);
   assert(it != entries_.end());
-  return it->second.block.header.height;
+  return it->second.block->header.height;
 }
 
 uint64_t ChainStore::CumulativeWeightOf(const Hash256& hash) const {
@@ -30,17 +36,17 @@ uint64_t ChainStore::CumulativeWeightOf(const Hash256& hash) const {
   return it->second.cumulative_weight;
 }
 
-ChainStore::AddResult ChainStore::AddBlock(Block block) {
+ChainStore::AddResult ChainStore::AddBlock(BlockPtr block) {
   AddResult r;
-  Hash256 h = block.HashOf();
+  Hash256 h = block->HashOf();
   if (entries_.count(h)) {
     r.duplicate = true;
     r.attached = true;
     return r;
   }
-  auto parent = entries_.find(block.header.parent);
+  auto parent = entries_.find(block->header.parent);
   if (parent == entries_.end()) {
-    orphans_[block.header.parent].push_back(std::move(block));
+    orphans_[block->header.parent].push_back(std::move(block));
     ++orphan_buffer_count_;
     return r;
   }
@@ -57,24 +63,24 @@ ChainStore::AddResult ChainStore::AddBlock(Block block) {
   return r;
 }
 
-void ChainStore::Attach(Block block) {
+void ChainStore::Attach(BlockPtr block) {
   // Iterative attach: adding one block may unlock buffered descendants.
-  std::vector<Block> to_attach;
+  std::vector<BlockPtr> to_attach;
   to_attach.push_back(std::move(block));
   while (!to_attach.empty()) {
-    Block b = std::move(to_attach.back());
+    BlockPtr b = std::move(to_attach.back());
     to_attach.pop_back();
-    Hash256 h = b.HashOf();
+    Hash256 h = b->HashOf();
     if (entries_.count(h)) continue;
-    auto parent = entries_.find(b.header.parent);
+    auto parent = entries_.find(b->header.parent);
     assert(parent != entries_.end());
     // The height is part of the hashed header; a block claiming the
     // wrong height is invalid and dropped.
-    if (b.header.height != parent->second.block.header.height + 1) {
+    if (b->header.height != parent->second.block->header.height + 1) {
       ++invalid_blocks_;
       continue;
     }
-    uint64_t cw = parent->second.cumulative_weight + b.header.weight;
+    uint64_t cw = parent->second.cumulative_weight + b->header.weight;
     entries_.emplace(h, Entry{std::move(b), cw});
 
     if (cw > entries_.at(head_).cumulative_weight) head_ = h;
@@ -99,13 +105,18 @@ void ChainStore::UpdateCanonical() {
     if (h < canonical_.size() && canonical_[h] == cur) break;
     canonical_[h] = cur;
     if (h == 0) break;
-    cur = entries_.at(cur).block.header.parent;
+    cur = entries_.at(cur).block->header.parent;
   }
 }
 
 const Block* ChainStore::CanonicalAt(uint64_t height) const {
   if (height >= canonical_.size()) return nullptr;
   return GetBlock(canonical_[height]);
+}
+
+BlockPtr ChainStore::CanonicalAtPtr(uint64_t height) const {
+  if (height >= canonical_.size()) return nullptr;
+  return GetBlockPtr(canonical_[height]);
 }
 
 std::vector<const Block*> ChainStore::CanonicalRange(
@@ -118,10 +129,20 @@ std::vector<const Block*> ChainStore::CanonicalRange(
   return out;
 }
 
+std::vector<BlockPtr> ChainStore::CanonicalRangePtr(
+    uint64_t from_exclusive, uint64_t to_inclusive) const {
+  std::vector<BlockPtr> out;
+  uint64_t to = std::min<uint64_t>(to_inclusive, canonical_.size() - 1);
+  for (uint64_t h = from_exclusive + 1; h <= to; ++h) {
+    out.push_back(GetBlockPtr(canonical_[h]));
+  }
+  return out;
+}
+
 bool ChainStore::IsCanonical(const Hash256& hash) const {
   auto it = entries_.find(hash);
   if (it == entries_.end()) return false;
-  uint64_t h = it->second.block.header.height;
+  uint64_t h = it->second.block->header.height;
   return h < canonical_.size() && canonical_[h] == hash;
 }
 

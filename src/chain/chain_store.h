@@ -5,16 +5,24 @@
 // of GHOST; equals longest chain when all weights are 1), maintains the
 // canonical chain index, and buffers blocks whose parent has not arrived
 // yet. Fork statistics feed the security experiment (Fig 10).
+//
+// Blocks are stored behind shared_ptr<const Block> so gossip, sync replies
+// and RPC serving hand out refcounted pointers instead of copying tx
+// payloads (the zero-copy message path; see DESIGN.md "Hot path").
 
 #ifndef BLOCKBENCH_CHAIN_CHAIN_STORE_H_
 #define BLOCKBENCH_CHAIN_CHAIN_STORE_H_
 
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "chain/block.h"
 
 namespace bb::chain {
+
+/// Shared immutable block handle, the unit of the zero-copy message path.
+using BlockPtr = std::shared_ptr<const Block>;
 
 class ChainStore {
  public:
@@ -30,11 +38,17 @@ class ChainStore {
     bool duplicate = false;
   };
 
-  AddResult AddBlock(Block block);
+  AddResult AddBlock(BlockPtr block);
+  /// Convenience for by-value callers (tests, genesis bootstrap).
+  AddResult AddBlock(Block block) {
+    return AddBlock(std::make_shared<const Block>(std::move(block)));
+  }
 
   bool Contains(const Hash256& hash) const { return entries_.count(hash) > 0; }
   /// Null when unknown.
   const Block* GetBlock(const Hash256& hash) const;
+  /// Shared handle for forwarding without a copy; null when unknown.
+  BlockPtr GetBlockPtr(const Hash256& hash) const;
 
   const Hash256& head() const { return head_; }
   uint64_t head_height() const { return HeightOf(head_); }
@@ -43,9 +57,13 @@ class ChainStore {
 
   /// Canonical block at `height` (<= head_height()); null if out of range.
   const Block* CanonicalAt(uint64_t height) const;
+  BlockPtr CanonicalAtPtr(uint64_t height) const;
   /// Canonical blocks with height in (from, to]; to is clamped to head.
   std::vector<const Block*> CanonicalRange(uint64_t from_exclusive,
                                            uint64_t to_inclusive) const;
+  /// Same range as shared handles (sync replies gossip these directly).
+  std::vector<BlockPtr> CanonicalRangePtr(uint64_t from_exclusive,
+                                          uint64_t to_inclusive) const;
   bool IsCanonical(const Hash256& hash) const;
 
   /// All attached blocks excluding genesis (fork branches included).
@@ -62,7 +80,7 @@ class ChainStore {
   /// (unspecified — callers needing determinism must sort by hash).
   template <typename Fn>
   void ForEachBlock(Fn&& fn) const {
-    for (const auto& [hash, entry] : entries_) fn(hash, entry.block);
+    for (const auto& [hash, entry] : entries_) fn(hash, *entry.block);
   }
   /// Blocks rejected for claiming an inconsistent height.
   uint64_t invalid_blocks() const { return invalid_blocks_; }
@@ -72,16 +90,16 @@ class ChainStore {
 
  private:
   struct Entry {
-    Block block;
+    BlockPtr block;
     uint64_t cumulative_weight;
   };
 
-  void Attach(Block block);
+  void Attach(BlockPtr block);
   void UpdateCanonical();
 
   std::unordered_map<Hash256, Entry, Hash256Hasher> entries_;
   // parent hash -> blocks waiting for it.
-  std::unordered_map<Hash256, std::vector<Block>, Hash256Hasher> orphans_;
+  std::unordered_map<Hash256, std::vector<BlockPtr>, Hash256Hasher> orphans_;
   size_t orphan_buffer_count_ = 0;
   std::vector<Hash256> canonical_;  // index = height
   Hash256 head_;

@@ -27,13 +27,34 @@ struct Transaction {
   double submit_time = 0;
 
   /// Canonical byte encoding (deterministic; used for hashing and the
-  /// transaction Merkle root).
+  /// transaction Merkle root). Excludes submit_time, so latency restamping
+  /// never changes the hash.
   std::string Serialize() const;
   static Result<Transaction> Deserialize(Slice data);
 
+  /// Content hash. Memoized, witnessed by `id`: ids are unique
+  /// system-wide and the only field rewritten on copies after creation
+  /// (the sharding coordinator re-tags ids), so an id mismatch is the
+  /// invalidation signal. perf::LegacyMode() bypasses the cache.
   Hash256 HashOf() const;
-  /// Wire size: serialized payload plus a signature envelope.
+  /// Wire size: serialized payload plus a signature envelope. Memoized
+  /// with the same id witness as HashOf().
   size_t SizeBytes() const;
+
+  /// out[i] = txs[i].HashOf(), computed as one batch: cold caches are
+  /// serialized up front and digested via Sha256::DigestBatch (8-wide on
+  /// CPUs without SHA-NI), then stored back into each tx's cache. This is
+  /// the admission/seal-time path that amortizes per-tx digest cost.
+  static void HashAll(const std::vector<Transaction>& txs,
+                      std::vector<Hash256>* out);
+
+ private:
+  mutable Hash256 cached_hash_;
+  mutable uint64_t hash_witness_ = 0;
+  mutable bool hash_valid_ = false;
+  mutable size_t cached_size_ = 0;
+  mutable uint64_t size_witness_ = 0;
+  mutable bool size_valid_ = false;
 };
 
 }  // namespace bb::chain

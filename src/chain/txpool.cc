@@ -2,10 +2,47 @@
 
 namespace bb::chain {
 
+uint32_t TxPool::AllocSlot(Transaction tx) {
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(tx);
+  } else {
+    slot = uint32_t(slots_.size());
+    slots_.push_back(std::move(tx));
+    slot_ids_.push_back(0);
+    slot_sizes_.push_back(0);
+    slot_live_.push_back(0);
+  }
+  slot_ids_[slot] = slots_[slot].id;
+  slot_sizes_[slot] = uint32_t(slots_[slot].SizeBytes());
+  slot_live_[slot] = 1;
+  return slot;
+}
+
+// Only called once the slot's order_ entry has been removed; until then a
+// recycled slot could alias the stale entry.
+void TxPool::FreeSlot(uint32_t slot) {
+  slots_[slot] = Transaction{};  // release payload memory
+  free_slots_.push_back(slot);
+}
+
+void TxPool::Admit(Transaction tx) {
+  const uint64_t id = tx.id;
+  uint32_t slot = AllocSlot(std::move(tx));
+  in_queue_.Put(id, slot);
+  order_.push_back(slot);
+  ++live_;
+}
+
 bool TxPool::Add(Transaction tx) {
-  if (!seen_.insert(tx.id).second) return false;
-  in_queue_.insert(tx.id);
-  queue_.push_back(std::move(tx));
+  // The in_queue_ check matters only when the dedup window is smaller
+  // than the pending queue: a pending id that fell out of the window
+  // must still not be admitted twice.
+  if (seen_.Contains(tx.id) || in_queue_.Find(tx.id) != nullptr) return false;
+  seen_.Insert(tx.id);
+  Admit(std::move(tx));
   return true;
 }
 
@@ -13,48 +50,60 @@ std::vector<Transaction> TxPool::TakeBatch(size_t max_count,
                                            size_t max_bytes, bool lifo) {
   std::vector<Transaction> batch;
   size_t bytes = 0;
-  while (!queue_.empty() && batch.size() < max_count) {
-    Transaction& next = lifo ? queue_.back() : queue_.front();
-    size_t tx_bytes = next.SizeBytes();
+  while (live_ > 0 && batch.size() < max_count) {
+    uint32_t slot = lifo ? order_.back() : order_.front();
+    if (!slot_live_[slot]) {
+      // Lazily-deleted entry: purge it and keep scanning.
+      if (lifo) order_.pop_back(); else order_.pop_front();
+      FreeSlot(slot);
+      continue;
+    }
+    size_t tx_bytes = slot_sizes_[slot];
     if (max_bytes != 0 && !batch.empty() && bytes + tx_bytes > max_bytes) {
       break;
     }
     bytes += tx_bytes;
-    in_queue_.erase(next.id);
-    batch.push_back(std::move(next));
-    if (lifo) {
-      queue_.pop_back();
-    } else {
-      queue_.pop_front();
-    }
+    in_queue_.Erase(slot_ids_[slot]);
+    batch.push_back(std::move(slots_[slot]));
+    slot_live_[slot] = 0;
+    --live_;
+    if (lifo) order_.pop_back(); else order_.pop_front();
+    FreeSlot(slot);
   }
   return batch;
 }
 
 void TxPool::RemoveCommitted(const std::vector<Transaction>& txs) {
-  std::unordered_set<uint64_t> committed;
   for (const auto& tx : txs) {
-    seen_.insert(tx.id);  // gossip may deliver the block before the tx
-    if (in_queue_.count(tx.id)) committed.insert(tx.id);
-  }
-  if (committed.empty()) return;
-  std::deque<Transaction> kept;
-  for (auto& tx : queue_) {
-    if (committed.count(tx.id)) {
-      in_queue_.erase(tx.id);
-    } else {
-      kept.push_back(std::move(tx));
+    seen_.Insert(tx.id);  // gossip may deliver the block before the tx
+    if (const uint32_t* slot = in_queue_.Find(tx.id)) {
+      slot_live_[*slot] = 0;
+      --live_;
+      in_queue_.Erase(tx.id);
     }
   }
-  queue_ = std::move(kept);
+  MaybeCompact();
 }
 
 void TxPool::Requeue(std::vector<Transaction> txs) {
   for (auto& tx : txs) {
-    if (in_queue_.count(tx.id)) continue;
-    in_queue_.insert(tx.id);
-    queue_.push_back(std::move(tx));
+    if (in_queue_.Find(tx.id) != nullptr) continue;
+    Admit(std::move(tx));
   }
+}
+
+void TxPool::MaybeCompact() {
+  size_t dead = order_.size() - live_;
+  if (dead <= live_ + 64) return;
+  std::deque<uint32_t> kept;
+  for (uint32_t slot : order_) {
+    if (slot_live_[slot]) {
+      kept.push_back(slot);
+    } else {
+      FreeSlot(slot);
+    }
+  }
+  order_ = std::move(kept);
 }
 
 }  // namespace bb::chain

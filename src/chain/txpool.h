@@ -1,20 +1,31 @@
 // TxPool: a node's pending-transaction pool with id-based deduplication
 // (transactions arrive both from clients and from peer gossip).
+//
+// Layout is struct-of-arrays: transaction payloads live in a recycled slot
+// vector while the hot metadata consulted by TakeBatch/RemoveCommitted —
+// ids, wire sizes, liveness — sits in parallel flat arrays. Admission
+// order is a deque of slot indices with lazy deletion: RemoveCommitted
+// only flips a liveness bit, and dead entries are purged when the
+// FIFO/LIFO cursor reaches them or when they outnumber the live ones.
+// Observable behaviour (admission order, batch boundaries, dedup) is
+// identical to the original deque-of-Transaction implementation.
 
 #ifndef BLOCKBENCH_CHAIN_TXPOOL_H_
 #define BLOCKBENCH_CHAIN_TXPOOL_H_
 
+#include <cstdint>
 #include <deque>
-#include <unordered_set>
+#include <vector>
 
 #include "chain/transaction.h"
+#include "util/flat_id_table.h"
 
 namespace bb::chain {
 
 class TxPool {
  public:
   /// Adds a transaction; returns false if it was already seen (pending,
-  /// or committed and Forget() not called).
+  /// or committed within the dedup window).
   bool Add(Transaction tx);
 
   /// Takes up to max_count transactions whose sizes sum to at most
@@ -31,13 +42,32 @@ class TxPool {
   /// Re-queues transactions (e.g. from an orphaned block).
   void Requeue(std::vector<Transaction> txs);
 
-  size_t pending() const { return queue_.size(); }
-  bool Seen(uint64_t id) const { return seen_.count(id) > 0; }
+  size_t pending() const { return live_; }
+  bool Seen(uint64_t id) const { return seen_.Contains(id); }
+
+  /// Dedup-window size (ids remembered per generation; two generations
+  /// are kept, so an id is forgotten after between W and 2W newer ids).
+  /// The default is large enough that a run has to commit over a million
+  /// transactions before any id is recycled.
+  size_t seen_window() const { return seen_.window(); }
+  void set_seen_window(size_t window) { seen_.set_window(window); }
 
  private:
-  std::deque<Transaction> queue_;
-  std::unordered_set<uint64_t> seen_;       // all ids ever admitted
-  std::unordered_set<uint64_t> in_queue_;   // ids currently pending
+  uint32_t AllocSlot(Transaction tx);
+  void FreeSlot(uint32_t slot);
+  void Admit(Transaction tx);
+  void MaybeCompact();
+
+  std::deque<Transaction> slots_;      // payloads, indexed by slot; deque
+                                       // so growth never moves payloads
+  std::vector<uint64_t> slot_ids_;     // parallel: tx id
+  std::vector<uint32_t> slot_sizes_;   // parallel: cached wire size
+  std::vector<uint8_t> slot_live_;     // parallel: still pending?
+  std::vector<uint32_t> free_slots_;   // recyclable slots
+  std::deque<uint32_t> order_;         // admission order (may hold dead)
+  size_t live_ = 0;                    // live entries in order_
+  util::FlatIdMap<uint32_t> in_queue_;  // id -> slot for pending txs
+  util::SeenIdWindow seen_;             // bounded dedup of admitted ids
 };
 
 }  // namespace bb::chain

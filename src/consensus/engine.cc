@@ -28,12 +28,8 @@ bool Engine::HandleSync(ConsensusHost* host, const sim::Message& msg,
     uint64_t bytes = 80;
     uint64_t to = std::min(host->chain_store().head_height(),
                            m.from_height + kMaxBlocksPerSync);
-    for (const chain::Block* b :
-         host->chain_store().CanonicalRange(m.from_height, to)) {
-      auto ptr = std::make_shared<const chain::Block>(*b);
-      bytes += ptr->SizeBytes();
-      reply.blocks.push_back(std::move(ptr));
-    }
+    reply.blocks = host->chain_store().CanonicalRangePtr(m.from_height, to);
+    for (const auto& b : reply.blocks) bytes += b->SizeBytes();
     if (!reply.blocks.empty()) {
       host->HostSend(msg.from, "sync_blocks", std::move(reply), bytes);
     }
@@ -46,7 +42,7 @@ bool Engine::HandleSync(ConsensusHost* host, const sim::Message& msg,
     for (const auto& b : m.blocks) {
       bool known = host->chain_store().Contains(b->HashOf());
       double commit_cpu = 0;
-      if (host->CommitBlock(*b, &commit_cpu) && !known) progressed = true;
+      if (host->CommitBlock(b, &commit_cpu) && !known) progressed = true;
       *cpu += commit_cpu;
     }
     if (progressed) sync_window_ = 8;

@@ -57,8 +57,10 @@ class ConsensusHost {
 
   /// Validates, executes and appends a block. Returns false when the
   /// block did not attach (its parent is unknown — the node is behind).
-  /// *cpu receives the CPU seconds consumed.
-  virtual bool CommitBlock(const chain::Block& block, double* cpu) = 0;
+  /// *cpu receives the CPU seconds consumed. Takes a shared handle: the
+  /// store keeps the same Block instance the network delivered, so a
+  /// commit is a pointer hand-off, not a copy.
+  virtual bool CommitBlock(chain::BlockPtr block, double* cpu) = 0;
 
   virtual const chain::ChainStore& chain_store() const = 0;
   virtual size_t pending_txs() const = 0;

@@ -183,12 +183,13 @@ void Pbft::OnPrePrepare(sim::NodeId from, const PrePrepareMsg& m,
   if (m.seq <= ExecHeight()) return;  // already executed
   *cpu += config_.tx_validate_cpu * double(m.block->txs.size());
 
+  const Hash256 digest = m.block->HashOf();
   Instance& inst = instances_[m.seq];
-  if (inst.block != nullptr && inst.digest != m.block->HashOf()) {
+  if (inst.block != nullptr && inst.digest != digest) {
     return;  // conflicting pre-prepare in same view: ignore (leader fault)
   }
   inst.block = m.block;
-  inst.digest = m.block->HashOf();
+  inst.digest = digest;
   inst.view = m.view;
   if (inst.t_preprepare < 0) inst.t_preprepare = host_->HostNow();
   inst.prepares.insert(from);  // pre-prepare doubles as the leader's prepare
@@ -252,7 +253,7 @@ void Pbft::MaybeExecute(double* cpu) {
     Instance& inst = it->second;
     if (inst.block == nullptr || inst.commits.size() < Quorum()) return;
     double commit_cpu = 0;
-    bool ok = host_->CommitBlock(*inst.block, &commit_cpu);
+    bool ok = host_->CommitBlock(inst.block, &commit_cpu);
     *cpu += commit_cpu;
     if (auto* tr = host_->host_sim()->tracer()) {
       if (ok && inst.t_prepared >= 0) {
@@ -359,13 +360,9 @@ void Pbft::OnFetchReq(sim::NodeId from, const FetchReqMsg& m) {
   BlocksMsg reply;
   reply.view = view_;
   uint64_t size = kControlMsgBytes;
-  auto blocks = host_->chain_store().CanonicalRange(m.from_height,
-                                                    ExecHeight());
-  for (const chain::Block* b : blocks) {
-    auto ptr = std::make_shared<const chain::Block>(*b);
-    size += ptr->SizeBytes();
-    reply.blocks.push_back(std::move(ptr));
-  }
+  reply.blocks =
+      host_->chain_store().CanonicalRangePtr(m.from_height, ExecHeight());
+  for (const auto& b : reply.blocks) size += b->SizeBytes();
   if (reply.blocks.empty()) return;
   host_->HostSend(from, "pbft_blocks", std::move(reply), size);
 }
@@ -376,7 +373,7 @@ void Pbft::OnBlocks(const BlocksMsg& m, double* cpu) {
   for (const auto& b : m.blocks) {
     if (b->header.height != ExecHeight() + 1) continue;
     double commit_cpu = 0;
-    host_->CommitBlock(*b, &commit_cpu);
+    host_->CommitBlock(b, &commit_cpu);
     *cpu += commit_cpu;
   }
   if (m.view > view_) EnterView(m.view);

@@ -43,8 +43,10 @@ void ProofOfAuthority::OnStep(uint64_t step) {
     block->header.nonce = step;
     block->header.weight = 1;  // fork choice degenerates to longest chain
     ++blocks_sealed_;
+    // Wrap once; the store and every peer share the same instance.
+    auto ptr = std::make_shared<const chain::Block>(std::move(*block));
     double commit_cpu = 0;
-    host_->CommitBlock(*block, &commit_cpu);
+    host_->CommitBlock(ptr, &commit_cpu);
     host_->ChargeBackground(build_cpu + commit_cpu);
     if (auto* tr = host_->host_sim()->tracer()) {
       // The clock does not advance inside one event, so the seal span's
@@ -54,7 +56,6 @@ void ProofOfAuthority::OnStep(uint64_t step) {
                        now, now + build_cpu + commit_cpu, "height",
                        double(host_->chain_store().head_height()));
     }
-    auto ptr = std::make_shared<const chain::Block>(std::move(*block));
     host_->HostBroadcast("poa_block", ptr, ptr->SizeBytes());
   }
   ScheduleNextStep();
@@ -73,7 +74,7 @@ bool ProofOfAuthority::HandleMessage(const sim::Message& msg, double* cpu) {
           config_.tx_validate_cpu * double(block->txs.size());
   uint64_t old_reorgs = host_->chain_store().reorgs();
   double commit_cpu = 0;
-  if (!host_->CommitBlock(*block, &commit_cpu)) {
+  if (!host_->CommitBlock(block, &commit_cpu)) {
     RequestSync(host_, msg.from);
   }
   *cpu += commit_cpu;

@@ -60,10 +60,11 @@ void ProofOfWork::OnMined(uint64_t epoch) {
                        mine_start_, host_->HostNow(), "height",
                        double(block->header.height));
     }
-    double commit_cpu = 0;
-    host_->CommitBlock(*block, &commit_cpu);
-    host_->ChargeBackground(build_cpu + commit_cpu);
+    // Wrap once; the store and every peer share the same instance.
     auto ptr = std::make_shared<const chain::Block>(std::move(*block));
+    double commit_cpu = 0;
+    host_->CommitBlock(ptr, &commit_cpu);
+    host_->ChargeBackground(build_cpu + commit_cpu);
     host_->HostBroadcast("pow_block", ptr, ptr->SizeBytes());
   }
   ScheduleMine();
@@ -86,7 +87,7 @@ bool ProofOfWork::HandleMessage(const sim::Message& msg, double* cpu) {
   Hash256 old_head = host_->chain_store().head();
   uint64_t old_reorgs = host_->chain_store().reorgs();
   double commit_cpu = 0;
-  if (!host_->CommitBlock(*block, &commit_cpu)) {
+  if (!host_->CommitBlock(block, &commit_cpu)) {
     // Missing ancestors: pull the sender's chain.
     RequestSync(host_, msg.from);
   }

@@ -172,9 +172,8 @@ void Raft::ReplicateTo(sim::NodeId peer) {
   if (pend != pending_log_.end()) {
     block = pend->second;
   } else {
-    const chain::Block* b = host_->chain_store().CanonicalAt(next);
-    if (b == nullptr) return;
-    block = std::make_shared<const chain::Block>(*b);
+    block = host_->chain_store().CanonicalAtPtr(next);
+    if (block == nullptr) return;
   }
   Hash256 prev_hash;
   if (next - 1 > 0) {
@@ -279,8 +278,9 @@ void Raft::OnAppendEntries(sim::NodeId from, const AppendEntriesMsg& m,
       return;
     }
     // Overwrite any conflicting pending tail from an older tenure.
+    const Hash256 incoming_hash = m.block->HashOf();
     for (auto it = pending_log_.lower_bound(h); it != pending_log_.end();) {
-      if (it->second->HashOf() != m.block->HashOf()) {
+      if (it->second->HashOf() != incoming_hash) {
         it = pending_log_.erase(it);
       } else {
         ++it;
@@ -297,7 +297,7 @@ void Raft::OnAppendEntries(sim::NodeId from, const AppendEntriesMsg& m,
     auto it = pending_log_.find(committed_height_ + 1);
     if (it == pending_log_.end()) break;
     double commit_cpu = 0;
-    host_->CommitBlock(*it->second, &commit_cpu);
+    host_->CommitBlock(it->second, &commit_cpu);
     *cpu += commit_cpu;
     pending_log_.erase(it);
     ++committed_height_;
@@ -341,7 +341,7 @@ void Raft::AdvanceCommit(double* cpu) {
     auto it = pending_log_.find(h);
     if (it == pending_log_.end()) break;
     double commit_cpu = 0;
-    host_->CommitBlock(*it->second, &commit_cpu);
+    host_->CommitBlock(it->second, &commit_cpu);
     *cpu += commit_cpu;
     if (auto* tr = host_->host_sim()->tracer()) {
       auto pt = propose_time_.find(h);

@@ -231,7 +231,7 @@ void Tendermint::OnPrecommit(sim::NodeId from, const VoteMsg& m,
 
   // Commit: immediate finality, reset to round 0 for the next height.
   double commit_cpu = 0;
-  host_->CommitBlock(*rs.proposal, &commit_cpu);
+  host_->CommitBlock(rs.proposal, &commit_cpu);
   *cpu += commit_cpu;
   if (auto* tr = host_->host_sim()->tracer()) {
     if (rs.t_prevote_q >= 0) {

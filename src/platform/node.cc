@@ -62,7 +62,9 @@ Status PlatformNode::DirectCommit(const std::vector<chain::Transaction>& txs) {
   b.txs = txs;
   b.SealTxRoot();
   double cpu = 0;
-  if (!CommitBlock(b, &cpu)) return Status::Internal("direct commit failed");
+  if (!CommitBlock(std::make_shared<const chain::Block>(std::move(b)), &cpu)) {
+    return Status::Internal("direct commit failed");
+  }
   return Status::Ok();
 }
 
@@ -124,25 +126,30 @@ double PlatformNode::HandleClientTx(const sim::Message& msg) {
     tr->TxMilestone(m.tx.id, obs::Tracer::kAdmit, Now());
   }
   if (options_.gossip_txs) {
-    HostBroadcast("gossip_tx", m, m.tx.SizeBytes());
+    // One shared payload for all peers: each Send copies a GossipTx (a
+    // refcount bump), not the transaction itself.
+    auto shared = std::make_shared<const chain::Transaction>(m.tx);
+    uint64_t wire = shared->SizeBytes();
+    HostBroadcast("gossip_tx", GossipTx{std::move(shared)}, wire);
   }
   engine().OnNewTransactions();
   return cpu;
 }
 
 double PlatformNode::HandleGossipTx(const sim::Message& msg) {
-  const auto& m = std::any_cast<const ClientTx&>(msg.payload);
+  const auto& m = std::any_cast<const GossipTx&>(msg.payload);
   double cpu = options_.gossip_ingest_cpu;
   if (msg.corrupted) return cpu;
-  if (committed_ids_.count(m.tx.id)) return cpu;
+  const chain::Transaction& tx = *m.tx;
+  if (committed_ids_.count(tx.id)) return cpu;
   if (options_.tx_pool_capacity != 0 &&
       pool_.pending() >= options_.tx_pool_capacity) {
     return cpu;
   }
-  if (pool_.Add(m.tx)) {
+  if (pool_.Add(tx)) {
     if (pool_.pending() > pool_peak_) pool_peak_ = pool_.pending();
     if (auto* tr = sim()->tracer()) {
-      tr->TxMilestone(m.tx.id, obs::Tracer::kAdmit, Now());
+      tr->TxMilestone(tx.id, obs::Tracer::kAdmit, Now());
     }
     engine().OnNewTransactions();
   }
@@ -152,16 +159,6 @@ double PlatformNode::HandleGossipTx(const sim::Message& msg) {
 uint64_t PlatformNode::ConfirmedHeight() const {
   uint64_t h = chain().head_height();
   return h > options_.confirmation_depth ? h - options_.confirmation_depth : 0;
-}
-
-BlockPtr PlatformNode::CachedBlockPtr(const Hash256& hash) {
-  auto it = block_ptr_cache_.find(hash);
-  if (it != block_ptr_cache_.end()) return it->second;
-  const chain::Block* b = chain().GetBlock(hash);
-  if (b == nullptr) return nullptr;
-  auto ptr = std::make_shared<const chain::Block>(*b);
-  block_ptr_cache_.emplace(hash, ptr);
-  return ptr;
 }
 
 double PlatformNode::HandleRpc(const sim::Message& msg) {
@@ -174,12 +171,9 @@ double PlatformNode::HandleRpc(const sim::Message& msg) {
     reply.req_id = m.req_id;
     reply.confirmed_height = ConfirmedHeight();
     uint64_t bytes = 100;
-    for (const chain::Block* b :
-         chain().CanonicalRange(m.from_height, reply.confirmed_height)) {
-      BlockPtr ptr = CachedBlockPtr(b->HashOf());
-      bytes += ptr->SizeBytes();
-      reply.blocks.push_back(std::move(ptr));
-    }
+    reply.blocks =
+        chain().CanonicalRangePtr(m.from_height, reply.confirmed_height);
+    for (const auto& b : reply.blocks) bytes += b->SizeBytes();
     Send(msg.from, "rpc_blocks", std::move(reply), bytes);
     return cpu;
   }
@@ -190,11 +184,8 @@ double PlatformNode::HandleRpc(const sim::Message& msg) {
     reply.req_id = m.req_id;
     uint64_t bytes = 100;
     if (m.height <= ConfirmedHeight()) {
-      const chain::Block* b = chain().CanonicalAt(m.height);
-      if (b != nullptr) {
-        reply.block = CachedBlockPtr(b->HashOf());
-        bytes += reply.block->SizeBytes();
-      }
+      reply.block = chain().CanonicalAtPtr(m.height);
+      if (reply.block != nullptr) bytes += reply.block->SizeBytes();
     }
     Send(msg.from, "rpc_block", std::move(reply), bytes);
     return cpu;
@@ -338,8 +329,8 @@ std::optional<chain::Block> PlatformNode::BuildBlock(const Hash256& parent,
   return b;
 }
 
-bool PlatformNode::CommitBlock(const chain::Block& block, double* cpu) {
-  auto r = stack_->data().chain().AddBlock(block);
+bool PlatformNode::CommitBlock(chain::BlockPtr block, double* cpu) {
+  auto r = stack_->data().chain().AddBlock(std::move(block));
   if (r.duplicate) return true;
   if (!r.attached) return false;  // parked until the parent arrives
   if (r.head_changed) ExecuteCanonical(cpu);
@@ -426,9 +417,10 @@ void PlatformNode::ExecuteCanonical(double* cpu) {
     // Non-empty blocks only: PoA/PoW seal empty blocks continuously and
     // a flood of zeros would drown the distribution.
     if (evm && !b->txs.empty()) gas_per_block_.Add(double(block_gas));
+    const Hash256 block_hash = b->HashOf();
     auto root = state().Commit();
     if (root.ok()) {
-      block_state_roots_[b->HashOf()] = *root;
+      block_state_roots_[block_hash] = *root;
     } else {
       // Out-of-memory state (Parity at scale): the writes are lost but
       // the chain advances; record the stall.
@@ -436,7 +428,7 @@ void PlatformNode::ExecuteCanonical(double* cpu) {
     }
     pool_.RemoveCommitted(b->txs);
     exec_height_ = h;
-    exec_block_hash_ = b->HashOf();
+    exec_block_hash_ = block_hash;
   }
 }
 

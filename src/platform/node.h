@@ -19,6 +19,7 @@
 #include "platform/options.h"
 #include "platform/rpc.h"
 #include "sim/node.h"
+#include "util/flat_id_table.h"
 
 namespace bb::platform {
 
@@ -63,7 +64,7 @@ class PlatformNode : public sim::Node, public consensus::ConsensusHost {
                                          uint64_t parent_height,
                                          bool allow_empty,
                                          double* build_cpu) override;
-  bool CommitBlock(const chain::Block& block, double* cpu) override;
+  bool CommitBlock(chain::BlockPtr block, double* cpu) override;
   sim::NodeId peer_base() const override { return peer_base_; }
   const chain::ChainStore& chain_store() const override {
     return stack_->data().chain();
@@ -122,7 +123,6 @@ class PlatformNode : public sim::Node, public consensus::ConsensusHost {
   /// Brings state execution in line with the canonical chain (handles
   /// reorgs on versioned state).
   void ExecuteCanonical(double* cpu);
-  BlockPtr CachedBlockPtr(const Hash256& hash);
 
   PlatformOptions options_;
   size_t num_peers_ = 1;
@@ -139,8 +139,7 @@ class PlatformNode : public sim::Node, public consensus::ConsensusHost {
   uint64_t exec_height_ = 0;
   Hash256 exec_block_hash_;
   std::unordered_map<Hash256, Hash256, Hash256Hasher> block_state_roots_;
-  std::unordered_map<Hash256, BlockPtr, Hash256Hasher> block_ptr_cache_;
-  std::unordered_set<uint64_t> committed_ids_;
+  util::FlatIdSet committed_ids_;
 
   /// Admission token bucket (admission_rate_limit).
   double admission_tokens_ = 0;

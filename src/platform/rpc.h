@@ -27,6 +27,14 @@ struct ClientTxReject {
   uint64_t tx_id;
 };
 
+/// type = "gossip_tx". Server -> server relay of an admitted transaction.
+/// Carries a shared handle so broadcasting to N peers bumps a refcount N
+/// times instead of deep-copying the payload N times (size_bytes still
+/// models the full wire size).
+struct GossipTx {
+  std::shared_ptr<const chain::Transaction> tx;
+};
+
 /// Cross-shard 2PC wire protocol (platform/sharding.h) ---------------------
 
 /// Pseudo-contract name of 2PC prepare/abort records. The records are

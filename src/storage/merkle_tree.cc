@@ -19,13 +19,12 @@ MerkleTree::MerkleTree(std::vector<Hash256> leaves)
   levels_.push_back(std::move(leaves));
   while (levels_.back().size() > 1) {
     const auto& prev = levels_.back();
-    std::vector<Hash256> next;
-    next.reserve((prev.size() + 1) / 2);
-    for (size_t i = 0; i < prev.size(); i += 2) {
-      const Hash256& l = prev[i];
-      const Hash256& r = (i + 1 < prev.size()) ? prev[i + 1] : prev[i];
-      next.push_back(Combine(l, r));
-    }
+    // Full pairs are contiguous in prev, so the whole level combines in one
+    // batched call; an odd trailing node duplicates itself (Bitcoin rule).
+    const size_t full_pairs = prev.size() / 2;
+    std::vector<Hash256> next((prev.size() + 1) / 2);
+    Sha256::DigestPairs(prev.data(), full_pairs, next.data());
+    if (prev.size() % 2 == 1) next.back() = Combine(prev.back(), prev.back());
     levels_.push_back(std::move(next));
   }
   root_ = levels_.back()[0];

@@ -1,0 +1,290 @@
+// Flat open-addressing hash containers for 64-bit ids.
+//
+// The hot paths (tx admission dedup, committed-id filtering, pool
+// membership) all key on dense client-assigned ids of the form
+// (client+1)<<40 | seq — low entropy in exactly the bits an identity-hash
+// table would use, and std::unordered_set's node allocations made these
+// lookups ~16% of the seed profile. These tables use linear probing over
+// one contiguous array, a splitmix64 finalizer to spread the structured
+// ids, zero-as-empty-sentinel (the zero key is tracked out of band) and
+// backward-shift deletion so probe chains never accumulate tombstones.
+
+#ifndef BLOCKBENCH_UTIL_FLAT_ID_TABLE_H_
+#define BLOCKBENCH_UTIL_FLAT_ID_TABLE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+namespace bb::util {
+
+namespace internal {
+/// splitmix64 finalizer: full-avalanche mix for structured ids.
+inline uint64_t MixId(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+}  // namespace internal
+
+/// Set of uint64 ids. Interface mirrors the std::unordered_set subset the
+/// codebase uses (insert/count/erase/size/clear), so it drops in.
+class FlatIdSet {
+ public:
+  FlatIdSet() { Rehash(kMinCapacity); }
+
+  size_t size() const { return size_ + (has_zero_ ? 1 : 0); }
+  bool empty() const { return size() == 0; }
+
+  void clear() {
+    std::fill(keys_.begin(), keys_.end(), 0);
+    size_ = 0;
+    has_zero_ = false;
+  }
+
+  size_t count(uint64_t id) const {
+    if (id == 0) return has_zero_ ? 1 : 0;
+    size_t i = Home(id);
+    while (keys_[i] != 0) {
+      if (keys_[i] == id) return 1;
+      i = (i + 1) & mask_;
+    }
+    return 0;
+  }
+
+  /// Returns true when newly inserted.
+  bool insert(uint64_t id) {
+    if (id == 0) {
+      bool fresh = !has_zero_;
+      has_zero_ = true;
+      return fresh;
+    }
+    if ((size_ + 1) * 10 >= keys_.size() * 7) Rehash(keys_.size() * 2);
+    size_t i = Home(id);
+    while (keys_[i] != 0) {
+      if (keys_[i] == id) return false;
+      i = (i + 1) & mask_;
+    }
+    keys_[i] = id;
+    ++size_;
+    return true;
+  }
+
+  /// Returns the number of elements removed (0 or 1).
+  size_t erase(uint64_t id) {
+    if (id == 0) {
+      size_t n = has_zero_ ? 1 : 0;
+      has_zero_ = false;
+      return n;
+    }
+    size_t i = Home(id);
+    while (keys_[i] != id) {
+      if (keys_[i] == 0) return 0;
+      i = (i + 1) & mask_;
+    }
+    BackwardShift(i);
+    --size_;
+    return 1;
+  }
+
+ private:
+  static constexpr size_t kMinCapacity = 16;
+
+  size_t Home(uint64_t id) const { return internal::MixId(id) & mask_; }
+
+  void BackwardShift(size_t hole) {
+    size_t j = hole;
+    while (true) {
+      j = (j + 1) & mask_;
+      if (keys_[j] == 0) break;
+      size_t home = Home(keys_[j]);
+      // Move j's key into the hole only if its probe chain started at or
+      // before the hole (cyclically) — otherwise it would become
+      // unreachable from its home slot.
+      if (((j - home) & mask_) >= ((j - hole) & mask_)) {
+        keys_[hole] = keys_[j];
+        hole = j;
+      }
+    }
+    keys_[hole] = 0;
+  }
+
+  void Rehash(size_t new_capacity) {
+    std::vector<uint64_t> old = std::move(keys_);
+    keys_.assign(new_capacity, 0);
+    mask_ = new_capacity - 1;
+    size_ = 0;
+    for (uint64_t id : old) {
+      if (id == 0) continue;
+      size_t i = Home(id);
+      while (keys_[i] != 0) i = (i + 1) & mask_;
+      keys_[i] = id;
+      ++size_;
+    }
+  }
+
+  std::vector<uint64_t> keys_;
+  size_t mask_ = 0;
+  size_t size_ = 0;  // excluding the zero key
+  bool has_zero_ = false;
+};
+
+/// Map from uint64 id to a small trivially-copyable value (pool slot
+/// indices). Same layout/probing as FlatIdSet.
+template <typename V>
+class FlatIdMap {
+ public:
+  FlatIdMap() { Rehash(kMinCapacity); }
+
+  size_t size() const { return size_ + (has_zero_ ? 1 : 0); }
+
+  void clear() {
+    std::fill(keys_.begin(), keys_.end(), 0);
+    size_ = 0;
+    has_zero_ = false;
+  }
+
+  /// Null when absent. The pointer is invalidated by any mutation.
+  V* Find(uint64_t id) {
+    if (id == 0) return has_zero_ ? &zero_value_ : nullptr;
+    size_t i = Home(id);
+    while (keys_[i] != 0) {
+      if (keys_[i] == id) return &values_[i];
+      i = (i + 1) & mask_;
+    }
+    return nullptr;
+  }
+  const V* Find(uint64_t id) const {
+    return const_cast<FlatIdMap*>(this)->Find(id);
+  }
+
+  /// Inserts or overwrites.
+  void Put(uint64_t id, V value) {
+    if (id == 0) {
+      has_zero_ = true;
+      zero_value_ = value;
+      return;
+    }
+    if ((size_ + 1) * 10 >= keys_.size() * 7) Rehash(keys_.size() * 2);
+    size_t i = Home(id);
+    while (keys_[i] != 0) {
+      if (keys_[i] == id) {
+        values_[i] = value;
+        return;
+      }
+      i = (i + 1) & mask_;
+    }
+    keys_[i] = id;
+    values_[i] = value;
+    ++size_;
+  }
+
+  /// Returns true when the id was present.
+  bool Erase(uint64_t id) {
+    if (id == 0) {
+      bool had = has_zero_;
+      has_zero_ = false;
+      return had;
+    }
+    size_t i = Home(id);
+    while (keys_[i] != id) {
+      if (keys_[i] == 0) return false;
+      i = (i + 1) & mask_;
+    }
+    BackwardShift(i);
+    --size_;
+    return true;
+  }
+
+ private:
+  static constexpr size_t kMinCapacity = 16;
+
+  size_t Home(uint64_t id) const { return internal::MixId(id) & mask_; }
+
+  void BackwardShift(size_t hole) {
+    size_t j = hole;
+    while (true) {
+      j = (j + 1) & mask_;
+      if (keys_[j] == 0) break;
+      size_t home = Home(keys_[j]);
+      if (((j - home) & mask_) >= ((j - hole) & mask_)) {
+        keys_[hole] = keys_[j];
+        values_[hole] = values_[j];
+        hole = j;
+      }
+    }
+    keys_[hole] = 0;
+  }
+
+  void Rehash(size_t new_capacity) {
+    std::vector<uint64_t> old_keys = std::move(keys_);
+    std::vector<V> old_values = std::move(values_);
+    keys_.assign(new_capacity, 0);
+    values_.assign(new_capacity, V{});
+    mask_ = new_capacity - 1;
+    size_ = 0;
+    for (size_t s = 0; s < old_keys.size(); ++s) {
+      uint64_t id = old_keys[s];
+      if (id == 0) continue;
+      size_t i = Home(id);
+      while (keys_[i] != 0) i = (i + 1) & mask_;
+      keys_[i] = id;
+      values_[i] = old_values[s];
+      ++size_;
+    }
+  }
+
+  std::vector<uint64_t> keys_;
+  std::vector<V> values_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+  bool has_zero_ = false;
+  V zero_value_{};
+};
+
+/// Bounded membership window over recently seen ids: two generations of
+/// FlatIdSet, rotated when the current generation fills. Remembers between
+/// `window` and 2×`window` of the most recent distinct ids with O(1)
+/// amortized inserts — the fix for the unbounded seen-set a long-running
+/// admission path would otherwise accumulate.
+class SeenIdWindow {
+ public:
+  /// Effectively-unbounded default for simulation-scale runs; tests set a
+  /// tiny window to exercise the recycling boundary.
+  static constexpr size_t kDefaultWindow = size_t(1) << 20;
+
+  explicit SeenIdWindow(size_t window = kDefaultWindow) : window_(window) {}
+
+  bool Contains(uint64_t id) const {
+    return cur_.count(id) > 0 || prev_.count(id) > 0;
+  }
+
+  /// Marks the id seen; returns true when it was not in the window.
+  bool Insert(uint64_t id) {
+    if (Contains(id)) return false;
+    if (cur_.size() >= window_) {
+      prev_ = std::move(cur_);
+      cur_ = FlatIdSet();
+    }
+    cur_.insert(id);
+    return true;
+  }
+
+  size_t window() const { return window_; }
+  void set_window(size_t w) { window_ = w; }
+  /// Ids currently remembered (spans both generations).
+  size_t size() const { return cur_.size() + prev_.size(); }
+
+ private:
+  size_t window_;
+  FlatIdSet cur_;
+  FlatIdSet prev_;
+};
+
+}  // namespace bb::util
+
+#endif  // BLOCKBENCH_UTIL_FLAT_ID_TABLE_H_

@@ -1,0 +1,56 @@
+// Process-wide performance-mode switches.
+//
+// The raw-speed campaign layers wall-clock optimizations (hardware SHA,
+// batched digests, memoized block/tx hashes) on top of code whose
+// *simulated* behaviour is pinned by golden digests. None of the
+// optimizations may change virtual time, so they can be toggled off at
+// runtime to measure their effect inside one binary: bench_raw_speed
+// runs the same sweep point in "legacy" and "optimized" variants and
+// gates on the events/sec ratio (machine-independent, unlike comparing
+// against a committed snapshot from different hardware).
+//
+// The flags are relaxed atomics read once per hot-path call; flipping
+// them mid-simulation is allowed (results are unaffected by design —
+// tests pin that scalar and accelerated digests agree byte-for-byte).
+
+#ifndef BLOCKBENCH_UTIL_PERF_H_
+#define BLOCKBENCH_UTIL_PERF_H_
+
+#include <atomic>
+
+namespace bb::perf {
+
+namespace internal {
+inline std::atomic<bool> g_legacy_mode{false};
+}  // namespace internal
+
+/// True = run the seed-equivalent slow paths: scalar SHA-256 rounds,
+/// per-message digest loops instead of wide batches, and no hash/size
+/// memoization on Block/Transaction. Zero-copy plumbing and data-layout
+/// changes cannot be reverted at runtime, so the legacy lane is a
+/// conservative (at least seed-speed) baseline.
+inline bool LegacyMode() {
+  return internal::g_legacy_mode.load(std::memory_order_relaxed);
+}
+
+inline void SetLegacyMode(bool on) {
+  internal::g_legacy_mode.store(on, std::memory_order_relaxed);
+}
+
+/// RAII scope for benches/tests.
+class ScopedLegacyMode {
+ public:
+  explicit ScopedLegacyMode(bool on = true) : prev_(LegacyMode()) {
+    SetLegacyMode(on);
+  }
+  ~ScopedLegacyMode() { SetLegacyMode(prev_); }
+  ScopedLegacyMode(const ScopedLegacyMode&) = delete;
+  ScopedLegacyMode& operator=(const ScopedLegacyMode&) = delete;
+
+ private:
+  bool prev_;
+};
+
+}  // namespace bb::perf
+
+#endif  // BLOCKBENCH_UTIL_PERF_H_

@@ -3,6 +3,14 @@
 // Used for block hashes, Merkle trees and transaction ids. Not intended as
 // a hardened crypto library — the benchmark framework needs a correct,
 // deterministic cryptographic hash, which this provides.
+//
+// The compression function is runtime-dispatched: on x86-64 CPUs with the
+// SHA extensions the rounds run on _mm_sha256rnds2_epu32, and the batch
+// entry points (DigestBatch / DigestPairs) additionally know an 8-wide
+// block-interleaved AVX2 schedule for CPUs without SHA-NI. Every backend
+// produces byte-identical digests (tests/util_test.cc cross-checks them);
+// only wall-clock speed differs, so golden simulation digests are
+// unaffected by the dispatch.
 
 #ifndef BLOCKBENCH_UTIL_SHA256_H_
 #define BLOCKBENCH_UTIL_SHA256_H_
@@ -42,6 +50,14 @@ struct Hash256 {
 /// Incremental SHA-256 hasher.
 class Sha256 {
  public:
+  /// Which compression-function implementation to use.
+  enum class Backend {
+    kAuto,    ///< Best available: SHA-NI > AVX2 (batches only) > scalar.
+    kScalar,  ///< Portable FIPS 180-4 rounds everywhere.
+    kShaNi,   ///< x86 SHA extensions for every digest.
+    kAvx2,    ///< Scalar single digests, 8-wide AVX2 batch digests.
+  };
+
   Sha256() { Reset(); }
 
   void Reset();
@@ -55,8 +71,26 @@ class Sha256 {
   /// Hash of the concatenation of two slices (Merkle node combining).
   static Hash256 Digest2(Slice a, Slice b);
 
+  /// out[i] = Digest(in[i]) for i < n. On AVX2-only CPUs the messages are
+  /// scheduled block-interleaved across 8 SIMD lanes; with SHA-NI each
+  /// message runs on the hardware rounds. Any n (including 0) is valid.
+  static void DigestBatch(const Slice* in, size_t n, Hash256* out);
+  /// out[i] = Digest(nodes[2i] || nodes[2i+1]) for i < n_pairs — Merkle
+  /// level combining. Fixed two-block messages, so the batch schedule
+  /// needs no per-lane masking.
+  static void DigestPairs(const Hash256* nodes, size_t n_pairs, Hash256* out);
+
+  /// Forces an implementation (testing/benchmarks). Returns false — and
+  /// leaves the backend unchanged — when the CPU lacks the requested
+  /// extension. Thread-safe but process-wide; perf::LegacyMode() forces
+  /// scalar regardless of this setting.
+  static bool SetBackend(Backend b);
+  static Backend backend();
+  /// True when this CPU supports `b` (kAuto/kScalar are always true).
+  static bool BackendAvailable(Backend b);
+
  private:
-  void ProcessBlock(const uint8_t* block);
+  void ProcessBlocks(const uint8_t* data, size_t blocks);
 
   uint32_t state_[8];
   uint64_t bit_count_;

@@ -9,6 +9,7 @@
 #include "chain/state_db.h"
 #include "chain/txpool.h"
 #include "storage/memkv.h"
+#include "util/perf.h"
 #include "util/random.h"
 
 namespace bb::chain {
@@ -72,6 +73,78 @@ TEST(BlockTest, SizeGrowsWithTxs) {
   EXPECT_GT(b.SizeBytes(), empty);
 }
 
+// --- Hash memoization ------------------------------------------------------------
+
+// Every digest below is cross-checked against legacy mode, which bypasses
+// the caches and recomputes from scratch — pinning the memoized results to
+// the golden serialize-then-hash values.
+Hash256 LegacyBlockHash(const Block& b) {
+  perf::ScopedLegacyMode legacy;
+  return b.HashOf();
+}
+
+TEST(BlockTest, HashCacheInvalidatesOnHeaderMutation) {
+  Block b;
+  b.txs = {MakeTx(1), MakeTx(2)};
+  b.SealTxRoot();
+  b.header.height = 3;
+  Hash256 h1 = b.HashOf();
+  EXPECT_EQ(h1, b.HashOf());  // cached readback
+  EXPECT_EQ(h1, LegacyBlockHash(b));
+  b.header.height = 4;  // any header field mutation must invalidate
+  Hash256 h2 = b.HashOf();
+  EXPECT_NE(h2, h1);
+  EXPECT_EQ(h2, LegacyBlockHash(b));
+  b.header.nonce = 77;
+  EXPECT_EQ(b.HashOf(), LegacyBlockHash(b));
+}
+
+TEST(BlockTest, HashCacheInvalidatesOnReseal) {
+  Block b;
+  b.txs = {MakeTx(1)};
+  b.SealTxRoot();
+  Hash256 h1 = b.HashOf();
+  b.txs.push_back(MakeTx(2));
+  b.SealTxRoot();  // new tx_root -> header changed -> cache invalid
+  Hash256 h2 = b.HashOf();
+  EXPECT_NE(h2, h1);
+  EXPECT_EQ(h2, LegacyBlockHash(b));
+  EXPECT_EQ(b.SizeBytes(), [&] {
+    perf::ScopedLegacyMode legacy;
+    return b.SizeBytes();
+  }());
+}
+
+TEST(TransactionTest, HashCacheFollowsIdRewrite) {
+  Transaction tx = MakeTx(9);
+  Hash256 h1 = tx.HashOf();
+  // Copies carry the cache; rewriting the id (as the sharding router does)
+  // must invalidate it.
+  Transaction copy = tx;
+  copy.id = 10;
+  Hash256 h2 = copy.HashOf();
+  EXPECT_NE(h2, h1);
+  {
+    perf::ScopedLegacyMode legacy;
+    EXPECT_EQ(h2, copy.HashOf());
+    EXPECT_EQ(h1, tx.HashOf());
+  }
+  EXPECT_NE(tx.SizeBytes(), 0u);
+}
+
+TEST(TransactionTest, HashAllMatchesPerTxHashes) {
+  std::vector<Transaction> txs;
+  for (uint64_t id = 1; id <= 19; ++id) txs.push_back(MakeTx(id));
+  txs[3].HashOf();  // warm one cache so HashAll mixes warm and cold
+  std::vector<Hash256> batched;
+  Transaction::HashAll(txs, &batched);
+  ASSERT_EQ(batched.size(), txs.size());
+  perf::ScopedLegacyMode legacy;
+  for (size_t i = 0; i < txs.size(); ++i) {
+    EXPECT_EQ(batched[i], txs[i].HashOf()) << i;
+  }
+}
+
 // --- TxPool ----------------------------------------------------------------------
 
 TEST(TxPoolTest, DeduplicatesById) {
@@ -127,6 +200,58 @@ TEST(TxPoolTest, RequeueRestoresTxs) {
   // Requeue of something already pending is a no-op.
   pool.Requeue(batch);
   EXPECT_EQ(pool.pending(), 1u);
+}
+
+TEST(TxPoolTest, SeenWindowRecyclesOldCommittedIds) {
+  TxPool pool;
+  pool.set_seen_window(2);
+  pool.Add(MakeTx(1));
+  pool.Add(MakeTx(2));
+  pool.RemoveCommitted(pool.TakeBatch(10));
+  // Three more admissions rotate the two-generation window twice, so ids
+  // 1 and 2 fall off the back...
+  for (uint64_t id = 3; id <= 5; ++id) pool.Add(MakeTx(id));
+  EXPECT_FALSE(pool.Seen(1));
+  EXPECT_FALSE(pool.Seen(2));
+  EXPECT_TRUE(pool.Seen(4));
+  // ...and a recycled id is admitted again.
+  EXPECT_TRUE(pool.Add(MakeTx(1)));
+  EXPECT_FALSE(pool.Add(MakeTx(4)));
+}
+
+TEST(TxPoolTest, PendingIdOutsideSeenWindowNotReadmitted) {
+  TxPool pool;
+  pool.set_seen_window(1);
+  pool.Add(MakeTx(10));
+  pool.Add(MakeTx(11));
+  pool.Add(MakeTx(12));  // id 10 is out of the window but still pending
+  EXPECT_FALSE(pool.Seen(10));
+  EXPECT_FALSE(pool.Add(MakeTx(10)));  // queue membership still dedupes
+  EXPECT_EQ(pool.pending(), 3u);
+}
+
+TEST(TxPoolTest, LazyDeletionPreservesOrderAcrossCompaction) {
+  TxPool pool;
+  for (uint64_t i = 0; i < 300; ++i) pool.Add(MakeTx(i));
+  // Commit a large middle span to force the dead-entry compaction path.
+  std::vector<Transaction> committed;
+  for (uint64_t i = 10; i < 280; ++i) committed.push_back(MakeTx(i));
+  pool.RemoveCommitted(committed);
+  EXPECT_EQ(pool.pending(), 30u);
+  auto batch = pool.TakeBatch(1000);
+  ASSERT_EQ(batch.size(), 30u);
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(batch[i].id, i);
+  for (size_t i = 10; i < 30; ++i) EXPECT_EQ(batch[i].id, 270 + i);
+}
+
+TEST(TxPoolTest, LifoTakesNewestFirstThroughDeadEntries) {
+  TxPool pool;
+  for (uint64_t i = 0; i < 6; ++i) pool.Add(MakeTx(i));
+  pool.RemoveCommitted({MakeTx(4), MakeTx(5)});
+  auto batch = pool.TakeBatch(2, 0, /*lifo=*/true);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].id, 3u);
+  EXPECT_EQ(batch[1].id, 2u);
 }
 
 // --- ChainStore -------------------------------------------------------------------

@@ -60,9 +60,9 @@ class MockHost : public ConsensusHost {
     return b;
   }
 
-  bool CommitBlock(const chain::Block& block, double* cpu) override {
+  bool CommitBlock(chain::BlockPtr block, double* cpu) override {
     *cpu += 0.0005;
-    auto r = chain_.AddBlock(block);
+    auto r = chain_.AddBlock(std::move(block));
     return r.attached;
   }
 
@@ -760,7 +760,7 @@ TEST(RaftTest, VoteDeniedToStaleLog) {
     b.header.height = h;
     b.SealTxRoot();
     double c = 0;
-    host.CommitBlock(b, &c);
+    host.CommitBlock(std::make_shared<const chain::Block>(std::move(b)), &c);
   }
   double cpu = 0;
   sim::Message rv;

@@ -6,11 +6,14 @@
 
 #include <cmath>
 #include <map>
+#include <set>
 
 #include "util/bufwriter.h"
 #include "util/codec.h"
+#include "util/flat_id_table.h"
 #include "util/hex.h"
 #include "util/histogram.h"
+#include "util/perf.h"
 #include "util/random.h"
 #include "util/sha256.h"
 #include "util/slice.h"
@@ -408,6 +411,169 @@ TEST(BufferedWriter, LongAppendfFallsBackToHeap) {
   ASSERT_TRUE(w.Close().ok());
   EXPECT_EQ(SlurpFile(path), "<" + long_arg + ">");
   std::remove(path.c_str());
+}
+
+// --- SHA-256 backends and batch kernels --------------------------------------
+
+std::vector<Sha256::Backend> AvailableBackends() {
+  std::vector<Sha256::Backend> v = {Sha256::Backend::kScalar};
+  if (Sha256::BackendAvailable(Sha256::Backend::kShaNi)) {
+    v.push_back(Sha256::Backend::kShaNi);
+  }
+  if (Sha256::BackendAvailable(Sha256::Backend::kAvx2)) {
+    v.push_back(Sha256::Backend::kAvx2);
+  }
+  return v;
+}
+
+// Restores the process-wide backend selection on scope exit so a failing
+// assertion cannot leak a forced backend into later tests.
+struct ScopedBackend {
+  explicit ScopedBackend(Sha256::Backend b) { Sha256::SetBackend(b); }
+  ~ScopedBackend() { Sha256::SetBackend(Sha256::Backend::kAuto); }
+};
+
+TEST(Sha256BackendTest, AllBackendsMatchScalarSingles) {
+  // Lengths straddle every interesting boundary: empty, sub-block,
+  // exactly one block, the 56-byte padding split, and multi-block.
+  const size_t lengths[] = {0, 1, 3, 55, 56, 63, 64, 65, 119, 120, 128, 257};
+  for (size_t len : lengths) {
+    std::string data(len, '\0');
+    for (size_t i = 0; i < len; ++i) data[i] = char('a' + i % 26);
+    Sha256::SetBackend(Sha256::Backend::kScalar);
+    Hash256 want = Sha256::Digest(data);
+    for (auto b : AvailableBackends()) {
+      ScopedBackend guard(b);
+      EXPECT_EQ(Sha256::Digest(data), want)
+          << "len=" << len << " backend=" << int(b);
+    }
+  }
+  Sha256::SetBackend(Sha256::Backend::kAuto);
+}
+
+TEST(Sha256BatchTest, DigestBatchMatchesIndependentDigests) {
+  Rng rng(2026);
+  for (auto backend : AvailableBackends()) {
+    ScopedBackend guard(backend);
+    // Batch sizes around the 8-lane kernel width, with random lengths
+    // including empty and multi-block messages.
+    for (size_t n : {size_t(1), size_t(5), size_t(8), size_t(9), size_t(23)}) {
+      std::vector<std::string> msgs(n);
+      std::vector<Slice> slices(n);
+      for (size_t i = 0; i < n; ++i) {
+        size_t len = rng.Uniform(200);
+        msgs[i].resize(len);
+        for (auto& c : msgs[i]) c = char(rng.Uniform(256));
+        slices[i] = Slice(msgs[i]);
+      }
+      if (n >= 8) msgs[2].clear(), slices[2] = Slice(msgs[2]);
+      std::vector<Hash256> got(n);
+      Sha256::DigestBatch(slices.data(), n, got.data());
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(got[i], Sha256::Digest(msgs[i]))
+            << "backend=" << int(backend) << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(Sha256BatchTest, DigestPairsMatchesConcatenatedDigest) {
+  Rng rng(7);
+  for (auto backend : AvailableBackends()) {
+    ScopedBackend guard(backend);
+    for (size_t n_pairs : {size_t(1), size_t(7), size_t(8), size_t(17)}) {
+      std::vector<Hash256> nodes(2 * n_pairs);
+      for (auto& h : nodes) {
+        for (auto& byte : h.bytes) byte = uint8_t(rng.Uniform(256));
+      }
+      std::vector<Hash256> got(n_pairs);
+      Sha256::DigestPairs(nodes.data(), n_pairs, got.data());
+      for (size_t i = 0; i < n_pairs; ++i) {
+        std::string concat;
+        concat.append(reinterpret_cast<const char*>(nodes[2 * i].bytes.data()),
+                      32);
+        concat.append(
+            reinterpret_cast<const char*>(nodes[2 * i + 1].bytes.data()), 32);
+        EXPECT_EQ(got[i], Sha256::Digest(concat))
+            << "backend=" << int(backend) << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(Sha256BackendTest, LegacyModeForcesScalarWithIdenticalDigests) {
+  Hash256 fast = Sha256::Digest("legacy-mode probe");
+  perf::ScopedLegacyMode legacy;
+  EXPECT_EQ(Sha256::Digest("legacy-mode probe"), fast);
+}
+
+// --- FlatIdSet / FlatIdMap / SeenIdWindow ------------------------------------
+
+TEST(FlatIdSetTest, InsertEraseCount) {
+  util::FlatIdSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(s.insert(42));
+  EXPECT_FALSE(s.insert(42));
+  EXPECT_TRUE(s.insert(0));  // zero key uses the sentinel slot
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.count(42), 1u);
+  EXPECT_EQ(s.count(0), 1u);
+  EXPECT_EQ(s.count(7), 0u);
+  EXPECT_TRUE(s.erase(42));
+  EXPECT_FALSE(s.erase(42));
+  EXPECT_TRUE(s.erase(0));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(FlatIdSetTest, MatchesStdSetUnderRandomChurn) {
+  // Backward-shift deletion is the easiest thing to get wrong in an open
+  // addressing table; churn with clustered keys to exercise it.
+  util::FlatIdSet s;
+  std::set<uint64_t> ref;
+  Rng rng(99);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t id = rng.Uniform(512);  // small space forces collisions
+    if (rng.Bernoulli(0.5)) {
+      EXPECT_EQ(s.insert(id), ref.insert(id).second);
+    } else {
+      EXPECT_EQ(s.erase(id), ref.erase(id) > 0);
+    }
+  }
+  EXPECT_EQ(s.size(), ref.size());
+  for (uint64_t id = 0; id < 512; ++id) {
+    EXPECT_EQ(s.count(id), ref.count(id)) << id;
+  }
+}
+
+TEST(FlatIdMapTest, PutFindErase) {
+  util::FlatIdMap<uint32_t> m;
+  m.Put(5, 50);
+  m.Put(6, 60);
+  m.Put(5, 55);  // overwrite
+  ASSERT_NE(m.Find(5), nullptr);
+  EXPECT_EQ(*m.Find(5), 55u);
+  ASSERT_NE(m.Find(6), nullptr);
+  EXPECT_EQ(*m.Find(6), 60u);
+  EXPECT_EQ(m.Find(7), nullptr);
+  EXPECT_TRUE(m.Erase(5));
+  EXPECT_EQ(m.Find(5), nullptr);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(SeenIdWindowTest, RecyclesIdsAtGenerationBoundary) {
+  util::SeenIdWindow w;
+  w.set_window(4);
+  // Two generations are kept: an id stays visible for at least `window`
+  // and at most 2 * `window` subsequent inserts.
+  for (uint64_t id = 1; id <= 4; ++id) w.Insert(id);
+  for (uint64_t id = 1; id <= 4; ++id) EXPECT_TRUE(w.Contains(id)) << id;
+  // Next insert rotates generations; 1..4 survive in the previous one.
+  for (uint64_t id = 5; id <= 8; ++id) w.Insert(id);
+  for (uint64_t id = 1; id <= 8; ++id) EXPECT_TRUE(w.Contains(id)) << id;
+  // A second rotation finally forgets the first generation.
+  w.Insert(9);
+  for (uint64_t id = 1; id <= 4; ++id) EXPECT_FALSE(w.Contains(id)) << id;
+  for (uint64_t id = 5; id <= 9; ++id) EXPECT_TRUE(w.Contains(id)) << id;
 }
 
 }  // namespace

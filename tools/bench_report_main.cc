@@ -15,6 +15,16 @@
 // when NUM/DEN exceeds MAX. Comparing two benchmarks of one run instead
 // of a committed snapshot keeps the gate meaningful across machines —
 // see docs/BENCHMARKING.md.
+//
+// --gate-events-ratio=BENCH:K=V1/K=V2:MIN (repeatable) compares
+// sim.events_per_sec between two rows of the sweep named BENCH, selected
+// by label (e.g. raw_speed:variant=optimized/variant=legacy:1.8), and
+// fails when the ratio falls BELOW MIN — a same-run speedup floor.
+//
+// --gate-events-vs-baseline=FILE:K=V:MIN (repeatable) reads a committed
+// sweep snapshot, locates the row matching the label selector in both
+// the snapshot and the current inputs, and fails when
+// current/baseline sim.events_per_sec falls below MIN.
 
 #include <cstdio>
 #include <cstdlib>
@@ -72,7 +82,12 @@ struct GateRatio {
 };
 
 bool ParseGateRatio(const std::string& v, GateRatio* g) {
-  size_t slash = v.find('/');
+  // Benchmark names may themselves contain '/' (google-benchmark args,
+  // e.g. BM_DigestBatch/64), so split at the '/' that starts the
+  // denominator's "BM_" prefix; fall back to the first '/' for names
+  // that don't follow the convention.
+  size_t slash = v.rfind("/BM_");
+  if (slash == std::string::npos) slash = v.find('/');
   size_t colon = v.rfind(':');
   if (slash == std::string::npos || colon == std::string::npos ||
       colon < slash || slash == 0) {
@@ -82,6 +97,70 @@ bool ParseGateRatio(const std::string& v, GateRatio* g) {
   g->den = v.substr(slash + 1, colon - slash - 1);
   g->max = std::atof(v.substr(colon + 1).c_str());
   return !g->num.empty() && !g->den.empty() && g->max > 0;
+}
+
+struct GateEventsRatio {
+  std::string bench;
+  std::string num_sel, den_sel;  // "key=value" row selectors
+  double min = 0;
+};
+
+bool ParseGateEventsRatio(const std::string& v, GateEventsRatio* g) {
+  size_t first_colon = v.find(':');
+  size_t last_colon = v.rfind(':');
+  if (first_colon == std::string::npos || last_colon == first_colon) {
+    return false;
+  }
+  g->bench = v.substr(0, first_colon);
+  std::string pair = v.substr(first_colon + 1, last_colon - first_colon - 1);
+  size_t slash = pair.find('/');
+  if (slash == std::string::npos) return false;
+  g->num_sel = pair.substr(0, slash);
+  g->den_sel = pair.substr(slash + 1);
+  g->min = std::atof(v.substr(last_colon + 1).c_str());
+  return !g->bench.empty() && !g->num_sel.empty() && !g->den_sel.empty() &&
+         g->min > 0;
+}
+
+struct GateEventsBaseline {
+  std::string file;
+  std::string sel;
+  double min = 0;
+};
+
+bool ParseGateEventsBaseline(const std::string& v, GateEventsBaseline* g) {
+  size_t last_colon = v.rfind(':');
+  if (last_colon == std::string::npos) return false;
+  g->min = std::atof(v.substr(last_colon + 1).c_str());
+  std::string rest = v.substr(0, last_colon);
+  size_t sel_colon = rest.rfind(':');
+  if (sel_colon == std::string::npos) return false;
+  g->file = rest.substr(0, sel_colon);
+  g->sel = rest.substr(sel_colon + 1);
+  return !g->file.empty() && !g->sel.empty() && g->min > 0;
+}
+
+/// True when the row's labels object contains the "key=value" selector.
+bool RowMatches(const Json& row, const std::string& sel) {
+  size_t eq = sel.find('=');
+  if (eq == std::string::npos) return false;
+  const Json* labels = row.Get("labels");
+  if (labels == nullptr) return false;
+  const Json* v = labels->Get(sel.substr(0, eq));
+  return v != nullptr && v->is_string() && v->AsString() == sel.substr(eq + 1);
+}
+
+/// sim.events_per_sec of the first row in `rows` matching the selector;
+/// negative when absent.
+double EventsPerSecOf(const Json& rows, const std::string& sel) {
+  for (const Json& row : rows.items()) {
+    if (!RowMatches(row, sel)) continue;
+    const Json* sim = row.Get("sim");
+    if (sim == nullptr) continue;
+    const Json* eps = sim->Get("events_per_sec");
+    if (eps != nullptr && eps->is_number()) return eps->AsDouble();
+  }
+  return -1;
 }
 
 bb::Status ValidateMicro(const Json& doc, const std::string& path) {
@@ -104,9 +183,13 @@ int main(int argc, char** argv) {
       bb::util::FlagValue(argc, argv, "--out").value_or("BENCH.json");
   const char* usage =
       "usage: bench_report [--out=PATH] "
-      "[--gate-ratio=NUM_NAME/DEN_NAME:MAX]... FILE.json...\n";
+      "[--gate-ratio=NUM_NAME/DEN_NAME:MAX]... "
+      "[--gate-events-ratio=BENCH:K=V1/K=V2:MIN]... "
+      "[--gate-events-vs-baseline=FILE:K=V:MIN]... FILE.json...\n";
   std::vector<std::string> inputs;
   std::vector<GateRatio> gates;
+  std::vector<GateEventsRatio> events_gates;
+  std::vector<GateEventsBaseline> baseline_gates;
   for (int i = 1; i < argc; ++i) {
     std::string s = argv[i];
     if (s.rfind("--", 0) == 0) {
@@ -118,6 +201,28 @@ int main(int argc, char** argv) {
           return 2;
         }
         gates.push_back(std::move(g));
+        continue;
+      }
+      if (s.rfind("--gate-events-ratio=", 0) == 0) {
+        GateEventsRatio g;
+        if (!ParseGateEventsRatio(s.substr(sizeof("--gate-events-ratio=") - 1),
+                                  &g)) {
+          std::fprintf(stderr, "bench_report: bad gate spec %s\n", s.c_str());
+          std::fprintf(stderr, "%s", usage);
+          return 2;
+        }
+        events_gates.push_back(std::move(g));
+        continue;
+      }
+      if (s.rfind("--gate-events-vs-baseline=", 0) == 0) {
+        GateEventsBaseline g;
+        if (!ParseGateEventsBaseline(
+                s.substr(sizeof("--gate-events-vs-baseline=") - 1), &g)) {
+          std::fprintf(stderr, "bench_report: bad gate spec %s\n", s.c_str());
+          std::fprintf(stderr, "%s", usage);
+          return 2;
+        }
+        baseline_gates.push_back(std::move(g));
         continue;
       }
       if (s.rfind("--out=", 0) != 0) {
@@ -221,6 +326,80 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "bench_report: gate FAILED: %s/%s = %.4f exceeds %.4f\n",
                    g.num.c_str(), g.den.c_str(), ratio, g.max);
+      return 1;
+    }
+  }
+
+  for (const GateEventsRatio& g : events_gates) {
+    double num = -1, den = -1;
+    for (const Json& entry : macro.items()) {
+      const Json* bench = entry.Get("bench");
+      if (bench == nullptr || !bench->is_string() ||
+          bench->AsString() != g.bench) {
+        continue;
+      }
+      const Json* rows = entry.Get("rows");
+      if (rows == nullptr) continue;
+      if (num < 0) num = EventsPerSecOf(*rows, g.num_sel);
+      if (den < 0) den = EventsPerSecOf(*rows, g.den_sel);
+    }
+    if (num < 0 || den <= 0) {
+      std::fprintf(stderr,
+                   "bench_report: gate rows missing: %s (%s / %s)\n",
+                   g.bench.c_str(), g.num_sel.c_str(), g.den_sel.c_str());
+      return 1;
+    }
+    double ratio = num / den;
+    std::printf("bench_report: events gate %s %s/%s = %.2fx (min %.2fx)\n",
+                g.bench.c_str(), g.num_sel.c_str(), g.den_sel.c_str(), ratio,
+                g.min);
+    if (ratio < g.min) {
+      std::fprintf(stderr,
+                   "bench_report: events gate FAILED: %s %s/%s = %.2fx "
+                   "below %.2fx\n",
+                   g.bench.c_str(), g.num_sel.c_str(), g.den_sel.c_str(),
+                   ratio, g.min);
+      return 1;
+    }
+  }
+
+  for (const GateEventsBaseline& g : baseline_gates) {
+    auto text = ReadFile(g.file);
+    if (!text.ok()) {
+      std::fprintf(stderr, "bench_report: baseline: %s\n",
+                   text.status().ToString().c_str());
+      return 1;
+    }
+    auto doc = Json::Parse(*text);
+    if (!doc.ok() || doc->Get("rows") == nullptr) {
+      std::fprintf(stderr, "bench_report: baseline %s is not a sweep document\n",
+                   g.file.c_str());
+      return 1;
+    }
+    double baseline = EventsPerSecOf(*doc->Get("rows"), g.sel);
+    double current = -1;
+    for (const Json& entry : macro.items()) {
+      const Json* rows = entry.Get("rows");
+      if (rows == nullptr) continue;
+      current = EventsPerSecOf(*rows, g.sel);
+      if (current >= 0) break;
+    }
+    if (baseline <= 0 || current < 0) {
+      std::fprintf(stderr,
+                   "bench_report: baseline gate rows missing: %s in %s\n",
+                   g.sel.c_str(), g.file.c_str());
+      return 1;
+    }
+    double ratio = current / baseline;
+    std::printf(
+        "bench_report: baseline gate %s = %.0f vs %.0f ev/s = %.2fx "
+        "(min %.2fx)\n",
+        g.sel.c_str(), current, baseline, ratio, g.min);
+    if (ratio < g.min) {
+      std::fprintf(stderr,
+                   "bench_report: baseline gate FAILED: %s = %.2fx below "
+                   "%.2fx of %s\n",
+                   g.sel.c_str(), ratio, g.min, g.file.c_str());
       return 1;
     }
   }
