@@ -9,6 +9,7 @@
 
 #include "chain/block.h"
 #include "chain/txpool.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "sim/network.h"
 #include "sim/node.h"
@@ -363,6 +364,28 @@ void BM_SimulationEventLoopTraceOff(benchmark::State& state) {
   state.SetItemsProcessed(int64_t(state.iterations()) * 10000);
 }
 BENCHMARK(BM_SimulationEventLoopTraceOff);
+
+// Same loop again, but each callback opens a BB_PROF_SCOPE with no
+// profiler attached to the thread — the disabled wall-profiler cost
+// (one thread-local load + branch in ctor and dtor). The CI perf-smoke
+// gate holds the ratio to BM_SimulationEventLoop under 1.03, the
+// "<3% overhead when disabled" contract of docs/OBSERVABILITY.md.
+void BM_SimulationEventLoopProfOff(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    int count = 0;
+    for (int i = 0; i < 10000; ++i) {
+      sim.At(double(i) * 0.001, [&count] {
+        BB_PROF_SCOPE("driver.bench_tick");
+        ++count;
+      });
+    }
+    sim.RunToCompletion();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * 10000);
+}
+BENCHMARK(BM_SimulationEventLoopProfOff);
 
 // sim_schedule: raw cost of pushing events through the queue in the
 // mostly-monotonic pattern real runs produce (network delays of a few

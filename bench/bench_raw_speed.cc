@@ -82,5 +82,23 @@ int main(int argc, char** argv) {
     std::printf("\noptimized/legacy events-per-sec ratio: %.2fx\n",
                 events_per_sec[1] / events_per_sec[0]);
   }
+
+  // With --profile, attribute the win: same diff table prof_report
+  // prints for `--diff legacy.prof.json optimized.prof.json`, so every
+  // raw-speed step can land with a profile-diff in the PR.
+  if (runner.profiling()) {
+    const obs::Profiler* legacy = runner.profiler(0);
+    const obs::Profiler* optimized = runner.profiler(1);
+    if (legacy != nullptr && optimized != nullptr) {
+      PrintHeader("Wall-profile diff: legacy -> optimized");
+      std::fputs(
+          obs::RenderProfileDiff(legacy->ToJson(), optimized->ToJson())
+              .c_str(),
+          stdout);
+      std::printf("\nprofiles written: %s / %s\n",
+                  runner.ProfilePath(0).c_str(),
+                  runner.ProfilePath(1).c_str());
+    }
+  }
   return 0;
 }

@@ -7,6 +7,10 @@
 //   --jobs=N       worker threads (default: hardware concurrency)
 //   --json=PATH    machine-readable results (schema: blockbench-sweep-v1,
 //                  see docs/BENCHMARKING.md)
+//   --profile=PREFIX  wall-clock profile per sweep point: writes
+//                  PREFIX-<i>.prof.json (blockbench-profile-v1) and
+//                  PREFIX-<i>.folded (flamegraph format), and embeds a
+//                  "wall_profile" section in each sweep-v1 row
 
 #ifndef BLOCKBENCH_BENCH_COMMON_H_
 #define BLOCKBENCH_BENCH_COMMON_H_
@@ -24,6 +28,7 @@
 
 #include "core/driver.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/sampler.h"
 #include "obs/trace.h"
 #include "platform/forensics.h"
@@ -179,6 +184,9 @@ struct BenchArgs {
   bool full = false;
   size_t jobs = 0;  // 0 -> hardware concurrency
   std::string json_path;
+  /// Non-empty -> wall-clock profiling: one obs::Profiler per sweep
+  /// point, written as PREFIX-<i>.prof.json + PREFIX-<i>.folded.
+  std::string profile_prefix;
 
   size_t EffectiveJobs() const {
     return jobs == 0 ? util::ThreadPool::DefaultThreads() : jobs;
@@ -189,10 +197,12 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string s = argv[i];
     if (s != "--full" && s.rfind("--jobs=", 0) != 0 &&
-        s.rfind("--json=", 0) != 0 &&
+        s.rfind("--json=", 0) != 0 && s.rfind("--profile=", 0) != 0 &&
         s.rfind("--benchmark_", 0) != 0) {  // google-benchmark passthrough
       std::fprintf(stderr, "%s: unknown flag %s\n", argv[0], s.c_str());
-      std::fprintf(stderr, "usage: %s [--full] [--jobs=N] [--json=PATH]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--full] [--jobs=N] [--json=PATH] "
+                   "[--profile=PREFIX]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -201,6 +211,7 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
   args.full = HasFlag(argc, argv, "--full");
   args.jobs = size_t(FlagUint(argc, argv, "--jobs", 0));
   args.json_path = FlagValue(argc, argv, "--json").value_or("");
+  args.profile_prefix = FlagValue(argc, argv, "--profile").value_or("");
   return args;
 }
 
@@ -209,7 +220,9 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
 inline int UsageError(const char* bench, const Status& status) {
   std::fprintf(stderr, "%s: %s\n", bench, status.ToString().c_str());
   std::fprintf(stderr,
-               "usage: %s [--full] [--jobs=N] [--json=PATH]\n", bench);
+               "usage: %s [--full] [--jobs=N] [--json=PATH] "
+               "[--profile=PREFIX]\n",
+               bench);
   return 2;
 }
 
@@ -241,6 +254,11 @@ struct SweepOutcome {
   /// Sampled gauge series when the case wired a sampler (serialized as
   /// "timeline" in blockbench-sweep-v1 rows); null otherwise.
   util::Json timeline;
+  /// Compact wall-clock profile (subsystem rollup + alloc/copy
+  /// counters) when the sweep ran with --profile; null otherwise.
+  /// Wall-clock values are nondeterministic and never enter golden
+  /// digests — byte-identical-output tests must not run profiled.
+  util::Json wall_profile;
 };
 
 /// Runs a set of independent MacroRun sweep points, `--jobs` at a time,
@@ -278,6 +296,8 @@ class SweepRunner {
     // before any worker threads exist.
     workloads::RegisterAllChaincodes();
     outcomes_.assign(cases_.size(), SweepOutcome{});
+    profilers_.clear();
+    if (!args_.profile_prefix.empty()) profilers_.resize(cases_.size());
     auto wall_start = std::chrono::steady_clock::now();
 
     size_t jobs = std::min(args_.EffectiveJobs(),
@@ -322,6 +342,9 @@ class SweepRunner {
         ok = false;
       }
     }
+    // Profiles first: WriteProfiles() stores each case's wall_profile
+    // rollup, which WriteJson() then embeds in the sweep rows.
+    if (!profilers_.empty() && !WriteProfiles()) ok = false;
     if (!args_.json_path.empty() && !WriteJson()) ok = false;
     return ok;
   }
@@ -329,21 +352,50 @@ class SweepRunner {
   const std::vector<SweepOutcome>& outcomes() const { return outcomes_; }
   double wall_seconds() const { return wall_seconds_; }
 
+  /// This case's aggregated wall profiler (null unless --profile).
+  const obs::Profiler* profiler(size_t i) const {
+    return i < profilers_.size() ? profilers_[i].get() : nullptr;
+  }
+  bool profiling() const { return !args_.profile_prefix.empty(); }
+  std::string ProfilePath(size_t i) const {
+    return args_.profile_prefix + "-" + std::to_string(i) + ".prof.json";
+  }
+  std::string FoldedPath(size_t i) const {
+    return args_.profile_prefix + "-" + std::to_string(i) + ".folded";
+  }
+
  private:
   void RunCase(size_t i) {
     SweepOutcome& out = outcomes_[i];
+    // The profiler is constructed here, on the worker thread, so its
+    // duration window is this case's wall time — not time spent queued
+    // behind other sweep points.
+    obs::Profiler* prof = nullptr;
+    if (!profilers_.empty()) {
+      profilers_[i] = std::make_unique<obs::Profiler>();
+      prof = profilers_[i].get();
+    }
+    obs::Profiler::ThreadScope prof_scope(prof);
     auto t0 = std::chrono::steady_clock::now();
-    auto run = MacroRun::Create(cases_[i].config);
+    Result<std::unique_ptr<MacroRun>> run = [this, i] {
+      // Setup (platform build, workload preload) attributed to the
+      // driver subsystem; hashing/storage scopes nest inside.
+      BB_PROF_SCOPE("driver.setup");
+      return MacroRun::Create(cases_[i].config);
+    }();
     if (!run.ok()) {
       out.status = run.status();
       return;
     }
     if (cases_[i].before) cases_[i].before(**run);
     out.report = (*run)->Run();
-    if (cases_[i].after) cases_[i].after(**run, out.report);
-    (*run)->rplatform().ExportMetrics(&out.metrics);
-    if (cases_[i].config.sampler != nullptr) {
-      out.timeline = cases_[i].config.sampler->ToJson();
+    {
+      BB_PROF_SCOPE("driver.collect");
+      if (cases_[i].after) cases_[i].after(**run, out.report);
+      (*run)->rplatform().ExportMetrics(&out.metrics);
+      if (cases_[i].config.sampler != nullptr) {
+        out.timeline = cases_[i].config.sampler->ToJson();
+      }
     }
     out.events = (*run)->rsim().events_executed();
     out.wall_seconds = std::chrono::duration<double>(
@@ -352,6 +404,28 @@ class SweepRunner {
     if (out.wall_seconds > 0) {
       out.events_per_sec = double(out.events) / out.wall_seconds;
     }
+    if (prof != nullptr) {
+      prof->set_events(out.events);
+      prof->Stop();
+    }
+  }
+
+  /// Writes PREFIX-<i>.prof.json / PREFIX-<i>.folded for every case and
+  /// stores the compact rollup in the outcome (after workers joined).
+  bool WriteProfiles() {
+    bool ok = true;
+    for (size_t i = 0; i < profilers_.size(); ++i) {
+      if (profilers_[i] == nullptr) continue;
+      outcomes_[i].wall_profile = profilers_[i]->ToSweepJson();
+      Status s = profilers_[i]->WriteJson(ProfilePath(i));
+      if (s.ok()) s = profilers_[i]->WriteFolded(FoldedPath(i));
+      if (!s.ok()) {
+        std::fprintf(stderr, "%s: profile write failed: %s\n",
+                     bench_name_.c_str(), s.ToString().c_str());
+        ok = false;
+      }
+    }
+    return ok;
   }
 
   bool WriteJson() const {
@@ -407,6 +481,7 @@ class SweepRunner {
         r.Set("sim", std::move(sim));
         if (!o.metrics.empty()) r.Set("node_metrics", o.metrics.ToJson());
         if (!o.timeline.is_null()) r.Set("timeline", o.timeline);
+        if (!o.wall_profile.is_null()) r.Set("wall_profile", o.wall_profile);
       }
       rows.Push(std::move(r));
     }
@@ -428,6 +503,9 @@ class SweepRunner {
   BenchArgs args_;
   std::vector<SweepCase> cases_;
   std::vector<SweepOutcome> outcomes_;
+  // One profiler per case when --profile is set; each slot is written
+  // only by the worker running that case, read after the join.
+  std::vector<std::unique_ptr<obs::Profiler>> profilers_;
   double wall_seconds_ = 0;
 };
 

@@ -2,6 +2,8 @@
 
 #include <charconv>
 
+#include "obs/profiler.h"
+
 namespace bb::chain {
 
 // --- TrieStateDb ------------------------------------------------------------
@@ -33,6 +35,7 @@ Status TrieStateDb::Delete(const std::string& ns, const std::string& key) {
 }
 
 Result<Hash256> TrieStateDb::Commit() {
+  BB_PROF_SCOPE("storage.trie_commit");
   Hash256 root = root_;
   for (const auto& [key, w] : pending_) {
     if (w.present) {
@@ -95,6 +98,7 @@ Status BucketStateDb::Delete(const std::string& ns, const std::string& key) {
 }
 
 Result<Hash256> BucketStateDb::Commit() {
+  BB_PROF_SCOPE("storage.bucket_commit");
   for (const auto& [key, w] : pending_) {
     if (w.present) {
       BB_RETURN_IF_ERROR(tree_.Put(key, w.value));

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace bb::consensus {
@@ -150,6 +151,7 @@ bool Pbft::ProposeOne() {
 }
 
 bool Pbft::HandleMessage(const sim::Message& msg, double* cpu) {
+  BB_PROF_SCOPE("consensus.pbft.handle");
   if (!msg.type.starts_with("pbft_")) return false;
   *cpu += config_.per_message_cpu;
   if (!active_) return true;

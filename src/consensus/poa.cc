@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace bb::consensus {
@@ -62,6 +63,7 @@ void ProofOfAuthority::OnStep(uint64_t step) {
 }
 
 bool ProofOfAuthority::HandleMessage(const sim::Message& msg, double* cpu) {
+  BB_PROF_SCOPE("consensus.poa.handle");
   if (HandleSync(host_, msg, cpu)) return true;
   if (msg.type != "poa_block") return false;
   if (msg.corrupted) {

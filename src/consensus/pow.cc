@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace bb::consensus {
@@ -71,6 +72,7 @@ void ProofOfWork::OnMined(uint64_t epoch) {
 }
 
 bool ProofOfWork::HandleMessage(const sim::Message& msg, double* cpu) {
+  BB_PROF_SCOPE("consensus.pow.handle");
   if (HandleSync(host_, msg, cpu)) {
     ScheduleMine();  // the sync may have moved the head
     return true;

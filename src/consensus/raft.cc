@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace bb::consensus {
@@ -206,6 +207,7 @@ void Raft::SendHeartbeats() {
 }
 
 bool Raft::HandleMessage(const sim::Message& msg, double* cpu) {
+  BB_PROF_SCOPE("consensus.raft.handle");
   if (HandleSync(host_, msg, cpu)) {
     committed_height_ = std::max(committed_height_, LogHeight());
     return true;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace bb::consensus {
@@ -153,6 +154,7 @@ void Tendermint::AdvanceRound() {
 }
 
 bool Tendermint::HandleMessage(const sim::Message& msg, double* cpu) {
+  BB_PROF_SCOPE("consensus.tm.handle");
   if (HandleSync(host_, msg, cpu)) {
     if (Height() >= 1) round_ = 0;
     return true;

@@ -1,5 +1,6 @@
 #include "core/client.h"
 
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace bb::core {
@@ -52,6 +53,7 @@ void DriverClient::GenerateOne() {
 }
 
 void DriverClient::TrySubmit(chain::Transaction tx) {
+  BB_PROF_SCOPE("driver.submit");
   if (config_.max_outstanding != 0 &&
       outstanding_.size() >= config_.max_outstanding) {
     backlog_.push_back(std::move(tx));
@@ -108,6 +110,7 @@ void DriverClient::RequestLatestBlocks(uint64_t from_height,
 }
 
 void DriverClient::PollTick() {
+  BB_PROF_SCOPE("driver.poll");
   stats_->ObserveQueue(Now(), client_index_, outstanding_.size(),
                        backlog_.size());
   RequestLatestBlocks(last_height_, [this](const LatestBlocks& lb) {

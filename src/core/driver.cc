@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/profiler.h"
+
 namespace bb::core {
 
 Driver::Driver(platform::Platform* platform, WorkloadConnector* workload,
@@ -33,6 +35,7 @@ void Driver::StartAll() {
 }
 
 void Driver::Run() {
+  BB_PROF_SCOPE("driver.run");
   double start = platform_->psim()->Now();
   StartAll();
   platform_->psim()->RunUntil(start + config_.duration + config_.drain);

@@ -39,14 +39,6 @@ const char* Tracer::TxSpanName(size_t leg) {
   return leg < kNumTxSpans ? kTxSpanNames[leg] : "tx.unknown";
 }
 
-void Tracer::PushEvent(uint32_t tid, const char* cat, const char* name,
-                       char ph, double ts, double dur, uint64_t id,
-                       const char* arg_key, double arg_val) {
-  if (tid > max_tid_) max_tid_ = tid;
-  events_.push_back(
-      Event{cat, name, arg_key, ts, dur, arg_val, id, tid, ph});
-}
-
 void Tracer::TxSubmit(uint64_t tx_id, double t) {
   TxMilestones& ms = tx_[tx_id];
   ms.fill(-1);
@@ -104,6 +96,13 @@ void Tracer::RenderEvent(const Event& e, std::string* out) {
       std::snprintf(buf, sizeof(buf), ",\"id\":\"%llu\"",
                     (unsigned long long)e.id);
       out->append(buf);
+    } else if (e.ph == 's' || e.ph == 'f') {
+      // Flow arrows: the id (message seq) pairs a start with its finish;
+      // bp:"e" binds the finish to the enclosing anchor span.
+      std::snprintf(buf, sizeof(buf), ",\"id\":\"0x%llx\"",
+                    (unsigned long long)e.id);
+      out->append(buf);
+      if (e.ph == 'f') out->append(",\"bp\":\"e\"");
     }
   }
   out->append(",\"ts\":");

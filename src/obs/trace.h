@@ -80,6 +80,22 @@ class Tracer {
                double value) {
     PushEvent(node, cat, name, 'C', t, 0, node, "value", value);
   }
+  /// Flow arrow start/end linking a message send to its delivery across
+  /// node tracks ('s'/'f' pairs share the message seq as id; Perfetto
+  /// renders them as arrows). Each call also records a zero-duration
+  /// anchor span on the node track for the arrow to bind to. A send
+  /// whose message is dropped in flight leaves an unmatched 's' —
+  /// trace_report treats that as legal (the arrow just never lands).
+  void FlowBegin(uint32_t node, const char* cat, const char* name, double t,
+                 uint64_t id) {
+    PushEvent(node, cat, name, 'X', t, 0, 0, nullptr, 0);
+    PushEvent(node, cat, name, 's', t, 0, id, nullptr, 0);
+  }
+  void FlowEnd(uint32_t node, const char* cat, const char* name, double t,
+               uint64_t id) {
+    PushEvent(node, cat, name, 'X', t, 0, 0, nullptr, 0);
+    PushEvent(node, cat, name, 'f', t, 0, id, nullptr, 0);
+  }
 
   /// Starts (or restarts, on client retry after a rejection) the
   /// lifecycle record for `tx_id`: later milestones are cleared.
@@ -109,14 +125,20 @@ class Tracer {
     double ts;            // virtual seconds
     double dur;           // seconds, 'X' only
     double arg_val;
-    uint64_t id;          // async pair id ('b'/'e'), counter id ('C')
+    uint64_t id;          // async pair id ('b'/'e'), counter ('C'), flow ('s'/'f')
     uint32_t tid;
-    char ph;              // 'X', 'i', 'b', 'e', 'C'
+    char ph;              // 'X', 'i', 'b', 'e', 'C', 's', 'f'
   };
 
+  // Inline so bb_sim (below bb_obs in the link graph) can emit flow
+  // events without a link-time dependency.
   void PushEvent(uint32_t tid, const char* cat, const char* name, char ph,
                  double ts, double dur, uint64_t id, const char* arg_key,
-                 double arg_val);
+                 double arg_val) {
+    if (tid > max_tid_) max_tid_ = tid;
+    events_.push_back(Event{cat, name, arg_key, ts, dur, arg_val, id, tid, ph});
+  }
+
   void RenderTo(const std::function<void(const std::string&)>& sink) const;
   static void RenderEvent(const Event& e, std::string* out);
 

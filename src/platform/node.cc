@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace bb::platform {
@@ -100,6 +101,7 @@ double PlatformNode::HandleMessage(const sim::Message& msg) {
 }
 
 double PlatformNode::HandleClientTx(const sim::Message& msg) {
+  BB_PROF_SCOPE("driver.admit");
   const auto& m = std::any_cast<const ClientTx&>(msg.payload);
   double cpu = options_.admission_cpu;
   if (msg.corrupted) return cpu;  // malformed submission dropped
@@ -137,6 +139,7 @@ double PlatformNode::HandleClientTx(const sim::Message& msg) {
 }
 
 double PlatformNode::HandleGossipTx(const sim::Message& msg) {
+  BB_PROF_SCOPE("driver.gossip_admit");
   const auto& m = std::any_cast<const GossipTx&>(msg.payload);
   double cpu = options_.gossip_ingest_cpu;
   if (msg.corrupted) return cpu;
@@ -162,6 +165,7 @@ uint64_t PlatformNode::ConfirmedHeight() const {
 }
 
 double PlatformNode::HandleRpc(const sim::Message& msg) {
+  BB_PROF_SCOPE("driver.rpc");
   double cpu = options_.rpc_request_cpu;
   if (msg.corrupted) return cpu;
 
@@ -257,6 +261,7 @@ std::optional<chain::Block> PlatformNode::BuildBlock(const Hash256& parent,
                                                      uint64_t parent_height,
                                                      bool allow_empty,
                                                      double* build_cpu) {
+  BB_PROF_SCOPE("consensus.build_block");
   size_t limit = options_.block_tx_limit;
   if (options_.seal_sign_cpu > 0) {
     // Parity model: the authority signs transactions between blocks, so
@@ -330,6 +335,7 @@ std::optional<chain::Block> PlatformNode::BuildBlock(const Hash256& parent,
 }
 
 bool PlatformNode::CommitBlock(chain::BlockPtr block, double* cpu) {
+  BB_PROF_SCOPE("consensus.commit_block");
   auto r = stack_->data().chain().AddBlock(std::move(block));
   if (r.duplicate) return true;
   if (!r.attached) return false;  // parked until the parent arrives
@@ -339,6 +345,7 @@ bool PlatformNode::CommitBlock(chain::BlockPtr block, double* cpu) {
 
 double PlatformNode::ExecuteTx(const chain::Transaction& tx,
                                uint64_t* gas_out) {
+  BB_PROF_SCOPE("vm.execute_tx");
   if (gas_out != nullptr) *gas_out = 0;
   ExecutionLayer& exec = stack_->execution();
   if (!exec.HasContract(tx.contract)) {

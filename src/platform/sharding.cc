@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "obs/profiler.h"
+
 namespace bb::platform {
 
 namespace {
@@ -30,6 +32,7 @@ ShardCoordinator::ShardCoordinator(sim::NodeId id, sim::Network* network,
     : sim::Node(id, network), platform_(platform) {}
 
 double ShardCoordinator::HandleMessage(const sim::Message& msg) {
+  BB_PROF_SCOPE("consensus.xs_coordinator");
   if (msg.type == "xs_client_tx") return HandleClientTx(msg);
   if (msg.type == "xs_sealed") return HandleSealed(msg);
   if (msg.type == "client_tx_reject") return HandleReject(msg);

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/profiler.h"
+#include "obs/trace.h"
 #include "sim/node.h"
 
 namespace bb::sim {
@@ -28,9 +30,17 @@ double Network::SampleLatency(uint64_t size_bytes) {
 }
 
 bool Network::Send(Message msg) {
+  BB_PROF_SCOPE("serialize.msg_send");
   assert(msg.from < nodes_.size() && msg.to < nodes_.size());
   ++messages_sent_;
+  msg.seq = messages_sent_;  // deterministic: counts every send attempt
   bytes_sent_ += msg.size_bytes;
+  // Allocation/copy model of the send path the raw-speed campaign is
+  // chasing: the std::any payload box, msg.type when it spills the SSO
+  // buffer, and the modeled wire bytes the hop copies.
+  BB_PROF_ALLOC((msg.payload.has_value() ? 1 : 0) + (msg.type.size() > 15 ? 1 : 0),
+                msg.type.size());
+  BB_PROF_COPY(msg.size_bytes);
   nodes_[msg.from]->meter().AddNetBytes(sim_->Now(), msg.size_bytes);
   nodes_[msg.from]->meter().AddMessageSent(msg.type);
 
@@ -52,6 +62,9 @@ bool Network::Send(Message msg) {
 
   double latency = SampleLatency(msg.size_bytes);
   NodeId to = msg.to;
+  if (auto* tr = sim_->tracer()) {
+    tr->FlowBegin(msg.from, "net", "net.send", sim_->Now(), msg.seq);
+  }
   sim_->After(latency, [this, to, m = std::move(msg)]() mutable {
     // Re-check fault state at delivery time.
     if (crashed_[to] || !SameSide(m.from, to)) {
@@ -65,6 +78,9 @@ bool Network::Send(Message msg) {
       ++messages_dropped_;
       return;
     }
+    if (auto* tr = sim_->tracer()) {
+      tr->FlowEnd(to, "net", "net.recv", sim_->Now(), m.seq);
+    }
     nodes_[to]->Deliver(std::move(m));
   });
   return true;
@@ -72,12 +88,16 @@ bool Network::Send(Message msg) {
 
 void Network::Broadcast(NodeId from, const std::string& type, std::any payload,
                         uint64_t size_bytes) {
+  BB_PROF_SCOPE("serialize.broadcast");
   for (NodeId to = 0; to < nodes_.size(); ++to) {
     if (to == from) continue;
     Message m;
     m.from = from;
     m.to = to;
     m.type = type;
+    // Per-recipient std::any re-box — the copy source ROADMAP's next
+    // raw-speed round wants gone; count it so the profile names it.
+    BB_PROF_ALLOC(payload.has_value() ? 1 : 0, size_bytes);
     m.payload = payload;
     m.size_bytes = size_bytes;
     Send(std::move(m));

@@ -33,6 +33,10 @@ struct Message {
   std::string type;
   std::any payload;
   uint64_t size_bytes = 0;
+  /// Unique per network send, assigned by Network::Send in dispatch
+  /// order (deterministic). Links a send to its delivery — the tracer
+  /// uses it as the Perfetto flow-event id.
+  uint64_t seq = 0;
   bool corrupted = false;
 };
 

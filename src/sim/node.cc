@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/profiler.h"
+
 namespace bb::sim {
 
 Node::Node(NodeId id, Network* network) : id_(id), network_(network) {
@@ -48,6 +50,7 @@ void Node::ProcessNext() {
     return;
   }
   processing_ = true;
+  BB_PROF_SCOPE("sim.process_msg");
   Message msg = std::move(inbox_.front());
   inbox_.pop_front();
   if (class_queued_ > 0 && !class_prefix_.empty() &&

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+// Header-only hot path: bb_sim stays link-independent of bb_obs.
+#include "obs/profiler.h"
+
 namespace bb::sim {
 namespace {
 
@@ -110,6 +113,7 @@ Simulation::Handle Simulation::PopEarliest() {
 }
 
 void Simulation::Dispatch() {
+  BB_PROF_SCOPE("sim.dispatch");
   Handle h = PopEarliest();
   // Detach the callable before running it: the event may Clear() the
   // queue or schedule events that recycle this slot.

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/profiler.h"
+
 namespace bb::storage {
 
 Hash256 MerkleTree::Combine(const Hash256& l, const Hash256& r) {
@@ -12,6 +14,7 @@ Hash256 MerkleTree::Combine(const Hash256& l, const Hash256& r) {
 
 MerkleTree::MerkleTree(std::vector<Hash256> leaves)
     : num_leaves_(leaves.size()) {
+  BB_PROF_SCOPE("hash.merkle");
   if (leaves.empty()) {
     root_ = Hash256::Zero();
     return;

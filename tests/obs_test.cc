@@ -11,6 +11,7 @@
 
 #include "bench/common.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "util/sha256.h"
 
@@ -74,6 +75,78 @@ TEST(MetricsRegistry, MergeSemantics) {
   ASSERT_NE(a.FindHistogram("h", {}), nullptr);
   EXPECT_EQ(a.FindHistogram("h", {})->count(), 2u);  // histograms merge
   EXPECT_EQ(a.CounterValue("only_b", {}), 1u);
+}
+
+// Merged histograms must answer percentile queries over the combined
+// sample set, not either input's — p50/p95/p99 are the paper's headline
+// latency numbers, so Merge getting this wrong corrupts every sharded /
+// multi-node rollup.
+TEST(MetricsRegistry, HistogramMergePercentiles) {
+  MetricsRegistry a, b;
+  // a holds 1..50, b holds 51..100 (deliberately disjoint ranges so a
+  // merge that kept only one side is unmistakable).
+  for (int v = 1; v <= 50; ++v) a.GetHistogram("lat", {})->Add(v);
+  for (int v = 51; v <= 100; ++v) b.GetHistogram("lat", {})->Add(v);
+  a.Merge(b);
+  const Histogram* h = a.FindHistogram("lat", {});
+  ASSERT_NE(h, nullptr);
+  ASSERT_EQ(h->count(), 100u);
+  // Linear interpolation between order statistics over 1..100.
+  EXPECT_DOUBLE_EQ(h->Percentile(50), 50.5);
+  EXPECT_DOUBLE_EQ(h->Percentile(95), 95.05);
+  EXPECT_DOUBLE_EQ(h->Percentile(99), 99.01);
+  EXPECT_DOUBLE_EQ(h->min(), 1.0);
+  EXPECT_DOUBLE_EQ(h->max(), 100.0);
+}
+
+TEST(MetricsRegistry, HistogramMergeEmptyEdges) {
+  // Empty into populated: a no-op for every percentile.
+  MetricsRegistry populated, empty;
+  populated.GetHistogram("h", {})->Add(2.0);
+  populated.GetHistogram("h", {})->Add(4.0);
+  empty.GetHistogram("h", {});  // exists, zero samples
+  populated.Merge(empty);
+  const Histogram* h = populated.FindHistogram("h", {});
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 2u);
+  EXPECT_DOUBLE_EQ(h->Percentile(50), 3.0);
+  // Populated into empty: takes the incoming distribution wholesale.
+  MetricsRegistry fresh;
+  fresh.GetHistogram("h", {});
+  fresh.Merge(populated);
+  h = fresh.FindHistogram("h", {});
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 2u);
+  EXPECT_DOUBLE_EQ(h->Percentile(95), 3.9);
+  EXPECT_DOUBLE_EQ(h->Percentile(99), 3.98);
+  // Empty into empty: still answers 0, never divides by zero.
+  MetricsRegistry e1, e2;
+  e1.GetHistogram("h", {});
+  e2.GetHistogram("h", {});
+  e1.Merge(e2);
+  h = e1.FindHistogram("h", {});
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_DOUBLE_EQ(h->Percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(h->Percentile(99), 0.0);
+}
+
+TEST(MetricsRegistry, HistogramMergeSingleSampleEdges) {
+  // One sample answers every percentile with itself (no interpolation
+  // partner), before and after a merge with another singleton.
+  MetricsRegistry a, b;
+  a.GetHistogram("h", {})->Add(7.0);
+  const Histogram* h = a.FindHistogram("h", {});
+  EXPECT_DOUBLE_EQ(h->Percentile(0), 7.0);
+  EXPECT_DOUBLE_EQ(h->Percentile(50), 7.0);
+  EXPECT_DOUBLE_EQ(h->Percentile(99), 7.0);
+  EXPECT_DOUBLE_EQ(h->Percentile(100), 7.0);
+  b.GetHistogram("h", {})->Add(9.0);
+  a.Merge(b);
+  ASSERT_EQ(h->count(), 2u);
+  EXPECT_DOUBLE_EQ(h->Percentile(50), 8.0);   // midpoint of {7, 9}
+  EXPECT_DOUBLE_EQ(h->Percentile(95), 8.9);
+  EXPECT_DOUBLE_EQ(h->Percentile(99), 8.98);
 }
 
 TEST(MetricsRegistry, ToJsonIsDeterministic) {
@@ -143,6 +216,191 @@ TEST(Tracer, EmptyTraceIsValidJson) {
   ASSERT_NE(doc->Get("traceEvents"), nullptr);
 }
 
+// Flow events ('s'/'f') carry the hex id that links a send span to its
+// receive span in Perfetto, and the 'f' end binds to the enclosing
+// slice ("bp":"e"). Each emits a zero-duration anchor 'X' first.
+TEST(Tracer, FlowEventsRenderIdAndBindingPoint) {
+  Tracer tr;
+  tr.FlowBegin(/*node=*/0, "net", "net.send", /*t=*/1.0, /*id=*/42);
+  tr.FlowEnd(/*node=*/2, "net", "net.recv", /*t=*/1.5, /*id=*/42);
+  EXPECT_EQ(tr.num_events(), 4u);  // two anchors + 's' + 'f'
+  std::string dump = tr.DumpChromeTrace();
+  auto doc = util::Json::Parse(dump);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_NE(dump.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(dump.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(dump.find("\"id\":\"0x2a\""), std::string::npos);
+  EXPECT_NE(dump.find("\"bp\":\"e\""), std::string::npos);
+  // An unmatched 's' is legal (the message was dropped/crashed away);
+  // it must still serialize as valid JSON.
+  Tracer dropped;
+  dropped.FlowBegin(1, "net", "net.send", 2.0, 7);
+  auto doc2 = util::Json::Parse(dropped.DumpChromeTrace());
+  ASSERT_TRUE(doc2.ok()) << doc2.status().ToString();
+}
+
+// --- Profiler ----------------------------------------------------------------
+
+TEST(Profiler, SubsystemMapping) {
+  using prof::SubsystemOf;
+  EXPECT_EQ(SubsystemOf("consensus.pbft.prepare"), prof::kConsensus);
+  EXPECT_EQ(SubsystemOf("serialize.msg_send"), prof::kSerialization);
+  EXPECT_EQ(SubsystemOf("hash.merkle"), prof::kHashing);
+  EXPECT_EQ(SubsystemOf("storage.trie_commit"), prof::kStorage);
+  EXPECT_EQ(SubsystemOf("vm.execute_tx"), prof::kVm);
+  EXPECT_EQ(SubsystemOf("sim.dispatch"), prof::kSimKernel);
+  EXPECT_EQ(SubsystemOf("driver.run"), prof::kDriver);
+  // Typos / unknown prefixes stay visible as "other", not dropped.
+  EXPECT_EQ(SubsystemOf("consnsus.typo"), prof::kOther);
+  EXPECT_EQ(SubsystemOf("nodots"), prof::kOther);
+  // Prefix is length-matched, not prefix-matched.
+  EXPECT_EQ(SubsystemOf("simx.thing"), prof::kOther);
+}
+
+TEST(Profiler, DisabledScopesAreNoOps) {
+  ASSERT_EQ(prof::Current(), nullptr);
+  {
+    BB_PROF_SCOPE("driver.disabled");
+    BB_PROF_ALLOC(1, 100);
+    BB_PROF_COPY(100);
+  }
+  EXPECT_EQ(prof::Current(), nullptr);
+}
+
+// The lazy statement macros must not evaluate their operands when no
+// profiler is attached — operands are often a SizeBytes() tree walk.
+TEST(Profiler, DisabledMacrosDoNotEvaluateOperands) {
+  ASSERT_EQ(prof::Current(), nullptr);
+  int evaluations = 0;
+  auto count_it = [&evaluations] { return uint64_t(++evaluations); };
+  BB_PROF_ALLOC(count_it(), count_it());
+  BB_PROF_COPY(count_it());
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(Profiler, NestedScopesAttributeSelfVsTotal) {
+  prof::ThreadProfile tp;
+  tp.Enter("driver.outer");
+  tp.Enter("hash.inner");
+  tp.Alloc(2, 64);
+  tp.Copy(128);
+  tp.Exit();
+  tp.Exit();
+  tp.Enter("driver.outer");  // second invocation, same node
+  tp.Exit();
+  ASSERT_EQ(tp.open_depth(), 0u);
+  ASSERT_EQ(tp.nodes().size(), 2u);
+  const auto& outer = tp.nodes()[0];
+  const auto& inner = tp.nodes()[1];
+  EXPECT_STREQ(outer.name, "driver.outer");
+  EXPECT_EQ(outer.parent, -1);
+  EXPECT_EQ(outer.count, 2u);
+  EXPECT_STREQ(inner.name, "hash.inner");
+  EXPECT_EQ(inner.parent, 0);
+  EXPECT_EQ(inner.count, 1u);
+  // Self excludes profiled children; the child's whole duration was
+  // charged to it, so outer.self + inner.total == outer.total.
+  EXPECT_LE(outer.self_ns, outer.total_ns);
+  EXPECT_GE(outer.total_ns, inner.total_ns);
+  EXPECT_EQ(outer.self_ns + inner.total_ns, outer.total_ns);
+  // Alloc/copy charged to the innermost open scope.
+  EXPECT_EQ(inner.alloc_count, 2u);
+  EXPECT_EQ(inner.alloc_bytes, 64u);
+  EXPECT_EQ(inner.copy_count, 1u);
+  EXPECT_EQ(inner.copy_bytes, 128u);
+  EXPECT_EQ(outer.alloc_count, 0u);
+  // Subsystem rollup saw both buckets.
+  EXPECT_EQ(tp.subsys_self_ns()[prof::kDriver], outer.self_ns);
+  EXPECT_EQ(tp.subsys_self_ns()[prof::kHashing], inner.self_ns);
+}
+
+TEST(Profiler, AllocOutsideAnyScopeLandsInUnattributed) {
+  prof::ThreadProfile tp;
+  tp.Alloc(1, 32);
+  ASSERT_EQ(tp.nodes().size(), 1u);
+  EXPECT_STREQ(tp.nodes()[0].name, "other.unattributed");
+  EXPECT_EQ(tp.nodes()[0].subsystem, prof::kOther);
+  EXPECT_EQ(tp.nodes()[0].alloc_bytes, 32u);
+}
+
+TEST(Profiler, MergeFromMatchesNodesByParentAndName) {
+  prof::ThreadProfile a, b;
+  for (prof::ThreadProfile* tp : {&a, &b}) {
+    tp->Enter("driver.outer");
+    tp->Enter("hash.inner");
+    tp->Exit();
+    tp->Exit();
+  }
+  b.Enter("vm.only_b");
+  b.Exit();
+  a.MergeFrom(b);
+  ASSERT_EQ(a.nodes().size(), 3u);  // outer, inner, only_b — no dupes
+  EXPECT_EQ(a.nodes()[0].count, 2u);
+  EXPECT_EQ(a.nodes()[1].count, 2u);
+  EXPECT_STREQ(a.nodes()[2].name, "vm.only_b");
+  EXPECT_EQ(a.nodes()[2].count, 1u);
+  EXPECT_EQ(a.subsys_self_ns()[prof::kDriver],
+            a.nodes()[0].self_ns);  // rollup accumulated too
+}
+
+// End-to-end export: a profiler with real (tiny) scopes must emit a
+// document that passes its own validator, plus well-formed folded
+// stacks and a sane attributed fraction.
+TEST(Profiler, ExportsValidateAndFoldedFormat) {
+  Profiler p;
+  {
+    Profiler::ThreadScope scope(&p);
+    BB_PROF_SCOPE("driver.run");
+    for (int i = 0; i < 100; ++i) {
+      BB_PROF_SCOPE("hash.block_hash");
+      BB_PROF_ALLOC(1, 8);
+      BB_PROF_COPY(16);
+    }
+  }
+  p.set_events(100);
+  p.Stop();
+  EXPECT_EQ(p.num_threads(), 1u);
+  EXPECT_EQ(p.total_alloc_count(), 100u);
+  EXPECT_EQ(p.total_copy_bytes(), 1600u);
+
+  util::Json doc = p.ToJson();
+  Status s = ValidateProfile(doc);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  double frac = AttributedFraction(doc);
+  EXPECT_GT(frac, 0.0);
+  EXPECT_LE(frac, 1.0);
+
+  // Folded lines: "path;leaf self_us", ';'-joined, sorted by path.
+  std::string folded = p.DumpFolded();
+  EXPECT_NE(folded.find("driver.run;hash.block_hash "), std::string::npos);
+  // Attribution + diff renderers accept the document.
+  EXPECT_NE(RenderProfileAttribution(doc).find("hashing"),
+            std::string::npos);
+  std::string diff = RenderProfileDiff(doc, doc);
+  EXPECT_NE(diff.find("wall:"), std::string::npos);
+
+  // The sweep-embedded subset also validates structurally: subsystems
+  // and counters only.
+  util::Json sweep = p.ToSweepJson();
+  EXPECT_NE(sweep.Get("subsystems"), nullptr);
+  EXPECT_EQ(sweep.Get("scopes"), nullptr);
+}
+
+TEST(Profiler, ValidateProfileRejectsMalformedDocs) {
+  auto parse = [](const char* text) {
+    auto doc = util::Json::Parse(text);
+    EXPECT_TRUE(doc.ok());
+    return *doc;
+  };
+  EXPECT_FALSE(ValidateProfile(parse("{}")).ok());
+  EXPECT_FALSE(
+      ValidateProfile(parse("{\"schema\":\"wrong-schema\"}")).ok());
+  EXPECT_FALSE(ValidateProfile(
+                   parse("{\"schema\":\"blockbench-profile-v1\","
+                         "\"duration_seconds\":-1}"))
+                   .ok());
+}
+
 // --- End-to-end traces -------------------------------------------------------
 
 bench::MacroConfig PbftConfig() {
@@ -179,7 +437,7 @@ TEST(TraceGolden, Pbft4NodeByteForByte) {
   std::string trace = RunPbftTrace();
   EXPECT_EQ(trace, RunPbftTrace());  // reproducible before golden
   EXPECT_EQ(Sha256::Digest(trace).ToHex(),
-            "2fb51789994c8ab391b9906e6f3b20ea077a9c2507cd32d5889b7228bf1cd8b7")
+            "4e7d56d2718fc8a0b4ef23bba0f63002257c4a12cec7df731d5e760a24a32c59")
       << "trace is " << trace.size() << " bytes";
 }
 

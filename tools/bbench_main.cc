@@ -19,6 +19,15 @@
 //   --audit=PATH          post-run cross-node ledger audit; writes the
 //                         blockbench-audit-v1 report to PATH and exits 3
 //                         when a safety invariant was violated
+//   --profile=PATH        wall-clock profile of the run itself: writes a
+//                         blockbench-profile-v1 doc to PATH plus folded
+//                         stacks to PATH.folded (prof_report reads both)
+//   --metrics[=PATH]      print the per-node metrics table; with =PATH,
+//                         also write the registry as JSON to PATH
+//
+// Exit codes (documented here and in --help, nowhere else): 0 run ok,
+// 1 setup or output-write failure, 2 usage error, 3 run completed but
+// the --audit ledger check found a safety-invariant violation.
 
 #include <cstdio>
 #include <cstdlib>
@@ -30,6 +39,7 @@
 #include "core/driver.h"
 #include "obs/auditor.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/sampler.h"
 #include "obs/trace.h"
 #include "platform/forensics.h"
@@ -66,6 +76,8 @@ struct Args {
   bool timeline = false;
   std::string trace_path;
   bool metrics = false;
+  std::string metrics_path;
+  std::string profile_path;
   double sample = 0;
   std::string audit_path;
 };
@@ -91,8 +103,14 @@ void Usage() {
                    sampled gauges land in --trace as counter tracks)
   --audit=PATH (run the post-run ledger audit, write blockbench-audit-v1
                 JSON to PATH; exit code 3 on a safety-invariant violation)
-  --metrics (print the per-node metrics table after the run)
+  --profile=PATH (wall-clock-profile the run: blockbench-profile-v1 JSON
+                  to PATH, folded stacks to PATH.folded; see prof_report)
+  --metrics[=PATH] (print the per-node metrics table after the run; with
+                    =PATH also write the registry as JSON to PATH)
   --list-platforms (print the platform registry and exit)
+
+exit codes: 0 run ok; 1 setup or output-write failure; 2 usage error;
+            3 run completed but --audit found a safety violation
 )");
 }
 
@@ -104,7 +122,8 @@ bool Parse(int argc, char** argv, Args* a) {
                             "--warmup",          "--seed",     "--max-outstanding",
                             "--delay",           "--corrupt",  "--crash",
                             "--partition",       "--trace",    "--sample",
-                            "--audit",           "--shards",   "--cross-shard"};
+                            "--audit",           "--shards",   "--cross-shard",
+                            "--profile",         "--metrics"};
   for (int i = 1; i < argc; ++i) {
     std::string s = argv[i];
     if (s == "--timeline" || s == "--list-platforms" || s == "--metrics") {
@@ -163,7 +182,10 @@ examples: pbft+trie+evm   tendermint+bucket+native   pbft+trie+evm@shards=4
   a->corrupt = util::FlagDouble(argc, argv, "--corrupt", a->corrupt);
   a->timeline = util::HasFlag(argc, argv, "--timeline");
   a->trace_path = util::FlagValue(argc, argv, "--trace").value_or("");
-  a->metrics = util::HasFlag(argc, argv, "--metrics");
+  a->metrics_path = util::FlagValue(argc, argv, "--metrics").value_or("");
+  a->metrics =
+      util::HasFlag(argc, argv, "--metrics") || !a->metrics_path.empty();
+  a->profile_path = util::FlagValue(argc, argv, "--profile").value_or("");
   a->sample = util::FlagDouble(argc, argv, "--sample", a->sample);
   a->audit_path = util::FlagValue(argc, argv, "--audit").value_or("");
 
@@ -242,11 +264,28 @@ int main(int argc, char** argv) {
     tracer = std::make_unique<obs::Tracer>();
     sim.set_tracer(tracer.get());
   }
-  std::unique_ptr<platform::Platform> chain_ptr =
-      platform::MakePlatform(&sim, PlatformFor(a.platform), a.servers, a.seed);
+
+  // --profile: the window opens here (before platform construction) and
+  // closes right after Driver::Run, so setup and the event loop are the
+  // whole profile; output writing below is deliberately outside it.
+  std::unique_ptr<obs::Profiler> profiler;
+  std::unique_ptr<obs::Profiler::ThreadScope> prof_scope;
+  if (!a.profile_path.empty()) {
+    profiler = std::make_unique<obs::Profiler>();
+    prof_scope = std::make_unique<obs::Profiler::ThreadScope>(profiler.get());
+  }
+
+  std::unique_ptr<platform::Platform> chain_ptr = [&] {
+    BB_PROF_SCOPE("driver.setup");
+    return platform::MakePlatform(&sim, PlatformFor(a.platform), a.servers,
+                                  a.seed);
+  }();
   platform::Platform& chain = *chain_ptr;
   auto workload = WorkloadFor(a.workload, a.cross_shard);
-  Status s = workload->Setup(&chain);
+  Status s = [&] {
+    BB_PROF_SCOPE("driver.setup");
+    return workload->Setup(&chain);
+  }();
   if (!s.ok()) {
     std::fprintf(stderr, "setup failed: %s\n", s.ToString().c_str());
     return 1;
@@ -293,6 +332,24 @@ int main(int argc, char** argv) {
               a.platform.c_str(), a.workload.c_str(), a.servers, a.clients,
               a.rate, a.duration);
   driver.Run();
+
+  if (profiler != nullptr) {
+    profiler->set_events(sim.events_executed());
+    profiler->Stop();
+    prof_scope.reset();  // detach + merge this thread before serializing
+    Status ps = profiler->WriteJson(a.profile_path);
+    if (ps.ok()) ps = profiler->WriteFolded(a.profile_path + ".folded");
+    if (!ps.ok()) {
+      std::fprintf(stderr, "profile write failed: %s\n",
+                   ps.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nwall profile (%.3f s, %llu events):\n%s",
+                profiler->duration_seconds(),
+                (unsigned long long)sim.events_executed(),
+                obs::RenderProfileAttribution(profiler->ToJson()).c_str());
+    std::printf("profile -> %s (+ .folded)\n", a.profile_path.c_str());
+  }
 
   auto r = driver.Report();
   std::printf("\nresults (measured over [%.0f s, %.0f s)):\n", a.warmup,
@@ -348,6 +405,23 @@ int main(int argc, char** argv) {
     obs::MetricsRegistry reg;
     chain.ExportMetrics(&reg);
     std::printf("\nper-node metrics:\n%s", reg.RenderTable().c_str());
+    if (!a.metrics_path.empty()) {
+      util::Json doc = util::Json::Object();
+      doc.Set("schema", "blockbench-metrics-v1");
+      doc.Set("platform", a.platform);
+      doc.Set("workload", a.workload);
+      doc.Set("metrics", reg.ToJson());
+      std::string text = doc.Dump(2);
+      text.push_back('\n');
+      std::FILE* mf = std::fopen(a.metrics_path.c_str(), "w");
+      if (mf == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", a.metrics_path.c_str());
+        return 1;
+      }
+      std::fwrite(text.data(), 1, text.size(), mf);
+      std::fclose(mf);
+      std::printf("metrics -> %s\n", a.metrics_path.c_str());
+    }
   }
 
   if (a.timeline) {

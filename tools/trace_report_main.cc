@@ -5,22 +5,27 @@
 //   trace_report TRACE.json...
 //
 // Validation is structural: every event needs a known phase ('X', 'i',
-// 'b', 'e', 'C', 'M'), complete spans need a non-negative duration,
-// every async 'b' needs a matching 'e' with the same (cat, name, id)
-// at a later-or-equal timestamp, and every counter sample ('C', the
-// sampler's gauge tracks) needs an id and numeric-only args. Any
-// violation is a non-zero exit — the CI perf-smoke job keys off this.
+// 'b', 'e', 'C', 'M', 's', 'f'), complete spans need a non-negative
+// duration, every async 'b' needs a matching 'e' with the same
+// (cat, name, id) at a later-or-equal timestamp, every counter sample
+// ('C', the sampler's gauge tracks) needs an id and numeric-only args,
+// and every flow finish ('f', the cross-node message arrows) needs a
+// prior start ('s') with the same (cat, id) — an unmatched 's' is legal
+// (the message was dropped in flight). Any violation is a non-zero
+// exit — the CI perf-smoke job keys off this.
 //
-// Reporting decomposes the mean commit latency of every complete
-// transaction (all four lifecycle legs present) into the per-leg means;
-// the legs telescope, so they sum to exactly the client-measured
-// latency. Named consensus spans ('X') are summarized per (cat, name).
+// Reporting decomposes the commit latency of every complete transaction
+// (all four lifecycle legs present) into per-leg mean AND p95 — the
+// mean legs telescope to exactly the client-measured mean latency; the
+// p95 column makes tail regressions attributable to a specific leg.
+// Named consensus spans ('X') are summarized per (cat, name).
 
 #include <algorithm>
 #include <array>
 #include <cstdio>
 #include <map>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "util/flags.h"
@@ -69,6 +74,7 @@ struct CounterStats {
 struct TraceSummary {
   uint64_t events = 0, complete_spans = 0, instants = 0, async_pairs = 0;
   uint64_t counter_samples = 0;
+  uint64_t flow_starts = 0, flow_ends = 0;
   std::map<std::string, SpanStats> x_spans;  // "cat/name" -> stats
   std::map<std::string, CounterStats> counters;  // "cat/name" -> stats
   // tx id -> per-leg duration in µs (-1 until seen).
@@ -83,6 +89,9 @@ bb::Status Analyze(const Json& doc, const std::string& path,
   }
   // Open async 'b' events: (cat, name, id) -> start ts.
   std::map<std::string, double> open_async;
+  // Flow starts seen so far, keyed (cat, id) — flows bind across names
+  // ("net.send" starts what "net.recv" finishes).
+  std::unordered_set<std::string> flow_open;
   for (size_t i = 0; i < events->items().size(); ++i) {
     const Json& e = events->items()[i];
     std::string at = path + ": event " + std::to_string(i);
@@ -188,6 +197,35 @@ bb::Status Analyze(const Json& doc, const std::string& path,
         }
         break;
       }
+      case 's':
+      case 'f': {
+        const Json* id = e.Get("id");
+        if (id == nullptr || !id->is_string()) {
+          return bb::Status::InvalidArgument(at + " flow event without id");
+        }
+        std::string fkey =
+            (cat != nullptr ? cat->AsString() : "") + "/" + id->AsString();
+        if (p == 's') {
+          // Re-used ids are illegal: each message seq starts one flow.
+          if (!flow_open.insert(fkey).second) {
+            return bb::Status::InvalidArgument(at + " duplicate flow start " +
+                                               fkey);
+          }
+          ++out->flow_starts;
+        } else {
+          if (flow_open.erase(fkey) == 0) {
+            return bb::Status::InvalidArgument(at + " flow finish without start " +
+                                               fkey);
+          }
+          const Json* bp = e.Get("bp");
+          if (bp == nullptr || bp->AsString() != "e") {
+            return bb::Status::InvalidArgument(at +
+                                               " flow finish without bp:\"e\"");
+          }
+          ++out->flow_ends;
+        }
+        break;
+      }
       default:
         return bb::Status::InvalidArgument(at + " has unknown phase '" +
                                            ph->AsString() + "'");
@@ -201,37 +239,64 @@ bb::Status Analyze(const Json& doc, const std::string& path,
   return bb::Status::Ok();
 }
 
+/// Linear-interpolated percentile over an unsorted sample vector (same
+/// convention as util::Histogram::Percentile). Sorts in place.
+double Percentile(std::vector<double>* v, double p) {
+  if (v->empty()) return 0;
+  std::sort(v->begin(), v->end());
+  double rank = p * double(v->size() - 1);
+  size_t lo = size_t(rank);
+  size_t hi = lo + 1 < v->size() ? lo + 1 : lo;
+  double frac = rank - double(lo);
+  return (*v)[lo] + ((*v)[hi] - (*v)[lo]) * frac;
+}
+
 void Report(const std::string& path, const TraceSummary& t) {
   std::printf("%s: %llu events OK (%llu spans, %llu instants, %llu async "
-              "pairs, %llu counter samples, %zu txs)\n",
+              "pairs, %llu counter samples, %llu/%llu flows, %zu txs)\n",
               path.c_str(), (unsigned long long)t.events,
               (unsigned long long)t.complete_spans,
               (unsigned long long)t.instants,
               (unsigned long long)t.async_pairs,
-              (unsigned long long)t.counter_samples, t.tx_legs.size());
+              (unsigned long long)t.counter_samples,
+              (unsigned long long)t.flow_ends,
+              (unsigned long long)t.flow_starts, t.tx_legs.size());
 
   std::array<double, kNumLegs> leg_total{};
-  uint64_t complete = 0;
+  std::array<std::vector<double>, kNumLegs> leg_vals;
+  std::vector<double> tx_totals;
   for (const auto& [id, legs] : t.tx_legs) {
     bool all = true;
     for (double d : legs) all = all && d >= 0;
     if (!all) continue;
-    ++complete;
-    for (size_t i = 0; i < kNumLegs; ++i) leg_total[i] += legs[i];
+    double total = 0;
+    for (size_t i = 0; i < kNumLegs; ++i) {
+      leg_total[i] += legs[i];
+      leg_vals[i].push_back(legs[i]);
+      total += legs[i];
+    }
+    tx_totals.push_back(total);
   }
+  uint64_t complete = tx_totals.size();
   if (complete > 0) {
     double total_mean_us = 0;
     for (double d : leg_total) total_mean_us += d / double(complete);
-    std::printf("\ncritical path of mean commit latency (%llu complete "
-                "txs):\n",
+    double total_p95_us = Percentile(&tx_totals, 0.95);
+    std::printf("\ncritical path of commit latency (%llu complete txs):\n",
                 (unsigned long long)complete);
+    // Mean legs telescope to the mean commit latency exactly; the p95
+    // column is each leg's own tail (p95 legs do not sum to the total
+    // p95 — slow txs are rarely slow in every leg at once).
     for (size_t i = 0; i < kNumLegs; ++i) {
       double mean_us = leg_total[i] / double(complete);
-      std::printf("  %-15s mean %10.4f ms  %5.1f%%\n", kTxSpans[i],
-                  mean_us / 1e3,
-                  total_mean_us > 0 ? 100.0 * mean_us / total_mean_us : 0.0);
+      double p95_us = Percentile(&leg_vals[i], 0.95);
+      std::printf("  %-15s mean %10.4f ms  %5.1f%%   p95 %10.4f ms\n",
+                  kTxSpans[i], mean_us / 1e3,
+                  total_mean_us > 0 ? 100.0 * mean_us / total_mean_us : 0.0,
+                  p95_us / 1e3);
     }
-    std::printf("  %-15s mean %10.4f ms\n", "total", total_mean_us / 1e3);
+    std::printf("  %-15s mean %10.4f ms          p95 %10.4f ms\n", "total",
+                total_mean_us / 1e3, total_p95_us / 1e3);
   }
 
   if (!t.x_spans.empty()) {
