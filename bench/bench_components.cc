@@ -10,6 +10,7 @@
 #include "chain/block.h"
 #include "chain/txpool.h"
 #include "obs/profiler.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 #include "sim/network.h"
 #include "sim/node.h"
@@ -386,6 +387,29 @@ void BM_SimulationEventLoopProfOff(benchmark::State& state) {
   state.SetItemsProcessed(int64_t(state.iterations()) * 10000);
 }
 BENCHMARK(BM_SimulationEventLoopProfOff);
+
+// Same loop once more, with the disabled flight-recorder test each hook
+// site pays when no recorder is attached. The CI perf-smoke gate holds
+// the ratio to BM_SimulationEventLoop under 1.03 — the black box must be
+// free when disarmed (docs/OBSERVABILITY.md).
+void BM_SimulationEventLoopRecOff(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    int count = 0;
+    for (int i = 0; i < 10000; ++i) {
+      sim.At(double(i) * 0.001, [&count, &sim] {
+        if (auto* rec = sim.recorder()) {
+          rec->Phase(0, sim.Now(), "bench.tick");
+        }
+        ++count;
+      });
+    }
+    sim.RunToCompletion();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * 10000);
+}
+BENCHMARK(BM_SimulationEventLoopRecOff);
 
 // sim_schedule: raw cost of pushing events through the queue in the
 // mostly-monotonic pattern real runs produce (network delays of a few

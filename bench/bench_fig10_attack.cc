@@ -23,6 +23,10 @@ int main(int argc, char** argv) {
   // One live sampler per case (periodic gauge probes -> the sweep row's
   // "timeline" section); each case needs its own instance.
   std::vector<std::unique_ptr<obs::Sampler>> samplers(3);
+  // One flight recorder per case: the expected Ethereum/Parity safety
+  // violations dump black boxes with a replay-to-failure command.
+  std::vector<std::unique_ptr<obs::FlightRecorder>> recorders(3);
+  std::vector<obs::RunSpec> specs(3);
 
   SweepRunner runner("fig10_attack", args);
   for (int pi = 0; pi < 3; ++pi) {
@@ -38,6 +42,11 @@ int main(int argc, char** argv) {
     c.config.duration = end_time;
     c.config.drain = 0;
     c.config.sampler = samplers[size_t(pi)].get();
+    recorders[size_t(pi)] = std::make_unique<obs::FlightRecorder>();
+    c.config.recorder = recorders[size_t(pi)].get();
+    specs[size_t(pi)] = RunSpecFromMacro(c.config);
+    specs[size_t(pi)].partition_start = t_partition;
+    specs[size_t(pi)].partition_end = t_heal;
     c.labels = {{"platform", kPlatforms[pi]}};
     std::vector<double>* tot = &totals[size_t(pi)];
     std::vector<double>* mn = &mains[size_t(pi)];
@@ -101,8 +110,24 @@ int main(int argc, char** argv) {
 
   PrintHeader("Ledger audit (cross-node fork forensics)");
   for (int pi = 0; pi < 3; ++pi) {
-    std::printf("%s:\n%s", kPlatforms[pi],
-                audits[size_t(pi)].RenderTable().c_str());
+    const obs::AuditReport& audit = audits[size_t(pi)];
+    std::printf("%s:\n%s", kPlatforms[pi], audit.RenderTable().c_str());
+    if (!audit.ok()) {
+      std::string dump =
+          std::string("fig10-") + kPlatforms[pi] + ".blackbox.json";
+      obs::BlackboxTrigger trig{"audit_violation",
+                                audit.violations.front().invariant,
+                                audit.violations.front().detail};
+      Status ws = recorders[size_t(pi)]->WriteJson(dump, specs[size_t(pi)],
+                                                   trig);
+      if (ws.ok()) {
+        std::printf("    repro: bbench --replay=%s\n", dump.c_str());
+      } else {
+        std::fprintf(stderr, "fig10: blackbox write failed: %s\n",
+                     ws.ToString().c_str());
+        ok = false;
+      }
+    }
   }
   return ok ? 0 : 1;
 }

@@ -21,6 +21,10 @@ int main(int argc, char** argv) {
       3, std::vector<std::vector<double>>(2));
   std::vector<std::vector<obs::AuditReport>> audits(
       3, std::vector<obs::AuditReport>(2));
+  // One flight recorder per case: a violated audit dumps the black box
+  // and prints the bbench --replay line that reproduces it.
+  std::vector<std::vector<std::unique_ptr<obs::FlightRecorder>>> recorders(3);
+  std::vector<std::vector<obs::RunSpec>> specs(3, std::vector<obs::RunSpec>(2));
 
   SweepRunner runner("fig9_crash", args);
   for (int pi = 0; pi < 3; ++pi) {
@@ -37,6 +41,13 @@ int main(int argc, char** argv) {
       c.config.drain = 0;
       c.labels = {{"platform", kPlatforms[pi]},
                   {"servers", std::to_string(servers)}};
+      recorders[size_t(pi)].push_back(std::make_unique<obs::FlightRecorder>());
+      c.config.recorder = recorders[size_t(pi)].back().get();
+      obs::RunSpec& spec = specs[size_t(pi)][size_t(si)];
+      spec = RunSpecFromMacro(c.config);
+      for (size_t k = servers - 4; k < servers; ++k) {
+        spec.crashes.emplace_back(uint64_t(k), kill_time);
+      }
       c.before = [servers, kill_time](MacroRun& run) {
         // Kill the last four servers (none of them hosts a client).
         run.rsim().At(kill_time, [&run, servers] {
@@ -86,8 +97,27 @@ int main(int argc, char** argv) {
   PrintHeader("Ledger audit (cross-node forensics after the crashes)");
   for (int pi = 0; pi < 3; ++pi) {
     for (int si = 0; si < 2; ++si) {
+      const obs::AuditReport& audit = audits[size_t(pi)][size_t(si)];
       std::printf("%s-%d:\n%s", kPlatforms[pi], si == 0 ? 12 : 16,
-                  audits[size_t(pi)][size_t(si)].RenderTable().c_str());
+                  audit.RenderTable().c_str());
+      if (!audit.ok()) {
+        // Violated invariant -> dump the black box and print the exact
+        // replay-to-failure command next to it.
+        std::string dump = std::string("fig9-") + kPlatforms[pi] + "-" +
+                           (si == 0 ? "12" : "16") + ".blackbox.json";
+        obs::BlackboxTrigger trig{"audit_violation",
+                                  audit.violations.front().invariant,
+                                  audit.violations.front().detail};
+        Status ws = recorders[size_t(pi)][size_t(si)]->WriteJson(
+            dump, specs[size_t(pi)][size_t(si)], trig);
+        if (ws.ok()) {
+          std::printf("    repro: bbench --replay=%s\n", dump.c_str());
+        } else {
+          std::fprintf(stderr, "fig9: blackbox write failed: %s\n",
+                       ws.ToString().c_str());
+          ok = false;
+        }
+      }
     }
   }
   return ok ? 0 : 1;

@@ -29,6 +29,7 @@
 #include "core/driver.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "obs/recorder.h"
 #include "obs/sampler.h"
 #include "obs/trace.h"
 #include "platform/forensics.h"
@@ -90,7 +91,46 @@ struct MacroConfig {
   /// lands in the sweep row / trace counter tracks. Not owned; must
   /// outlive the run, and each sweep case needs its own instance.
   obs::Sampler* sampler = nullptr;
+  /// Optional flight recorder (black-box event rings + replay dumps).
+  /// Attached before the platform is built, like the tracer. Not owned;
+  /// must outlive the run, one instance per sweep case.
+  obs::FlightRecorder* recorder = nullptr;
 };
+
+/// The RunSpec a blackbox dump embeds for a MacroRun-driven experiment,
+/// so `bbench --replay=DUMP` re-runs it. The bench harness seeds the
+/// three layers differently (simulation = config.seed, platform =
+/// MakePlatform's default, driver = DriverConfig's default), so all
+/// three land in the spec explicitly. Fault-schedule fields stay at
+/// their "none" defaults; benches that inject faults in a `before` hook
+/// fill them in before dumping.
+inline obs::RunSpec RunSpecFromMacro(const MacroConfig& c) {
+  obs::RunSpec s;
+  s.platform = c.options.name;
+  if (c.options.num_shards > 1 &&
+      s.platform.find("@shards=") == std::string::npos) {
+    s.platform += "@shards=" + std::to_string(c.options.num_shards);
+  }
+  switch (c.workload) {
+    case WorkloadKind::kYcsb: s.workload = "ycsb"; break;
+    case WorkloadKind::kSmallbank: s.workload = "smallbank"; break;
+    case WorkloadKind::kDoNothing: s.workload = "donothing"; break;
+  }
+  s.servers = c.servers;
+  s.clients = c.clients;
+  s.cross_shard = c.cross_shard_ratio;
+  s.rate = c.rate;
+  s.duration = c.duration;
+  s.warmup = c.warmup;
+  s.drain = c.drain;
+  s.max_outstanding = c.max_outstanding;
+  s.seed = c.seed;
+  s.platform_seed = 42;  // MakePlatform's default (MacroRun passes none)
+  s.driver_seed = core::DriverConfig{}.seed;
+  s.ycsb_records = c.ycsb_records;
+  s.smallbank_accounts = c.smallbank_accounts;
+  return s;
+}
 
 /// One macro experiment: platform cluster + driver + workload.
 class MacroRun {
@@ -123,6 +163,7 @@ class MacroRun {
     BB_RETURN_IF_ERROR(config_.options.Validate());
     sim_ = std::make_unique<sim::Simulation>(config_.seed);
     if (config_.tracer != nullptr) sim_->set_tracer(config_.tracer);
+    if (config_.recorder != nullptr) sim_->set_recorder(config_.recorder);
     // MakePlatform dispatches on options.num_shards: `servers` is the
     // per-shard cluster size, so the sharded total is shards * servers.
     platform_ = platform::MakePlatform(sim_.get(), config_.options,

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/profiler.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 
 namespace bb::consensus {
@@ -78,6 +79,10 @@ void Pbft::ProgressCheck() {
     // protocol should be making progress on.
     bool has_work = host_->pending_txs() > 0 || !instances_.empty();
     if (has_work && now - last_progress_time_ >= CurrentTimeout()) {
+      if (auto* rec = host_->host_sim()->recorder()) {
+        rec->Timer(uint32_t(host_->node_id()), now, "pbft.progress_timeout",
+                   view_);
+      }
       StartViewChange(std::max(view_ + 1, view_change_target_ + 1));
       last_progress_time_ = now;  // restart the clock for the next escalation
     }
@@ -144,6 +149,10 @@ bool Pbft::ProposeOne() {
   if (auto* tr = host_->host_sim()->tracer()) {
     tr->Instant(uint32_t(host_->node_id()), "consensus", "pbft.propose",
                 host_->HostNow(), "seq", double(seq));
+  }
+  if (auto* rec = host_->host_sim()->recorder()) {
+    rec->Phase(uint32_t(host_->node_id()), host_->HostNow(), "pbft.propose",
+               seq, view_);
   }
   host_->HostBroadcast("pbft_preprepare", PrePrepareMsg{view_, seq, ptr},
                        ptr->SizeBytes());
@@ -233,6 +242,10 @@ void Pbft::MaybeSendCommit(uint64_t seq) {
                        "seq", double(seq));
     }
   }
+  if (auto* rec = host_->host_sim()->recorder()) {
+    rec->Phase(uint32_t(host_->node_id()), host_->HostNow(), "pbft.prepare",
+               seq, view_);
+  }
   host_->HostBroadcast("pbft_commit", PhaseMsg{view_, seq, inst.digest},
                        kPhaseMsgBytes);
 }
@@ -262,6 +275,12 @@ void Pbft::MaybeExecute(double* cpu) {
         tr->CompleteSpan(uint32_t(host_->node_id()), "consensus",
                          "pbft.commit", inst.t_prepared, host_->HostNow(),
                          "seq", double(next));
+      }
+    }
+    if (auto* rec = host_->host_sim()->recorder()) {
+      if (ok) {
+        rec->Phase(uint32_t(host_->node_id()), host_->HostNow(),
+                   "pbft.commit", next, view_);
       }
     }
     instances_.erase(it);
@@ -324,6 +343,10 @@ void Pbft::EnterView(uint64_t view) {
                        host_->HostNow(), "view", double(view));
     }
     view_change_start_ = -1;
+  }
+  if (auto* rec = host_->host_sim()->recorder()) {
+    rec->Phase(uint32_t(host_->node_id()), host_->HostNow(),
+               "pbft.view_change", view);
   }
   view_ = view;
   in_view_change_ = false;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "obs/profiler.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 
 namespace bb::consensus {
@@ -34,6 +35,9 @@ void ProofOfAuthority::ScheduleNextStep() {
 
 void ProofOfAuthority::OnStep(uint64_t step) {
   if (!active_) return;
+  if (auto* rec = host_->host_sim()->recorder()) {
+    rec->Timer(uint32_t(host_->node_id()), host_->HostNow(), "poa.step", step);
+  }
   double build_cpu = 0;
   auto block = host_->BuildBlock(host_->chain_store().head(),
                                  host_->chain_store().head_height(),
@@ -56,6 +60,10 @@ void ProofOfAuthority::OnStep(uint64_t step) {
       tr->CompleteSpan(uint32_t(host_->node_id()), "consensus", "poa.seal",
                        now, now + build_cpu + commit_cpu, "height",
                        double(host_->chain_store().head_height()));
+    }
+    if (auto* rec = host_->host_sim()->recorder()) {
+      rec->Phase(uint32_t(host_->node_id()), host_->HostNow(), "poa.seal",
+                 host_->chain_store().head_height(), step);
     }
     host_->HostBroadcast("poa_block", ptr, ptr->SizeBytes());
   }

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "obs/profiler.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 
 namespace bb::consensus {
@@ -61,6 +62,10 @@ void ProofOfWork::OnMined(uint64_t epoch) {
                        mine_start_, host_->HostNow(), "height",
                        double(block->header.height));
     }
+    if (auto* rec = host_->host_sim()->recorder()) {
+      rec->Phase(uint32_t(host_->node_id()), host_->HostNow(), "pow.mine",
+                 block->header.height);
+    }
     // Wrap once; the store and every peer share the same instance.
     auto ptr = std::make_shared<const chain::Block>(std::move(*block));
     double commit_cpu = 0;
@@ -104,6 +109,12 @@ bool ProofOfWork::HandleMessage(const sim::Message& msg, double* cpu) {
       if (mining_) {
         tr->Instant(uint32_t(host_->node_id()), "consensus",
                     "pow.mine_abandoned", host_->HostNow());
+      }
+    }
+    if (auto* rec = host_->host_sim()->recorder()) {
+      if (mining_) {
+        rec->Phase(uint32_t(host_->node_id()), host_->HostNow(),
+                   "pow.mine_abandoned");
       }
     }
     // Head moved: abandon the in-flight race and mine on the new tip.

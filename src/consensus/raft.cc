@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/profiler.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 
 namespace bb::consensus {
@@ -55,6 +56,10 @@ void Raft::Poll() {
 void Raft::ElectionCheck() {
   if (!active_) return;
   if (role_ != Role::kLeader && host_->HostNow() >= election_deadline_) {
+    if (auto* rec = host_->host_sim()->recorder()) {
+      rec->Timer(uint32_t(host_->node_id()), host_->HostNow(),
+                 "raft.election_timeout", term_ + 1);
+    }
     StartElection();
   }
   host_->host_sim()->After(0.1, [this] { ElectionCheck(); });
@@ -84,6 +89,10 @@ void Raft::BecomeLeader() {
                        "term", double(term_));
     }
     election_start_ = -1;
+  }
+  if (auto* rec = host_->host_sim()->recorder()) {
+    rec->Phase(uint32_t(host_->node_id()), host_->HostNow(),
+               "raft.election", term_);
   }
   role_ = Role::kLeader;
   match_height_.clear();
@@ -353,6 +362,10 @@ void Raft::AdvanceCommit(double* cpu) {
                          "height", double(h));
         propose_time_.erase(pt);
       }
+    }
+    if (auto* rec = host_->host_sim()->recorder()) {
+      rec->Phase(uint32_t(host_->node_id()), host_->HostNow(),
+                 "raft.replicate", h, term_);
     }
     pending_log_.erase(it);
     ++committed_height_;

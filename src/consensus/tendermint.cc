@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/profiler.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 
 namespace bb::consensus {
@@ -102,6 +103,10 @@ void Tendermint::MaybePropose() {
     tr->Instant(uint32_t(host_->node_id()), "consensus", "tm.propose",
                 host_->HostNow(), "height", double(h));
   }
+  if (auto* rec = host_->host_sim()->recorder()) {
+    rec->Phase(uint32_t(host_->node_id()), host_->HostNow(), "tm.propose", h,
+               round_);
+  }
   host_->HostBroadcast("tm_proposal", ProposalMsg{h, round_, ptr},
                        ptr->SizeBytes());
   host_->HostBroadcast("tm_prevote", VoteMsg{h, round_, rs.proposal_hash},
@@ -129,6 +134,10 @@ void Tendermint::OnRoundTimeout(uint64_t height, uint64_t round) {
   if (round_age < RoundTimeoutFor(config_, round)) return;
   // No progress this round and there is work to do.
   if (host_->pending_txs() > 0 || !rounds_.empty()) {
+    if (auto* rec = host_->host_sim()->recorder()) {
+      rec->Timer(uint32_t(host_->node_id()), host_->HostNow(),
+                 "tm.round_timeout", round);
+    }
     AdvanceRound();
   } else {
     round_start_time_ = host_->HostNow();  // idle: restart the clock
@@ -142,6 +151,10 @@ void Tendermint::AdvanceRound() {
   if (auto* tr = host_->host_sim()->tracer()) {
     tr->Instant(uint32_t(host_->node_id()), "consensus", "tm.round_failed",
                 host_->HostNow(), "round", double(round_ - 1));
+  }
+  if (auto* rec = host_->host_sim()->recorder()) {
+    rec->Phase(uint32_t(host_->node_id()), host_->HostNow(),
+               "tm.round_failed", Height() + 1, round_ - 1);
   }
   // The failed round's proposal (ours or the proposer's) is abandoned;
   // requeue what we proposed ourselves.
@@ -216,6 +229,10 @@ void Tendermint::OnPrevote(sim::NodeId from, const VoteMsg& m) {
                          "height", double(m.height));
       }
     }
+    if (auto* rec = host_->host_sim()->recorder()) {
+      rec->Phase(uint32_t(host_->node_id()), host_->HostNow(), "tm.prevote",
+                 m.height, m.round);
+    }
     host_->HostBroadcast("tm_precommit",
                          VoteMsg{m.height, m.round, rs.proposal_hash},
                          kVoteBytes);
@@ -241,6 +258,10 @@ void Tendermint::OnPrecommit(sim::NodeId from, const VoteMsg& m,
                        "tm.precommit", rs.t_prevote_q, host_->HostNow(),
                        "height", double(m.height));
     }
+  }
+  if (auto* rec = host_->host_sim()->recorder()) {
+    rec->Phase(uint32_t(host_->node_id()), host_->HostNow(), "tm.precommit",
+               m.height, m.round);
   }
   round_ = 0;
   last_commit_time_ = host_->HostNow();

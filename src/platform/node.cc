@@ -7,6 +7,7 @@
 #include <cstdlib>
 
 #include "obs/profiler.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 
 namespace bb::platform {
@@ -331,6 +332,14 @@ std::optional<chain::Block> PlatformNode::BuildBlock(const Hash256& parent,
   b.txs = std::move(batch);
   b.SealTxRoot();
   ++blocks_produced_;
+  if (auto* rec = sim()->recorder()) {
+    // 48-bit prefix: record aux values must survive the JSON double
+    // round-trip losslessly. The header hash is not final here (the
+    // engine still fills proposer/nonce), so the tx root identifies the
+    // sealed content.
+    rec->Seal(uint32_t(id()), Now(), b.header.height,
+              b.header.tx_root.Prefix64() >> 16);
+  }
   return b;
 }
 
@@ -383,6 +392,7 @@ double PlatformNode::ExecuteTx(const chain::Transaction& tx,
 void PlatformNode::ExecuteCanonical(double* cpu) {
   chain::ChainStore& chain = stack_->data().chain();
   // Rewind if the previously executed prefix left the canonical chain.
+  uint64_t rewound = 0;
   while (exec_height_ > 0 && !chain.IsCanonical(exec_block_hash_)) {
     const chain::Block* rolled = chain.GetBlock(exec_block_hash_);
     assert(rolled != nullptr);
@@ -390,6 +400,12 @@ void PlatformNode::ExecuteCanonical(double* cpu) {
     pool_.Requeue(rolled->txs);
     exec_block_hash_ = rolled->header.parent;
     --exec_height_;
+    ++rewound;
+  }
+  if (rewound > 0) {
+    if (auto* rec = sim()->recorder()) {
+      rec->ForkSwitch(uint32_t(id()), Now(), chain.head_height(), rewound);
+    }
   }
   if (exec_height_ == 0) exec_block_hash_ = chain.CanonicalAt(0)->HashOf();
 
@@ -425,6 +441,9 @@ void PlatformNode::ExecuteCanonical(double* cpu) {
     // a flood of zeros would drown the distribution.
     if (evm && !b->txs.empty()) gas_per_block_.Add(double(block_gas));
     const Hash256 block_hash = b->HashOf();
+    if (auto* rec = sim()->recorder()) {
+      rec->Commit(uint32_t(id()), Now(), h, block_hash.Prefix64() >> 16);
+    }
     auto root = state().Commit();
     if (root.ok()) {
       block_state_roots_[block_hash] = *root;

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "obs/profiler.h"
+#include "obs/recorder.h"
 
 namespace bb::platform {
 
@@ -71,6 +72,9 @@ double ShardCoordinator::HandleClientTx(const sim::Message& msg) {
   e.shards = m.shards;
   e.client = msg.from;
   ++started_;
+  if (auto* rec = sim()->recorder()) {
+    rec->Phase(uint32_t(id()), Now(), "xs.prepare", base_id, e.shards.size());
+  }
   chain::Transaction prepare = MakeRecord(e, "prepare", kXsPrepareBit);
   for (uint32_t shard : e.shards) SubmitToShard(shard, prepare);
   sim()->After(platform_->options().xs_prepare_timeout,
@@ -122,12 +126,19 @@ double ShardCoordinator::HandleReject(const sim::Message& msg) {
 void ShardCoordinator::OnPrepareTimeout(uint64_t base_id) {
   auto it = entries_.find(base_id);
   if (it == entries_.end() || it->second.decided) return;
+  if (auto* rec = sim()->recorder()) {
+    rec->Timer(uint32_t(id()), Now(), "xs.prepare_timeout", base_id);
+  }
   Decide(base_id, /*commit=*/false);
 }
 
 void ShardCoordinator::Decide(uint64_t base_id, bool commit) {
   Entry& e = entries_.at(base_id);
   e.decided = true;
+  if (auto* rec = sim()->recorder()) {
+    rec->Phase(uint32_t(id()), Now(), commit ? "xs.commit" : "xs.abort",
+               base_id, e.shards.size());
+  }
   if (commit) {
     ++committed_;
     if (break_atomicity_ && e.shards.size() > 1) {

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "obs/profiler.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 #include "sim/node.h"
 
@@ -43,16 +44,32 @@ bool Network::Send(Message msg) {
   BB_PROF_COPY(msg.size_bytes);
   nodes_[msg.from]->meter().AddNetBytes(sim_->Now(), msg.size_bytes);
   nodes_[msg.from]->meter().AddMessageSent(msg.type);
+  if (auto* rec = sim_->recorder()) {
+    rec->MsgSend(uint32_t(msg.from), sim_->Now(), msg.seq, uint32_t(msg.to),
+                 msg.type, msg.size_bytes);
+    // Replay breakpoint: --until=TIME,SEQ stops right after send SEQ.
+    if (rec->break_seq() != 0 && msg.seq >= rec->break_seq()) {
+      sim_->RequestStop();
+    }
+  }
 
   if (crashed_[msg.from] || crashed_[msg.to] || !SameSide(msg.from, msg.to) ||
       (config_.drop_probability > 0 && rng_.Bernoulli(config_.drop_probability))) {
     ++messages_dropped_;
+    if (auto* rec = sim_->recorder()) {
+      rec->MsgDrop(uint32_t(msg.from), sim_->Now(), msg.seq, uint32_t(msg.to),
+                   msg.type, /*in_flight=*/false);
+    }
     return false;
   }
   if (config_.inbox_capacity > 0 &&
       nodes_[msg.to]->inbox_depth() >= config_.inbox_capacity) {
     // Receiver's message channel is full: reject, as Fabric v0.6 does.
     ++messages_dropped_;
+    if (auto* rec = sim_->recorder()) {
+      rec->MsgDrop(uint32_t(msg.from), sim_->Now(), msg.seq, uint32_t(msg.to),
+                   msg.type, /*in_flight=*/false);
+    }
     return false;
   }
   if (config_.corrupt_probability > 0 &&
@@ -69,6 +86,10 @@ bool Network::Send(Message msg) {
     // Re-check fault state at delivery time.
     if (crashed_[to] || !SameSide(m.from, to)) {
       ++messages_dropped_;
+      if (auto* rec = sim_->recorder()) {
+        rec->MsgDrop(uint32_t(to), sim_->Now(), m.seq, uint32_t(m.from),
+                     m.type, /*in_flight=*/true);
+      }
       return;
     }
     // Channel-full check at the receiver (the arrival-time inbox, not
@@ -76,10 +97,18 @@ bool Network::Send(Message msg) {
     if (config_.inbox_capacity > 0 &&
         nodes_[to]->inbox_depth() >= config_.inbox_capacity) {
       ++messages_dropped_;
+      if (auto* rec = sim_->recorder()) {
+        rec->MsgDrop(uint32_t(to), sim_->Now(), m.seq, uint32_t(m.from),
+                     m.type, /*in_flight=*/true);
+      }
       return;
     }
     if (auto* tr = sim_->tracer()) {
       tr->FlowEnd(to, "net", "net.recv", sim_->Now(), m.seq);
+    }
+    if (auto* rec = sim_->recorder()) {
+      rec->MsgRecv(uint32_t(to), sim_->Now(), m.seq, uint32_t(m.from), m.type,
+                   m.size_bytes);
     }
     nodes_[to]->Deliver(std::move(m));
   });
@@ -108,12 +137,27 @@ void Network::Crash(NodeId id) {
   assert(id < nodes_.size());
   crashed_[id] = true;
   nodes_[id]->set_crashed(true);
+  // Fault-schedule edges land in both observability sinks: Perfetto
+  // traces show when the fault fired, and the flight recorder keeps it
+  // in the node's black-box ring for post-mortems.
+  if (auto* tr = sim_->tracer()) {
+    tr->Instant(uint32_t(id), "fault", "fault.crash", sim_->Now());
+  }
+  if (auto* rec = sim_->recorder()) {
+    rec->Fault(obs::FlightRecorder::Kind::kCrash, uint32_t(id), sim_->Now());
+  }
 }
 
 void Network::Restart(NodeId id) {
   assert(id < nodes_.size());
   crashed_[id] = false;
   nodes_[id]->set_crashed(false);
+  if (auto* tr = sim_->tracer()) {
+    tr->Instant(uint32_t(id), "fault", "fault.recover", sim_->Now());
+  }
+  if (auto* rec = sim_->recorder()) {
+    rec->Fault(obs::FlightRecorder::Kind::kRecover, uint32_t(id), sim_->Now());
+  }
 }
 
 bool Network::IsCrashed(NodeId id) const { return crashed_.at(id); }
@@ -125,9 +169,31 @@ void Network::Partition(const std::vector<NodeId>& group_a) {
     side_[id] = 0;
   }
   partitioned_ = true;
+  // One edge per node, tagged with the side it landed on, so each ring
+  // is self-contained for the per-node timeline.
+  for (NodeId id = 0; id < side_.size(); ++id) {
+    if (auto* tr = sim_->tracer()) {
+      tr->Instant(uint32_t(id), "fault", "fault.partition", sim_->Now(),
+                  "side", double(side_[id]));
+    }
+    if (auto* rec = sim_->recorder()) {
+      rec->Fault(obs::FlightRecorder::Kind::kPartition, uint32_t(id),
+                 sim_->Now(), side_[id]);
+    }
+  }
 }
 
-void Network::HealPartition() { partitioned_ = false; }
+void Network::HealPartition() {
+  partitioned_ = false;
+  for (NodeId id = 0; id < side_.size(); ++id) {
+    if (auto* tr = sim_->tracer()) {
+      tr->Instant(uint32_t(id), "fault", "fault.heal", sim_->Now());
+    }
+    if (auto* rec = sim_->recorder()) {
+      rec->Fault(obs::FlightRecorder::Kind::kHeal, uint32_t(id), sim_->Now());
+    }
+  }
+}
 
 size_t Network::InboxDepth(NodeId id) const {
   return nodes_.at(id)->inbox_depth();

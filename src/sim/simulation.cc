@@ -135,18 +135,24 @@ void Simulation::After(SimTime delay, EventFn fn) {
 }
 
 void Simulation::RunUntil(SimTime end) {
+  stop_requested_ = false;
   while (pending_events() > 0) {
     if (near_.empty()) RefillNear();
     // All far events lie beyond horizon_ >= every near event, so the
     // heap root is the global minimum.
     if (near_[0].time > end) break;
     Dispatch();
+    if (stop_requested_) return;  // breakpoint hit: clock stays at Now()
   }
   if (now_ < end) now_ = end;
 }
 
 void Simulation::RunToCompletion() {
-  while (pending_events() > 0) Dispatch();
+  stop_requested_ = false;
+  while (pending_events() > 0) {
+    Dispatch();
+    if (stop_requested_) return;
+  }
 }
 
 void Simulation::Clear() {

@@ -36,6 +36,7 @@
 namespace bb::obs {
 class Tracer;
 class MetricsRegistry;
+class FlightRecorder;
 }  // namespace bb::obs
 
 namespace bb::sim {
@@ -169,6 +170,14 @@ class Simulation {
   obs::Tracer* tracer() const { return tracer_; }
   void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
   obs::MetricsRegistry* metrics() const { return metrics_; }
+  void set_recorder(obs::FlightRecorder* recorder) { recorder_ = recorder; }
+  obs::FlightRecorder* recorder() const { return recorder_; }
+
+  /// Stops the run loop after the currently dispatching event returns —
+  /// the replay-breakpoint mechanism (bbench --until=TIME,SEQ). One-shot:
+  /// the next RunUntil/RunToCompletion call clears the request.
+  void RequestStop() { stop_requested_ = true; }
+  bool stop_requested() const { return stop_requested_; }
 
  private:
   /// Queue entry: everything ordering needs, nothing else — reordering
@@ -218,6 +227,8 @@ class Simulation {
 
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::FlightRecorder* recorder_ = nullptr;
+  bool stop_requested_ = false;
 };
 
 }  // namespace bb::sim

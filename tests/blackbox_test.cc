@@ -1,0 +1,359 @@
+// FlightRecorder tests: ring wrap/eviction semantics, RunSpec JSON
+// round-trip, structural validation of blockbench-blackbox-v1 dumps,
+// the golden 4-node PBFT partitioned black box (pinned by digest),
+// dump identity across sweep --jobs values, the replay-equivalence
+// contract (a RunSpec-reconstructed run produces a byte-identical
+// dump), and the message-seq breakpoint used by bbench --until.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "obs/recorder.h"
+#include "sim/network.h"
+#include "sim/simulation.h"
+#include "util/sha256.h"
+
+namespace bb::obs {
+namespace {
+
+// --- Ring semantics ----------------------------------------------------------
+
+TEST(FlightRecorder, RecordsAndIntrospects) {
+  FlightRecorder rec(8);
+  rec.MsgSend(0, 1.0, 7, 1, "prepare", 100);
+  rec.MsgRecv(1, 1.5, 7, 0, "prepare", 100);
+  rec.Phase(0, 2.0, "pbft.view_change", 3);
+  rec.Fault(FlightRecorder::Kind::kCrash, 1, 2.5);
+
+  EXPECT_EQ(rec.num_nodes(), 2u);
+  EXPECT_EQ(rec.recorded(0), 2u);
+  EXPECT_EQ(rec.recorded(1), 2u);
+  EXPECT_EQ(rec.evicted(0), 0u);
+
+  const auto& send = rec.At(0, 0);
+  EXPECT_EQ(send.kind, FlightRecorder::Kind::kSend);
+  EXPECT_EQ(send.id, 7u);
+  EXPECT_EQ(send.peer, 1u);
+  EXPECT_EQ(rec.Name(send.name), "prepare");
+
+  const auto& phase = rec.At(0, 1);
+  EXPECT_EQ(phase.kind, FlightRecorder::Kind::kPhase);
+  EXPECT_EQ(rec.Name(phase.name), "pbft.view_change");
+  EXPECT_EQ(phase.id, 3u);
+
+  const auto& crash = rec.At(1, 1);
+  EXPECT_EQ(crash.kind, FlightRecorder::Kind::kCrash);
+  EXPECT_EQ(rec.Name(crash.name), "crash");
+}
+
+TEST(FlightRecorder, RingWrapsAndEvictsOldest) {
+  FlightRecorder rec(4);
+  for (int i = 0; i < 10; ++i) {
+    rec.Phase(0, double(i), "tick", uint64_t(i));
+  }
+  EXPECT_EQ(rec.recorded(0), 10u);
+  EXPECT_EQ(rec.evicted(0), 6u);
+  EXPECT_EQ(rec.ring_size(0), 4u);
+  // Survivors are the newest four, oldest-first: ids 6, 7, 8, 9.
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(rec.At(0, i).id, 6 + i) << "ring slot " << i;
+    EXPECT_EQ(rec.At(0, i).t, double(6 + i));
+  }
+}
+
+TEST(FlightRecorder, ExactlyFullRingDoesNotEvict) {
+  FlightRecorder rec(4);
+  for (int i = 0; i < 4; ++i) rec.Phase(0, double(i), "tick", uint64_t(i));
+  EXPECT_EQ(rec.evicted(0), 0u);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(rec.At(0, i).id, i);
+  // One more push evicts exactly the oldest.
+  rec.Phase(0, 4.0, "tick", 4);
+  EXPECT_EQ(rec.evicted(0), 1u);
+  EXPECT_EQ(rec.At(0, 0).id, 1u);
+  EXPECT_EQ(rec.At(0, 3).id, 4u);
+}
+
+TEST(FlightRecorder, InternsNamesOnce) {
+  FlightRecorder rec;
+  for (int i = 0; i < 100; ++i) rec.Phase(0, double(i), "pbft.prepare");
+  rec.Phase(1, 100.0, "pbft.commit");
+  EXPECT_EQ(rec.num_names(), 2u);
+}
+
+// --- RunSpec round-trip ------------------------------------------------------
+
+TEST(RunSpec, JsonRoundTrip) {
+  RunSpec s;
+  s.platform = "pbft+trie+evm@shards=2";
+  s.workload = "smallbank";
+  s.servers = 4;
+  s.clients = 3;
+  s.cross_shard = 0.25;
+  s.rate = 55;
+  s.duration = 33;
+  s.warmup = 3;
+  s.drain = 7;
+  s.max_outstanding = 16;
+  s.seed = 11;
+  s.platform_seed = 22;
+  s.driver_seed = 33;
+  s.ycsb_records = 500;
+  s.smallbank_accounts = 600;
+  s.crashes = {{2, 10.5}, {3, 12.0}};
+  s.partition_start = 5;
+  s.partition_end = 15;
+  s.delay = 0.01;
+  s.corrupt = 0.001;
+
+  auto back = RunSpec::FromJson(s.ToJson());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->platform, s.platform);
+  EXPECT_EQ(back->workload, s.workload);
+  EXPECT_EQ(back->servers, s.servers);
+  EXPECT_EQ(back->clients, s.clients);
+  EXPECT_EQ(back->cross_shard, s.cross_shard);
+  EXPECT_EQ(back->rate, s.rate);
+  EXPECT_EQ(back->duration, s.duration);
+  EXPECT_EQ(back->warmup, s.warmup);
+  EXPECT_EQ(back->drain, s.drain);
+  EXPECT_EQ(back->max_outstanding, s.max_outstanding);
+  EXPECT_EQ(back->seed, s.seed);
+  EXPECT_EQ(back->platform_seed, s.platform_seed);
+  EXPECT_EQ(back->driver_seed, s.driver_seed);
+  EXPECT_EQ(back->ycsb_records, s.ycsb_records);
+  EXPECT_EQ(back->smallbank_accounts, s.smallbank_accounts);
+  EXPECT_EQ(back->crashes, s.crashes);
+  EXPECT_EQ(back->partition_start, s.partition_start);
+  EXPECT_EQ(back->partition_end, s.partition_end);
+  EXPECT_EQ(back->delay, s.delay);
+  EXPECT_EQ(back->corrupt, s.corrupt);
+}
+
+TEST(RunSpec, FromJsonRejectsMissingSeed) {
+  RunSpec s;
+  util::Json run = s.ToJson();
+  util::Json stripped = util::Json::Object();
+  for (const auto& [k, v] : run.members()) {
+    if (k != "driver_seed") stripped.Set(k, v);
+  }
+  EXPECT_FALSE(RunSpec::FromJson(stripped).ok());
+}
+
+// --- End-to-end dumps --------------------------------------------------------
+
+bench::MacroConfig BaseConfig(const char* platform_name,
+                              FlightRecorder* rec) {
+  auto opts = bench::OptionsFor(platform_name);
+  EXPECT_TRUE(opts.ok());
+  bench::MacroConfig cfg;
+  cfg.options = *opts;
+  cfg.servers = 4;
+  cfg.clients = 2;
+  cfg.rate = 10;
+  cfg.duration = 20;
+  cfg.drain = 10;
+  cfg.warmup = 2;
+  cfg.ycsb_records = 200;
+  cfg.recorder = rec;
+  return cfg;
+}
+
+/// Runs `cfg` with the network split in half during [t_part, t_heal).
+void RunPartitioned(bench::MacroConfig cfg, double t_part, double t_heal) {
+  auto run = bench::MacroRun::Create(cfg);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  sim::Network* net = &(*run)->rplatform().network();
+  (*run)->rsim().At(t_part, [net] { net->Partition({0, 1}); });
+  (*run)->rsim().At(t_heal, [net] { net->HealPartition(); });
+  (*run)->Run();
+}
+
+util::Json PartitionedPbftDump(FlightRecorder* rec) {
+  bench::MacroConfig cfg = BaseConfig("hyperledger", rec);
+  RunPartitioned(cfg, 5.0, 10.0);
+  RunSpec spec = bench::RunSpecFromMacro(cfg);
+  spec.partition_start = 5.0;
+  spec.partition_end = 10.0;
+  BlackboxTrigger trig{"explicit", "", "golden test"};
+  return rec->ToJson(spec, trig);
+}
+
+// The golden partitioned PBFT black box: the dump must validate, carry
+// consensus/fault/commit records, and serialize byte-for-byte to the
+// pinned digest (any change is a conscious golden update: print the new
+// dump, re-verify, re-pin). This pins the whole recording pipeline —
+// hook placement, record layout, name interning, slice traversal and
+// JSON shape at once.
+TEST(BlackboxGolden, PartitionedPbft4NodeByteForByte) {
+  workloads::RegisterAllChaincodes();
+  FlightRecorder rec;
+  util::Json dump = PartitionedPbftDump(&rec);
+  ASSERT_TRUE(ValidateBlackbox(dump).ok())
+      << ValidateBlackbox(dump).ToString();
+
+  // Every server recorded something; partition edges reached every node.
+  ASSERT_EQ(rec.num_nodes(), 6u);  // 4 servers + 2 clients
+  for (uint32_t n = 0; n < 4; ++n) EXPECT_GT(rec.recorded(n), 0u);
+
+  std::string json = dump.Dump(2);
+  FlightRecorder rec2;
+  util::Json dump2 = PartitionedPbftDump(&rec2);
+  EXPECT_EQ(json, dump2.Dump(2));  // reproducible before golden
+  EXPECT_EQ(Sha256::Digest(json).ToHex(),
+            "c6df644d110bb703494662d4e7006fbad64672d8dd92bff93be2e25cb2640f8d")
+      << "dump starts:\n" << json.substr(0, 2000);
+}
+
+// Replay equivalence at the harness level: reconstruct the MacroConfig
+// from the dumped RunSpec alone (as bbench --replay does from the file)
+// and the re-run must produce a byte-identical black box.
+TEST(Blackbox, ReplayFromRunSpecIsByteIdentical) {
+  workloads::RegisterAllChaincodes();
+  FlightRecorder rec;
+  util::Json dump = PartitionedPbftDump(&rec);
+  auto spec = RunSpec::FromJson(*dump.Get("run"));
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+
+  FlightRecorder replay_rec;
+  auto opts = bench::OptionsFor(spec->platform);
+  ASSERT_TRUE(opts.ok());
+  bench::MacroConfig cfg;
+  cfg.options = *opts;
+  cfg.servers = size_t(spec->servers);
+  cfg.clients = size_t(spec->clients);
+  cfg.rate = spec->rate;
+  cfg.duration = spec->duration;
+  cfg.drain = spec->drain;
+  cfg.warmup = spec->warmup;
+  cfg.seed = spec->seed;
+  cfg.ycsb_records = spec->ycsb_records;
+  cfg.recorder = &replay_rec;
+  RunPartitioned(cfg, spec->partition_start, spec->partition_end);
+
+  BlackboxTrigger trig{"explicit", "", "golden test"};
+  EXPECT_EQ(dump.Dump(2), replay_rec.ToJson(*spec, trig).Dump(2));
+}
+
+// Dump identity across sweep --jobs values: the same partitioned cases
+// run serially and on 8 worker threads must serialize byte-identical
+// black boxes — nothing wall-clock- or scheduling-dependent may leak
+// into a dump.
+TEST(Blackbox, DumpIdenticalAcrossSweepJobs) {
+  workloads::RegisterAllChaincodes();
+  auto sweep = [](size_t jobs) {
+    bench::BenchArgs args;
+    args.jobs = jobs;
+    bench::SweepRunner runner("blackbox_jobs_test", args);
+    auto recs = std::make_shared<
+        std::vector<std::unique_ptr<FlightRecorder>>>();
+    for (const char* platform : {"hyperledger", "ethereum"}) {
+      recs->push_back(std::make_unique<FlightRecorder>());
+      bench::SweepCase c;
+      auto opts = bench::OptionsFor(platform);
+      EXPECT_TRUE(opts.ok());
+      c.config.options = *opts;
+      c.config.servers = 4;
+      c.config.clients = 2;
+      c.config.rate = 10;
+      c.config.duration = 15;
+      c.config.drain = 5;
+      c.config.warmup = 2;
+      c.config.ycsb_records = 200;
+      c.config.recorder = recs->back().get();
+      c.before = [](bench::MacroRun& run) {
+        sim::Network* net = &run.rplatform().network();
+        run.rsim().At(4.0, [net] { net->Partition({0, 1}); });
+        run.rsim().At(8.0, [net] { net->HealPartition(); });
+      };
+      runner.Add(std::move(c));
+    }
+    EXPECT_TRUE(runner.Run(nullptr));
+    std::vector<std::string> dumps;
+    RunSpec spec;  // defaults: identity only needs a fixed spec
+    BlackboxTrigger trig;
+    for (auto& r : *recs) dumps.push_back(r->ToJson(spec, trig).Dump(2));
+    return dumps;
+  };
+  std::vector<std::string> serial = sweep(1);
+  std::vector<std::string> parallel = sweep(8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "case " << i;
+  }
+}
+
+// --- Replay breakpoint -------------------------------------------------------
+
+// The recorder's message-seq breakpoint must stop the simulation right
+// after the matching send, and the truncated run's records must be a
+// prefix of the full run's (the bbench --until contract).
+TEST(Blackbox, BreakSeqStopsSimulationDeterministically) {
+  workloads::RegisterAllChaincodes();
+  auto run_until = [](uint64_t break_seq, FlightRecorder* rec) {
+    bench::MacroConfig cfg = BaseConfig("hyperledger", rec);
+    rec->set_break_seq(break_seq);
+    auto run = bench::MacroRun::Create(cfg);
+    ASSERT_TRUE(run.ok());
+    (*run)->driver().StartAll();
+    (*run)->rsim().RunUntil(cfg.duration + cfg.drain);
+    if (break_seq > 0) {
+      EXPECT_TRUE((*run)->rsim().stop_requested());
+      EXPECT_LT((*run)->rsim().Now(), cfg.duration);
+    }
+  };
+  FlightRecorder full;
+  run_until(0, &full);
+  FlightRecorder truncated;
+  run_until(200, &truncated);
+
+  ASSERT_GT(truncated.num_nodes(), 0u);
+  for (uint32_t n = 0; n < truncated.num_nodes(); ++n) {
+    ASSERT_LE(truncated.recorded(n), full.recorded(n));
+    ASSERT_EQ(truncated.evicted(n), 0u) << "truncated run wrapped";
+    for (size_t i = 0; i < truncated.ring_size(n); ++i) {
+      const auto& a = truncated.At(n, i);
+      const auto& b = full.At(n, i);
+      ASSERT_EQ(a.t, b.t) << "node " << n << " record " << i;
+      ASSERT_EQ(a.kind, b.kind);
+      ASSERT_EQ(a.id, b.id);
+      ASSERT_EQ(truncated.Name(a.name), full.Name(b.name));
+    }
+  }
+}
+
+// --- Validation --------------------------------------------------------------
+
+TEST(Blackbox, ValidatorRejectsTampering) {
+  workloads::RegisterAllChaincodes();
+  FlightRecorder rec(64);
+  bench::MacroConfig cfg = BaseConfig("hyperledger", &rec);
+  cfg.duration = 10;
+  cfg.drain = 5;
+  auto run = bench::MacroRun::Create(cfg);
+  ASSERT_TRUE(run.ok());
+  (*run)->Run();
+  RunSpec spec = bench::RunSpecFromMacro(cfg);
+  BlackboxTrigger trig;
+  util::Json good = rec.ToJson(spec, trig);
+  ASSERT_TRUE(ValidateBlackbox(good).ok())
+      << ValidateBlackbox(good).ToString();
+
+  util::Json bad_schema = rec.ToJson(spec, trig);
+  bad_schema.Set("schema", "blockbench-blackbox-v999");
+  EXPECT_FALSE(ValidateBlackbox(bad_schema).ok());
+
+  util::Json no_run = rec.ToJson(spec, trig);
+  no_run.Set("run", util::Json::Object());
+  EXPECT_FALSE(ValidateBlackbox(no_run).ok());
+
+  util::Json bad_ring = rec.ToJson(spec, trig);
+  bad_ring.Set("ring_capacity", 0);
+  EXPECT_FALSE(ValidateBlackbox(bad_ring).ok());
+}
+
+}  // namespace
+}  // namespace bb::obs

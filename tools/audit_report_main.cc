@@ -29,25 +29,13 @@
 #include <string>
 #include <vector>
 
+#include "report_common.h"
 #include "util/flags.h"
 #include "util/json.h"
 
 using bb::util::Json;
 
 namespace {
-
-bb::Result<std::string> ReadFile(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return bb::Status::NotFound("cannot open " + path);
-  }
-  std::string text;
-  char buf[1 << 16];
-  size_t n;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
-  std::fclose(f);
-  return text;
-}
 
 struct Expectations {
   bool fail_on_violation = false;
@@ -240,31 +228,21 @@ int main(int argc, char** argv) {
   }
 
   std::vector<std::string> inputs;
-  for (int i = 1; i < argc; ++i) {
-    std::string s = argv[i];
-    if (s.rfind("--", 0) != 0) {
-      inputs.push_back(s);
-      continue;
-    }
-    bool known = s == "--fail-on-violation" || s == "--expect-violation" ||
-                 s == "--require-recovery" ||
-                 s.rfind("--min-forked-pct=", 0) == 0 ||
-                 s.rfind("--max-forked-pct=", 0) == 0;
-    if (!known) return UsageError(("unknown flag " + s).c_str());
+  std::string bad;
+  if (!bb::tools::SplitArgs(argc, argv,
+                            {"--fail-on-violation", "--expect-violation",
+                             "--require-recovery"},
+                            {"--min-forked-pct", "--max-forked-pct"}, &inputs,
+                            &bad)) {
+    return UsageError(("unknown flag " + bad).c_str());
   }
   if (inputs.empty()) return UsageError("no input files");
 
   bool expectations_ok = true;
   for (const std::string& path : inputs) {
-    auto text = ReadFile(path);
-    if (!text.ok()) {
-      std::fprintf(stderr, "audit_report: %s\n",
-                   text.status().ToString().c_str());
-      return 1;
-    }
-    auto doc = Json::Parse(*text);
+    auto doc = bb::tools::LoadJson(path);
     if (!doc.ok()) {
-      std::fprintf(stderr, "audit_report: %s: %s\n", path.c_str(),
+      std::fprintf(stderr, "audit_report: %s\n",
                    doc.status().ToString().c_str());
       return 1;
     }

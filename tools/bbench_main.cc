@@ -24,6 +24,14 @@
 //                         stacks to PATH.folded (prof_report reads both)
 //   --metrics[=PATH]      print the per-node metrics table; with =PATH,
 //                         also write the registry as JSON to PATH
+//   --blackbox=PATH       arm the flight recorder and dump the
+//                         blockbench-blackbox-v1 black box to PATH after
+//                         the run; with --audit, a violation dumps to
+//                         AUDIT_PATH.blackbox.json even without this flag
+//   --replay=PATH         re-run the configuration recorded in a blackbox
+//                         dump (explicit flags still override fields)
+//   --until=TIME[,SEQ]    with --replay: stop at virtual TIME, or right
+//                         after message seq SEQ was sent
 //
 // Exit codes (documented here and in --help, nowhere else): 0 run ok,
 // 1 setup or output-write failure, 2 usage error, 3 run completed but
@@ -40,9 +48,11 @@
 #include "obs/auditor.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "obs/recorder.h"
 #include "obs/sampler.h"
 #include "obs/trace.h"
 #include "platform/forensics.h"
+#include "report_common.h"
 #include "platform/platform.h"
 #include "platform/registry.h"
 #include "util/flags.h"
@@ -67,7 +77,12 @@ struct Args {
   double rate = 100;
   double duration = 120;
   double warmup = 10;
+  double drain = 30;  // DriverConfig default; a replayed spec may differ
   uint64_t seed = 42;
+  uint64_t platform_seed = 42;  // normally == seed; replay may split them
+  uint64_t driver_seed = 42;
+  uint64_t ycsb_records = 0;  // 0 = workload default; only replay sets these
+  uint64_t smallbank_accounts = 0;
   size_t max_outstanding = 0;
   std::vector<std::pair<size_t, double>> crashes;  // (server, time)
   double partition_start = -1, partition_end = -1;
@@ -80,6 +95,10 @@ struct Args {
   std::string profile_path;
   double sample = 0;
   std::string audit_path;
+  std::string blackbox_path;
+  std::string replay_path;
+  double until_time = -1;
+  uint64_t until_seq = 0;
 };
 
 void Usage() {
@@ -107,6 +126,13 @@ void Usage() {
                   to PATH, folded stacks to PATH.folded; see prof_report)
   --metrics[=PATH] (print the per-node metrics table after the run; with
                     =PATH also write the registry as JSON to PATH)
+  --blackbox=PATH (arm the flight recorder; dump blockbench-blackbox-v1
+                   JSON to PATH after the run. --audit alone also arms it
+                   and dumps to AUDIT_PATH.blackbox.json on a violation)
+  --replay=PATH (re-run the config recorded in a blackbox dump; explicit
+                 flags override recorded fields; see blackbox_report)
+  --until=TIME[,SEQ] (with --replay: stop at virtual second TIME, or as
+                      soon as message seq SEQ has been sent)
   --list-platforms (print the platform registry and exit)
 
 exit codes: 0 run ok; 1 setup or output-write failure; 2 usage error;
@@ -123,7 +149,8 @@ bool Parse(int argc, char** argv, Args* a) {
                             "--delay",           "--corrupt",  "--crash",
                             "--partition",       "--trace",    "--sample",
                             "--audit",           "--shards",   "--cross-shard",
-                            "--profile",         "--metrics"};
+                            "--profile",         "--metrics",  "--blackbox",
+                            "--replay",          "--until"};
   for (int i = 1; i < argc; ++i) {
     std::string s = argv[i];
     if (s == "--timeline" || s == "--list-platforms" || s == "--metrics") {
@@ -188,6 +215,15 @@ examples: pbft+trie+evm   tendermint+bucket+native   pbft+trie+evm@shards=4
   a->profile_path = util::FlagValue(argc, argv, "--profile").value_or("");
   a->sample = util::FlagDouble(argc, argv, "--sample", a->sample);
   a->audit_path = util::FlagValue(argc, argv, "--audit").value_or("");
+  a->blackbox_path = util::FlagValue(argc, argv, "--blackbox").value_or("");
+  if (auto until = util::FlagValue(argc, argv, "--until")) {
+    auto comma = until->find(',');
+    a->until_time = std::atof(until->substr(0, comma).c_str());
+    if (comma != std::string::npos) {
+      a->until_seq = std::strtoull(until->substr(comma + 1).c_str(),
+                                   nullptr, 10);
+    }
+  }
 
   // --crash is repeatable, so collect every occurrence by hand.
   for (int i = 1; i < argc; ++i) {
@@ -219,15 +255,19 @@ platform::PlatformOptions PlatformFor(const std::string& name) {
 }
 
 std::unique_ptr<core::WorkloadConnector> WorkloadFor(const std::string& name,
-                                                     double cross_shard) {
+                                                     double cross_shard,
+                                                     uint64_t ycsb_records,
+                                                     uint64_t smallbank_accounts) {
   if (name == "ycsb") {
     workloads::YcsbConfig yc;
     yc.cross_shard_ratio = cross_shard;
+    if (ycsb_records > 0) yc.record_count = ycsb_records;
     return std::make_unique<workloads::YcsbWorkload>(yc);
   }
   if (name == "smallbank") {
     workloads::SmallbankConfig sc;
     sc.cross_shard_ratio = cross_shard;
+    if (smallbank_accounts > 0) sc.num_accounts = smallbank_accounts;
     return std::make_unique<workloads::SmallbankWorkload>(sc);
   }
   if (name == "etherid") return std::make_unique<workloads::EtherIdWorkload>();
@@ -240,13 +280,105 @@ std::unique_ptr<core::WorkloadConnector> WorkloadFor(const std::string& name,
   std::exit(2);
 }
 
+/// The recorded spec becomes the new Args defaults; Parse() then runs as
+/// usual, so any explicit CLI flag still overrides a replayed field.
+void ApplySpec(const obs::RunSpec& s, Args* a) {
+  a->platform = s.platform;
+  a->workload = s.workload;
+  a->servers = size_t(s.servers);
+  a->clients = size_t(s.clients);
+  a->cross_shard = s.cross_shard;
+  a->rate = s.rate;
+  a->duration = s.duration;
+  a->warmup = s.warmup;
+  a->drain = s.drain;
+  a->max_outstanding = size_t(s.max_outstanding);
+  a->seed = s.seed;
+  a->platform_seed = s.platform_seed;
+  a->driver_seed = s.driver_seed;
+  a->ycsb_records = s.ycsb_records;
+  a->smallbank_accounts = s.smallbank_accounts;
+  for (const auto& [id, t] : s.crashes) a->crashes.emplace_back(size_t(id), t);
+  a->partition_start = s.partition_start;
+  a->partition_end = s.partition_end;
+  a->delay = s.delay;
+  a->corrupt = s.corrupt;
+}
+
+obs::RunSpec SpecFromArgs(const Args& a) {
+  obs::RunSpec s;
+  s.platform = a.platform;  // post --shards rewrite: the full stack spec
+  s.workload = a.workload;
+  s.servers = a.servers;
+  s.clients = a.clients;
+  s.cross_shard = a.cross_shard;
+  s.rate = a.rate;
+  s.duration = a.duration;
+  s.warmup = a.warmup;
+  s.drain = a.drain;
+  s.max_outstanding = a.max_outstanding;
+  s.seed = a.seed;
+  s.platform_seed = a.platform_seed;
+  s.driver_seed = a.driver_seed;
+  s.ycsb_records = a.ycsb_records;
+  s.smallbank_accounts = a.smallbank_accounts;
+  for (const auto& [id, t] : a.crashes) s.crashes.emplace_back(uint64_t(id), t);
+  s.partition_start = a.partition_start;
+  s.partition_end = a.partition_end;
+  s.delay = a.delay;
+  s.corrupt = a.corrupt;
+  return s;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Args a;
+  // --replay pre-pass: load the dump before Parse() so its recorded run
+  // spec seeds the defaults and explicit flags keep the last word.
+  for (int i = 1; i < argc; ++i) {
+    std::string s = argv[i];
+    if (s.rfind("--replay=", 0) == 0) {
+      a.replay_path = s.substr(sizeof("--replay=") - 1);
+    }
+  }
+  bool replaying = !a.replay_path.empty();
+  if (replaying) {
+    auto doc = tools::LoadJson(a.replay_path);
+    if (!doc.ok()) {
+      std::fprintf(stderr, "--replay: %s\n", doc.status().ToString().c_str());
+      return 1;
+    }
+    if (Status vs = obs::ValidateBlackbox(*doc); !vs.ok()) {
+      std::fprintf(stderr, "--replay: %s: %s\n", a.replay_path.c_str(),
+                   vs.ToString().c_str());
+      return 1;
+    }
+    auto spec = obs::RunSpec::FromJson(*doc->Get("run"));
+    if (!spec.ok()) {
+      std::fprintf(stderr, "--replay: %s: %s\n", a.replay_path.c_str(),
+                   spec.status().ToString().c_str());
+      return 1;
+    }
+    ApplySpec(*spec, &a);
+  }
   if (!Parse(argc, argv, &a)) {
     Usage();
     return 2;
+  }
+  // In a normal run every layer is seeded from --seed. A replayed dump
+  // may carry three distinct seeds (the bench harness splits them); an
+  // explicit --seed on top of --replay re-unifies them, giving "same
+  // scenario, different randomness".
+  if (!replaying || util::FlagValue(argc, argv, "--seed").has_value()) {
+    a.platform_seed = a.seed;
+    a.driver_seed = a.seed;
+  }
+  if (a.until_time >= 0 || a.until_seq > 0) {
+    if (!replaying) {
+      std::fprintf(stderr, "--until requires --replay\n");
+      return 2;
+    }
   }
 
   // --shards overrides whatever the spec says (including removing an
@@ -265,6 +397,16 @@ int main(int argc, char** argv) {
     sim.set_tracer(tracer.get());
   }
 
+  // The flight recorder arms whenever a dump could be wanted: an explicit
+  // --blackbox, any audited run (a violation auto-dumps the black box),
+  // or a replay (whose breakpoint mechanism lives in the recorder).
+  std::unique_ptr<obs::FlightRecorder> recorder;
+  if (!a.blackbox_path.empty() || !a.audit_path.empty() || replaying) {
+    recorder = std::make_unique<obs::FlightRecorder>();
+    if (a.until_seq > 0) recorder->set_break_seq(a.until_seq);
+    sim.set_recorder(recorder.get());
+  }
+
   // --profile: the window opens here (before platform construction) and
   // closes right after Driver::Run, so setup and the event loop are the
   // whole profile; output writing below is deliberately outside it.
@@ -278,10 +420,11 @@ int main(int argc, char** argv) {
   std::unique_ptr<platform::Platform> chain_ptr = [&] {
     BB_PROF_SCOPE("driver.setup");
     return platform::MakePlatform(&sim, PlatformFor(a.platform), a.servers,
-                                  a.seed);
+                                  a.platform_seed);
   }();
   platform::Platform& chain = *chain_ptr;
-  auto workload = WorkloadFor(a.workload, a.cross_shard);
+  auto workload = WorkloadFor(a.workload, a.cross_shard, a.ycsb_records,
+                              a.smallbank_accounts);
   Status s = [&] {
     BB_PROF_SCOPE("driver.setup");
     return workload->Setup(&chain);
@@ -315,8 +458,9 @@ int main(int argc, char** argv) {
   dc.request_rate = a.rate;
   dc.max_outstanding = a.max_outstanding;
   dc.duration = a.duration;
+  dc.drain = a.drain;
   dc.warmup = a.warmup;
-  dc.seed = a.seed;
+  dc.seed = a.driver_seed;
   core::Driver driver(&chain, workload.get(), dc);
 
   std::unique_ptr<obs::Sampler> sampler;
@@ -331,7 +475,19 @@ int main(int argc, char** argv) {
               "%.0f s\n",
               a.platform.c_str(), a.workload.c_str(), a.servers, a.clients,
               a.rate, a.duration);
-  driver.Run();
+  if (replaying && (a.until_time >= 0 || a.until_seq > 0)) {
+    // Replay-to-failure: drive the sim ourselves so the run can stop at
+    // the requested virtual time — or earlier, when the recorder's
+    // message-seq breakpoint requests a stop from inside Network::Send.
+    double end = a.duration + dc.drain;
+    if (a.until_time >= 0 && a.until_time < end) end = a.until_time;
+    driver.StartAll();
+    sim.RunUntil(end);
+    std::printf("replay stopped at t=%.6f%s\n", sim.Now(),
+                sim.stop_requested() ? " (message-seq breakpoint)" : "");
+  } else {
+    driver.Run();
+  }
 
   if (profiler != nullptr) {
     profiler->set_events(sim.events_executed());
@@ -440,6 +596,8 @@ int main(int argc, char** argv) {
                 sampler->num_gauges(), sampler->num_ticks(), a.sample);
   }
 
+  bool audit_violated = false;
+  obs::BlackboxTrigger trigger;  // kind "explicit" unless the audit fails
   if (!a.audit_path.empty()) {
     obs::AuditorConfig ac;
     ac.confirmation_depth = chain.options().confirmation_depth;
@@ -459,10 +617,34 @@ int main(int argc, char** argv) {
     std::fwrite(text.data(), 1, text.size(), f);
     std::fclose(f);
     std::printf("audit report -> %s\n", a.audit_path.c_str());
-    // Exit 3 signals "the run completed but the ledger is unsafe" —
-    // distinct from usage (2) and setup (1) failures. A partitioned
-    // Ethereum-model run is EXPECTED to exit 3 (Fig 10).
-    if (!audit.ok()) return 3;
+    if (!audit.ok()) {
+      audit_violated = true;
+      trigger.kind = "audit_violation";
+      trigger.invariant = audit.violations.front().invariant;
+      trigger.detail = audit.violations.front().detail;
+    }
   }
-  return 0;
+
+  // The black box lands on disk before the exit code: an explicit
+  // --blackbox always dumps; an audited violation dumps even without it
+  // (next to the audit report) so the post-mortem survives the run.
+  if (recorder != nullptr && (!a.blackbox_path.empty() || audit_violated)) {
+    std::string bb_path = !a.blackbox_path.empty()
+                              ? a.blackbox_path
+                              : a.audit_path + ".blackbox.json";
+    Status bs = recorder->WriteJson(bb_path, SpecFromArgs(a), trigger);
+    if (!bs.ok()) {
+      std::fprintf(stderr, "blackbox write failed: %s\n",
+                   bs.ToString().c_str());
+      return 1;
+    }
+    std::printf("blackbox -> %s (blackbox_report %s renders the "
+                "post-mortem)\n",
+                bb_path.c_str(), bb_path.c_str());
+  }
+
+  // Exit 3 signals "the run completed but the ledger is unsafe" —
+  // distinct from usage (2) and setup (1) failures. A partitioned
+  // Ethereum-model run is EXPECTED to exit 3 (Fig 10).
+  return audit_violated ? 3 : 0;
 }

@@ -32,25 +32,13 @@
 #include <string>
 #include <vector>
 
+#include "report_common.h"
 #include "util/flags.h"
 #include "util/json.h"
 
 using bb::util::Json;
 
 namespace {
-
-bb::Result<std::string> ReadFile(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return bb::Status::NotFound("cannot open " + path);
-  }
-  std::string text;
-  char buf[1 << 16];
-  size_t n;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
-  std::fclose(f);
-  return text;
-}
 
 /// Validates one sweep document beyond "it parsed": every row needs
 /// labels and a status, and successful rows need their metrics block.
@@ -246,15 +234,9 @@ int main(int argc, char** argv) {
   // ratio gates.
   std::map<std::string, double> bench_cpu;
   for (const std::string& path : inputs) {
-    auto text = ReadFile(path);
-    if (!text.ok()) {
-      std::fprintf(stderr, "bench_report: %s\n",
-                   text.status().ToString().c_str());
-      return 1;
-    }
-    auto doc = Json::Parse(*text);
+    auto doc = bb::tools::LoadJson(path);
     if (!doc.ok()) {
-      std::fprintf(stderr, "bench_report: %s: %s\n", path.c_str(),
+      std::fprintf(stderr, "bench_report: %s\n",
                    doc.status().ToString().c_str());
       return 1;
     }
@@ -364,14 +346,13 @@ int main(int argc, char** argv) {
   }
 
   for (const GateEventsBaseline& g : baseline_gates) {
-    auto text = ReadFile(g.file);
-    if (!text.ok()) {
+    auto doc = bb::tools::LoadJson(g.file);
+    if (!doc.ok()) {
       std::fprintf(stderr, "bench_report: baseline: %s\n",
-                   text.status().ToString().c_str());
+                   doc.status().ToString().c_str());
       return 1;
     }
-    auto doc = Json::Parse(*text);
-    if (!doc.ok() || doc->Get("rows") == nullptr) {
+    if (doc->Get("rows") == nullptr) {
       std::fprintf(stderr, "bench_report: baseline %s is not a sweep document\n",
                    g.file.c_str());
       return 1;

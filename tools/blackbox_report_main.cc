@@ -1,0 +1,83 @@
+// blackbox_report: validates blockbench-blackbox-v1 documents (written
+// by bbench --blackbox, by an audited bbench run that found a safety
+// violation, or by the fig9/fig10 bench harnesses) and renders the
+// post-mortem a black box exists for:
+//
+//   blackbox_report [flags] DUMP.json...
+//
+//   --timeline=N   interleaved cross-node timeline depth (newest N
+//                  records; 0 = everything; default 40)
+//   --quiet        validation + divergence only, no timeline
+//
+// For every dump this prints the trigger and run summary, the per-node
+// interleaved timeline with causal-slice records marked '*', the first
+// height at which two nodes' committed chains diverge (the violation's
+// footprint), and the bbench --replay command that re-runs the recorded
+// configuration deterministically.
+//
+// Exit codes: 0 all dumps valid, 1 read/validation failure, 2 usage.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/recorder.h"
+#include "report_common.h"
+#include "util/flags.h"
+#include "util/json.h"
+
+using bb::util::Json;
+
+namespace {
+
+int Usage(const char* msg) {
+  std::fprintf(stderr, "blackbox_report: %s\n", msg);
+  std::fprintf(stderr,
+               "usage: blackbox_report [--timeline=N] [--quiet] "
+               "DUMP.json...\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> inputs;
+  std::string bad;
+  if (!bb::tools::SplitArgs(argc, argv, {"--quiet"}, {"--timeline"}, &inputs,
+                            &bad)) {
+    return Usage(("unknown flag " + bad).c_str());
+  }
+  if (inputs.empty()) return Usage("no input files");
+  size_t timeline = size_t(bb::util::FlagUint(argc, argv, "--timeline", 40));
+  bool quiet = bb::util::HasFlag(argc, argv, "--quiet");
+
+  for (const std::string& path : inputs) {
+    auto doc = bb::tools::LoadJson(path);
+    if (!doc.ok()) {
+      std::fprintf(stderr, "blackbox_report: %s\n",
+                   doc.status().ToString().c_str());
+      return 1;
+    }
+    bb::Status s = bb::obs::ValidateBlackbox(*doc);
+    if (!s.ok()) {
+      std::fprintf(stderr, "blackbox_report: %s: %s\n", path.c_str(),
+                   s.ToString().c_str());
+      return 1;
+    }
+    std::printf("%s: OK\n%s", path.c_str(),
+                bb::obs::RenderBlackboxSummary(*doc).c_str());
+
+    if (!quiet) {
+      std::printf("\n%s", bb::obs::RenderBlackboxTimeline(*doc, timeline).c_str());
+    }
+
+    std::string divergence = bb::obs::FirstDivergence(*doc);
+    if (!divergence.empty()) {
+      std::printf("\nfirst divergence: %s\n", divergence.c_str());
+    } else {
+      std::printf("\nfirst divergence: none (all commits agree)\n");
+    }
+    std::printf("replay: bbench --replay=%s\n", path.c_str());
+  }
+  return 0;
+}

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "obs/profiler.h"
+#include "report_common.h"
 #include "util/json.h"
 
 using bb::util::Json;
@@ -33,20 +34,8 @@ using bb::util::Json;
 namespace {
 
 bb::Result<Json> LoadProfile(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return bb::Status::NotFound("cannot open " + path);
-  }
-  std::string text;
-  char buf[1 << 16];
-  size_t n;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
-  std::fclose(f);
-  auto doc = Json::Parse(text);
-  if (!doc.ok()) {
-    return bb::Status::InvalidArgument(path + ": " +
-                                       doc.status().ToString());
-  }
+  auto doc = bb::tools::LoadJson(path);
+  if (!doc.ok()) return doc.status();
   bb::Status s = bb::obs::ValidateProfile(*doc);
   if (!s.ok()) {
     return bb::Status::InvalidArgument(path + ": " + s.ToString());

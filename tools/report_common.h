@@ -1,0 +1,82 @@
+// Shared boilerplate for the report tools (audit_report, trace_report,
+// prof_report, bench_report, blackbox_report) and for bbench --replay:
+// slurp-and-parse of JSON documents plus the common argv split into
+// known flags and positional inputs. Header-only so the tools stay
+// single-translation-unit binaries.
+
+#ifndef BLOCKBENCH_TOOLS_REPORT_COMMON_H_
+#define BLOCKBENCH_TOOLS_REPORT_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+#include "util/status.h"
+
+namespace bb::tools {
+
+inline Result<std::string> ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open " + path);
+  }
+  std::string text;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return text;
+}
+
+/// Read + parse one JSON document; the error message carries the path.
+inline Result<util::Json> LoadJson(const std::string& path) {
+  auto text = ReadFile(path);
+  if (!text.ok()) return text.status();
+  auto doc = util::Json::Parse(*text);
+  if (!doc.ok()) {
+    return Status::InvalidArgument(path + ": " + doc.status().ToString());
+  }
+  return doc;
+}
+
+/// The arg-split every report tool repeats: everything not starting with
+/// "--" is a positional input; flags must be an exact match in
+/// `known_bool` or a "NAME=" prefix match in `known_kv`. Returns false
+/// (and fills *bad_flag) on an unknown flag. Value extraction stays with
+/// the util::Flag* helpers; this only rejects typos and collects inputs.
+inline bool SplitArgs(int argc, char** argv,
+                      const std::vector<std::string>& known_bool,
+                      const std::vector<std::string>& known_kv,
+                      std::vector<std::string>* inputs,
+                      std::string* bad_flag) {
+  for (int i = 1; i < argc; ++i) {
+    std::string s = argv[i];
+    if (s.rfind("--", 0) != 0) {
+      inputs->push_back(s);
+      continue;
+    }
+    bool known = false;
+    for (const std::string& k : known_bool) {
+      if (s == k) {
+        known = true;
+        break;
+      }
+    }
+    for (const std::string& k : known_kv) {
+      if (s.rfind(k + "=", 0) == 0) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      if (bad_flag != nullptr) *bad_flag = s;
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace bb::tools
+
+#endif  // BLOCKBENCH_TOOLS_REPORT_COMMON_H_

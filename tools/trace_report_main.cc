@@ -28,25 +28,13 @@
 #include <unordered_set>
 #include <vector>
 
+#include "report_common.h"
 #include "util/flags.h"
 #include "util/json.h"
 
 using bb::util::Json;
 
 namespace {
-
-bb::Result<std::string> ReadFile(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return bb::Status::NotFound("cannot open " + path);
-  }
-  std::string text;
-  char buf[1 << 16];
-  size_t n;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
-  std::fclose(f);
-  return text;
-}
 
 // Lifecycle leg order; must match obs::Tracer::TxSpanName.
 constexpr const char* kTxSpans[] = {"tx.admission", "tx.pool_wait",
@@ -322,14 +310,11 @@ void Report(const std::string& path, const TraceSummary& t) {
 
 int main(int argc, char** argv) {
   std::vector<std::string> inputs;
-  for (int i = 1; i < argc; ++i) {
-    std::string s = argv[i];
-    if (s.rfind("--", 0) == 0) {
-      std::fprintf(stderr, "trace_report: unknown flag %s\n", s.c_str());
-      std::fprintf(stderr, "usage: trace_report TRACE.json...\n");
-      return 2;
-    }
-    inputs.push_back(s);
+  std::string bad;
+  if (!bb::tools::SplitArgs(argc, argv, {}, {}, &inputs, &bad)) {
+    std::fprintf(stderr, "trace_report: unknown flag %s\n", bad.c_str());
+    std::fprintf(stderr, "usage: trace_report TRACE.json...\n");
+    return 2;
   }
   if (inputs.empty()) {
     std::fprintf(stderr, "trace_report: no input files\n");
@@ -337,15 +322,9 @@ int main(int argc, char** argv) {
     return 2;
   }
   for (const std::string& path : inputs) {
-    auto text = ReadFile(path);
-    if (!text.ok()) {
-      std::fprintf(stderr, "trace_report: %s\n",
-                   text.status().ToString().c_str());
-      return 1;
-    }
-    auto doc = Json::Parse(*text);
+    auto doc = bb::tools::LoadJson(path);
     if (!doc.ok()) {
-      std::fprintf(stderr, "trace_report: %s: %s\n", path.c_str(),
+      std::fprintf(stderr, "trace_report: %s\n",
                    doc.status().ToString().c_str());
       return 1;
     }
