@@ -9,6 +9,7 @@
 
 #include "chain/block.h"
 #include "chain/txpool.h"
+#include "obs/memtrack.h"
 #include "obs/profiler.h"
 #include "obs/recorder.h"
 #include "obs/trace.h"
@@ -410,6 +411,32 @@ void BM_SimulationEventLoopRecOff(benchmark::State& state) {
   state.SetItemsProcessed(int64_t(state.iterations()) * 10000);
 }
 BENCHMARK(BM_SimulationEventLoopRecOff);
+
+// And the disabled byte-accounting cost: the pointer test every
+// instrumented container pays when no MemTracker is attached, plus a
+// null mem::Gauge re-sync (the PlatformNode epilogue shape). The CI
+// perf-smoke gate holds the ratio to BM_SimulationEventLoop under 1.03 —
+// memory observability must also be free when off (docs/OBSERVABILITY.md).
+void BM_SimulationEventLoopMemOff(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    int count = 0;
+    obs::mem::Gauge gauge;  // default-constructed: not attached
+    for (int i = 0; i < 10000; ++i) {
+      sim.At(double(i) * 0.001, [&count, &sim, &gauge] {
+        if (auto* mt = sim.memtracker()) {
+          mt->Track(obs::MemTracker::kGlobalNode, obs::mem::kSimEvents, 1);
+        }
+        gauge.Set(uint64_t(count));
+        ++count;
+      });
+    }
+    sim.RunToCompletion();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * 10000);
+}
+BENCHMARK(BM_SimulationEventLoopMemOff);
 
 // sim_schedule: raw cost of pushing events through the queue in the
 // mostly-monotonic pattern real runs produce (network delays of a few

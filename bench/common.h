@@ -11,6 +11,10 @@
 //                  PREFIX-<i>.prof.json (blockbench-profile-v1) and
 //                  PREFIX-<i>.folded (flamegraph format), and embeds a
 //                  "wall_profile" section in each sweep-v1 row
+//   --mem=PREFIX   memory accounting per sweep point: writes
+//                  PREFIX-<i>.mem.json (blockbench-mem-v1) and embeds a
+//                  "mem" section in each sweep-v1 row. Logical bytes on
+//                  virtual time — deterministic, safe in golden digests.
 
 #ifndef BLOCKBENCH_BENCH_COMMON_H_
 #define BLOCKBENCH_BENCH_COMMON_H_
@@ -27,6 +31,7 @@
 #include <vector>
 
 #include "core/driver.h"
+#include "obs/memtrack.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/recorder.h"
@@ -95,6 +100,10 @@ struct MacroConfig {
   /// Attached before the platform is built, like the tracer. Not owned;
   /// must outlive the run, one instance per sweep case.
   obs::FlightRecorder* recorder = nullptr;
+  /// Optional per-subsystem memory accounting (logical bytes, virtual
+  /// time). Attached before the platform is built so node construction
+  /// binds the layer gauges. Not owned; one instance per sweep case.
+  obs::MemTracker* memtracker = nullptr;
 };
 
 /// The RunSpec a blackbox dump embeds for a MacroRun-driven experiment,
@@ -164,6 +173,7 @@ class MacroRun {
     sim_ = std::make_unique<sim::Simulation>(config_.seed);
     if (config_.tracer != nullptr) sim_->set_tracer(config_.tracer);
     if (config_.recorder != nullptr) sim_->set_recorder(config_.recorder);
+    if (config_.memtracker != nullptr) sim_->set_memtracker(config_.memtracker);
     // MakePlatform dispatches on options.num_shards: `servers` is the
     // per-shard cluster size, so the sharded total is shards * servers.
     platform_ = platform::MakePlatform(sim_.get(), config_.options,
@@ -228,6 +238,9 @@ struct BenchArgs {
   /// Non-empty -> wall-clock profiling: one obs::Profiler per sweep
   /// point, written as PREFIX-<i>.prof.json + PREFIX-<i>.folded.
   std::string profile_prefix;
+  /// Non-empty -> memory accounting: one obs::MemTracker per sweep
+  /// point, written as PREFIX-<i>.mem.json (blockbench-mem-v1).
+  std::string mem_prefix;
 
   size_t EffectiveJobs() const {
     return jobs == 0 ? util::ThreadPool::DefaultThreads() : jobs;
@@ -239,11 +252,12 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
     std::string s = argv[i];
     if (s != "--full" && s.rfind("--jobs=", 0) != 0 &&
         s.rfind("--json=", 0) != 0 && s.rfind("--profile=", 0) != 0 &&
+        s.rfind("--mem=", 0) != 0 &&
         s.rfind("--benchmark_", 0) != 0) {  // google-benchmark passthrough
       std::fprintf(stderr, "%s: unknown flag %s\n", argv[0], s.c_str());
       std::fprintf(stderr,
                    "usage: %s [--full] [--jobs=N] [--json=PATH] "
-                   "[--profile=PREFIX]\n",
+                   "[--profile=PREFIX] [--mem=PREFIX]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -253,6 +267,7 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
   args.jobs = size_t(FlagUint(argc, argv, "--jobs", 0));
   args.json_path = FlagValue(argc, argv, "--json").value_or("");
   args.profile_prefix = FlagValue(argc, argv, "--profile").value_or("");
+  args.mem_prefix = FlagValue(argc, argv, "--mem").value_or("");
   return args;
 }
 
@@ -262,7 +277,7 @@ inline int UsageError(const char* bench, const Status& status) {
   std::fprintf(stderr, "%s: %s\n", bench, status.ToString().c_str());
   std::fprintf(stderr,
                "usage: %s [--full] [--jobs=N] [--json=PATH] "
-               "[--profile=PREFIX]\n",
+               "[--profile=PREFIX] [--mem=PREFIX]\n",
                bench);
   return 2;
 }
@@ -300,6 +315,11 @@ struct SweepOutcome {
   /// Wall-clock values are nondeterministic and never enter golden
   /// digests — byte-identical-output tests must not run profiled.
   util::Json wall_profile;
+  /// Compact memory rollup (per-node peaks, subsystem peak sums,
+  /// bytes-per-committed-tx) when the sweep ran with --mem or the bench
+  /// called EnableMemTracking(); null otherwise. Logical bytes on
+  /// virtual time: deterministic, allowed in golden digests.
+  util::Json mem;
 };
 
 /// Runs a set of independent MacroRun sweep points, `--jobs` at a time,
@@ -339,6 +359,8 @@ class SweepRunner {
     outcomes_.assign(cases_.size(), SweepOutcome{});
     profilers_.clear();
     if (!args_.profile_prefix.empty()) profilers_.resize(cases_.size());
+    memtrackers_.clear();
+    if (mem_enabled()) memtrackers_.resize(cases_.size());
     auto wall_start = std::chrono::steady_clock::now();
 
     size_t jobs = std::min(args_.EffectiveJobs(),
@@ -386,6 +408,10 @@ class SweepRunner {
     // Profiles first: WriteProfiles() stores each case's wall_profile
     // rollup, which WriteJson() then embeds in the sweep rows.
     if (!profilers_.empty() && !WriteProfiles()) ok = false;
+    if (!memtrackers_.empty() && !args_.mem_prefix.empty() &&
+        !WriteMemDumps()) {
+      ok = false;
+    }
     if (!args_.json_path.empty() && !WriteJson()) ok = false;
     return ok;
   }
@@ -405,6 +431,20 @@ class SweepRunner {
     return args_.profile_prefix + "-" + std::to_string(i) + ".folded";
   }
 
+  /// Forces memory tracking for every case even without --mem (benches
+  /// whose purpose is the memory baseline). Call before Run().
+  void EnableMemTracking() { mem_always_ = true; }
+  bool mem_enabled() const {
+    return mem_always_ || !args_.mem_prefix.empty();
+  }
+  /// This case's memory tracker (null unless mem_enabled()).
+  const obs::MemTracker* memtracker(size_t i) const {
+    return i < memtrackers_.size() ? memtrackers_[i].get() : nullptr;
+  }
+  std::string MemPath(size_t i) const {
+    return args_.mem_prefix + "-" + std::to_string(i) + ".mem.json";
+  }
+
  private:
   void RunCase(size_t i) {
     SweepOutcome& out = outcomes_[i];
@@ -417,6 +457,10 @@ class SweepRunner {
       prof = profilers_[i].get();
     }
     obs::Profiler::ThreadScope prof_scope(prof);
+    if (!memtrackers_.empty()) {
+      memtrackers_[i] = std::make_unique<obs::MemTracker>();
+      cases_[i].config.memtracker = memtrackers_[i].get();
+    }
     auto t0 = std::chrono::steady_clock::now();
     Result<std::unique_ptr<MacroRun>> run = [this, i] {
       // Setup (platform build, workload preload) attributed to the
@@ -437,6 +481,10 @@ class SweepRunner {
       if (cases_[i].config.sampler != nullptr) {
         out.timeline = cases_[i].config.sampler->ToJson();
       }
+    }
+    if (!memtrackers_.empty() && memtrackers_[i] != nullptr) {
+      memtrackers_[i]->set_committed(uint64_t(out.report.committed));
+      out.mem = memtrackers_[i]->ToSweepJson();
     }
     out.events = (*run)->rsim().events_executed();
     out.wall_seconds = std::chrono::duration<double>(
@@ -462,6 +510,21 @@ class SweepRunner {
       if (s.ok()) s = profilers_[i]->WriteFolded(FoldedPath(i));
       if (!s.ok()) {
         std::fprintf(stderr, "%s: profile write failed: %s\n",
+                     bench_name_.c_str(), s.ToString().c_str());
+        ok = false;
+      }
+    }
+    return ok;
+  }
+
+  /// Writes PREFIX-<i>.mem.json for every case (after workers joined).
+  bool WriteMemDumps() {
+    bool ok = true;
+    for (size_t i = 0; i < memtrackers_.size(); ++i) {
+      if (memtrackers_[i] == nullptr) continue;
+      Status s = memtrackers_[i]->WriteJson(MemPath(i));
+      if (!s.ok()) {
+        std::fprintf(stderr, "%s: mem dump write failed: %s\n",
                      bench_name_.c_str(), s.ToString().c_str());
         ok = false;
       }
@@ -523,6 +586,7 @@ class SweepRunner {
         if (!o.metrics.empty()) r.Set("node_metrics", o.metrics.ToJson());
         if (!o.timeline.is_null()) r.Set("timeline", o.timeline);
         if (!o.wall_profile.is_null()) r.Set("wall_profile", o.wall_profile);
+        if (!o.mem.is_null()) r.Set("mem", o.mem);
       }
       rows.Push(std::move(r));
     }
@@ -547,6 +611,9 @@ class SweepRunner {
   // One profiler per case when --profile is set; each slot is written
   // only by the worker running that case, read after the join.
   std::vector<std::unique_ptr<obs::Profiler>> profilers_;
+  // Same ownership discipline for the per-case memory trackers.
+  std::vector<std::unique_ptr<obs::MemTracker>> memtrackers_;
+  bool mem_always_ = false;
   double wall_seconds_ = 0;
 };
 

@@ -9,6 +9,7 @@ ChainStore::ChainStore(Block genesis) {
   Hash256 h = genesis.HashOf();
   genesis_ = h;
   head_ = h;
+  stored_bytes_ += genesis.SizeBytes();
   entries_.emplace(h,
                    Entry{std::make_shared<const Block>(std::move(genesis)), 0});
   canonical_.push_back(h);
@@ -46,6 +47,7 @@ ChainStore::AddResult ChainStore::AddBlock(BlockPtr block) {
   }
   auto parent = entries_.find(block->header.parent);
   if (parent == entries_.end()) {
+    stored_bytes_ += block->SizeBytes();
     orphans_[block->header.parent].push_back(std::move(block));
     ++orphan_buffer_count_;
     return r;
@@ -81,6 +83,7 @@ void ChainStore::Attach(BlockPtr block) {
       continue;
     }
     uint64_t cw = parent->second.cumulative_weight + b->header.weight;
+    stored_bytes_ += b->SizeBytes();
     entries_.emplace(h, Entry{std::move(b), cw});
 
     if (cw > entries_.at(head_).cumulative_weight) head_ = h;
@@ -89,6 +92,9 @@ void ChainStore::Attach(BlockPtr block) {
     if (waiting != orphans_.end()) {
       for (auto& w : waiting->second) {
         --orphan_buffer_count_;
+        // Re-added above if it attaches; an invalid/duplicate orphan
+        // really is released, so the subtraction stands.
+        stored_bytes_ -= w->SizeBytes();
         to_attach.push_back(std::move(w));
       }
       orphans_.erase(waiting);

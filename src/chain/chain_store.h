@@ -75,6 +75,11 @@ class ChainStore {
     return total_blocks() - main_chain_blocks();
   }
   size_t pending_orphans() const { return orphan_buffer_count_; }
+  /// Wire bytes of everything the store holds: attached blocks (genesis
+  /// and fork branches included) plus the orphan buffer. Blocks are
+  /// never evicted, so this only shrinks when a buffered orphan turns
+  /// out invalid (mem observability: the chain.blocks subsystem).
+  uint64_t stored_bytes() const { return stored_bytes_; }
   const Hash256& genesis() const { return genesis_; }
   /// Visits every attached block, genesis included, in storage order
   /// (unspecified — callers needing determinism must sort by hash).
@@ -106,6 +111,7 @@ class ChainStore {
   Hash256 genesis_;
   uint64_t reorgs_ = 0;
   uint64_t invalid_blocks_ = 0;
+  uint64_t stored_bytes_ = 0;
 };
 
 }  // namespace bb::chain

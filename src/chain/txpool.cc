@@ -18,6 +18,7 @@ uint32_t TxPool::AllocSlot(Transaction tx) {
   slot_ids_[slot] = slots_[slot].id;
   slot_sizes_[slot] = uint32_t(slots_[slot].SizeBytes());
   slot_live_[slot] = 1;
+  slot_bytes_ += slot_sizes_[slot];
   return slot;
 }
 
@@ -25,6 +26,7 @@ uint32_t TxPool::AllocSlot(Transaction tx) {
 // recycled slot could alias the stale entry.
 void TxPool::FreeSlot(uint32_t slot) {
   slots_[slot] = Transaction{};  // release payload memory
+  slot_bytes_ -= slot_sizes_[slot];
   free_slots_.push_back(slot);
 }
 

@@ -43,6 +43,10 @@ class TxPool {
   void Requeue(std::vector<Transaction> txs);
 
   size_t pending() const { return live_; }
+  /// Wire bytes resident in slots — includes committed-but-unpurged
+  /// entries whose payloads lazy deletion has not released yet, so this
+  /// is the pool's actual slot-store footprint (mem observability).
+  uint64_t slot_bytes() const { return slot_bytes_; }
   bool Seen(uint64_t id) const { return seen_.Contains(id); }
 
   /// Dedup-window size (ids remembered per generation; two generations
@@ -66,6 +70,7 @@ class TxPool {
   std::vector<uint32_t> free_slots_;   // recyclable slots
   std::deque<uint32_t> order_;         // admission order (may hold dead)
   size_t live_ = 0;                    // live entries in order_
+  uint64_t slot_bytes_ = 0;            // wire bytes of occupied slots
   util::FlatIdMap<uint32_t> in_queue_;  // id -> slot for pending txs
   util::SeenIdWindow seen_;             // bounded dedup of admitted ids
 };

@@ -17,6 +17,7 @@
 
 #include "chain/block.h"
 #include "chain/chain_store.h"
+#include "obs/memtrack.h"
 #include "obs/metrics.h"
 #include "sim/network.h"
 
@@ -109,6 +110,14 @@ class Engine {
   /// sealed so far, ...). The returned closures must stay valid for the
   /// engine's lifetime. Default: nothing to watch.
   virtual std::vector<LiveGauge> LiveGauges() { return {}; }
+
+  /// Logical bytes of live protocol bookkeeping — in-flight instances,
+  /// vote sets, pending log entries, unexecuted proposal payloads —
+  /// feeding the mem-observability consensus.bookkeeping subsystem.
+  /// Container entries are costed with the obs::mem sizing constants so
+  /// the model is deterministic and identical across platforms (what
+  /// the N-scaling gates compare). Default: stateless protocol.
+  virtual uint64_t BookkeepingBytes() const { return 0; }
 
  protected:
   /// Shared chain-sync fallback for gossip-based engines: when a

@@ -283,6 +283,19 @@ void Pbft::MaybeExecute(double* cpu) {
                    "pbft.commit", next, view_);
       }
     }
+    // Retain the executed certificate until the stable checkpoint (low
+    // watermark) passes it; GC the log tail whenever the watermark
+    // advances by another kCheckpointInterval.
+    cert_log_.push_back(
+        {next, uint64_t(inst.prepares.size() + inst.commits.size())});
+    cert_vote_total_ += cert_log_.back().votes;
+    if (next >= 2 * kCheckpointInterval) {
+      uint64_t stable = (next / kCheckpointInterval - 1) * kCheckpointInterval;
+      while (!cert_log_.empty() && cert_log_.front().seq <= stable) {
+        cert_vote_total_ -= cert_log_.front().votes;
+        cert_log_.pop_front();
+      }
+    }
     instances_.erase(it);
     if (!ok) return;
     last_progress_exec_ = ExecHeight();

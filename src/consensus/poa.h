@@ -42,6 +42,10 @@ class ProofOfAuthority : public Engine {
 
   uint64_t blocks_sealed() const { return blocks_sealed_; }
 
+  /// Aura keeps only the step schedule — O(1) scalars, costed as a
+  /// constant (the linear-memory contrast to the BFT engines).
+  uint64_t BookkeepingBytes() const override { return 64; }
+
  private:
   void ScheduleNextStep();
   void OnStep(uint64_t step);

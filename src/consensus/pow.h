@@ -60,6 +60,12 @@ class ProofOfWork : public Engine {
   /// generated-vs-canonical accounting).
   uint64_t blocks_mined() const { return blocks_mined_; }
 
+  /// Nakamoto mining keeps no per-peer or per-instance state at all —
+  /// a fixed handful of scalars (epoch, flags, counters). Costed as a
+  /// constant so the scaling fit sees O(1), the baseline the
+  /// quorum-broadcast engines are compared against.
+  uint64_t BookkeepingBytes() const override { return 64; }
+
  private:
   void ScheduleMine();
   void OnMined(uint64_t epoch);

@@ -66,6 +66,22 @@ class Raft : public Engine {
 
   size_t Majority() const { return host_->num_nodes() / 2 + 1; }
 
+  /// O(N) leader-side maps plus the uncommitted log tail (majority-ack
+  /// replication keeps it short) — Raft is a linear-memory protocol,
+  /// the contrast the scaling gate checks against the quorum-broadcast
+  /// engines.
+  uint64_t BookkeepingBytes() const override {
+    uint64_t b =
+        (voted_for_.size() + match_height_.size() + propose_time_.size()) *
+            obs::mem::kMapEntryBytes +
+        votes_.size() * obs::mem::kSetEntryBytes;
+    for (const auto& [height, block] : pending_log_) {
+      b += obs::mem::kMapEntryBytes;
+      if (block != nullptr) b += block->SizeBytes();
+    }
+    return b;
+  }
+
   // Message payloads (public for tests).
   struct RequestVoteMsg {
     uint64_t term;

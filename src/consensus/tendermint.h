@@ -76,6 +76,21 @@ class Tendermint : public Engine {
   size_t MaxFaults() const { return (host_->num_nodes() - 1) / 3; }
   size_t Quorum() const { return 2 * MaxFaults() + 1; }
 
+  /// Vote sets are O(N) per live (height, round); PruneOldRounds bounds
+  /// the round map, but quorum broadcast still makes the footprint grow
+  /// super-linearly with N like PBFT's.
+  uint64_t BookkeepingBytes() const override {
+    uint64_t b = 0;
+    for (const auto& [key, rs] : rounds_) {
+      b += obs::mem::kMapEntryBytes + sizeof(RoundState);
+      b += (rs.prevotes.size() + rs.nil_prevotes.size() +
+            rs.precommits.size()) *
+           obs::mem::kSetEntryBytes;
+      if (rs.proposal != nullptr) b += rs.proposal->SizeBytes();
+    }
+    return b;
+  }
+
   struct ProposalMsg {
     uint64_t height;
     uint64_t round;

@@ -1,5 +1,7 @@
 #include "obs/recorder.h"
 
+#include "obs/metrics.h"
+
 #include <algorithm>
 #include <cstdio>
 #include <deque>
@@ -244,6 +246,16 @@ util::Json FlightRecorder::SliceToJson() const {
 }
 
 // --- Export ------------------------------------------------------------------
+
+void FlightRecorder::ExportMetrics(MetricsRegistry* reg) const {
+  reg->SetGauge("recorder.ring_capacity", {}, double(capacity_));
+  for (uint32_t node = 0; node < rings_.size(); ++node) {
+    Labels labels{{"node", std::to_string(node)}};
+    reg->SetGauge("recorder.ring_size", labels, double(ring_size(node)));
+    reg->AddCounter("recorder.recorded", labels, recorded(node));
+    reg->AddCounter("recorder.evicted", labels, evicted(node));
+  }
+}
 
 util::Json FlightRecorder::ToJson(const RunSpec& run,
                                   const BlackboxTrigger& trigger) const {

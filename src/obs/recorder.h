@@ -37,6 +37,8 @@
 
 namespace bb::obs {
 
+class MetricsRegistry;
+
 /// The run configuration a blackbox dump embeds — every knob needed to
 /// re-run the recorded experiment bit-for-bit through bbench --replay.
 /// bbench fills it from its CLI args; the bench harness fills it from a
@@ -197,6 +199,12 @@ class FlightRecorder {
   size_t num_names() const { return names_.size(); }
 
   // --- Export -------------------------------------------------------------
+
+  /// Per-node ring occupancy and eviction gauges ("recorder.ring_size",
+  /// "recorder.recorded", "recorder.evicted", labelled {node=i}), so
+  /// eviction pressure is visible in any metrics snapshot without
+  /// writing a blackbox dump. Ring capacity rides along unlabelled.
+  void ExportMetrics(MetricsRegistry* reg) const;
 
   /// The blockbench-blackbox-v1 document: run spec, trigger, the full
   /// rings, and the causal slice. Deterministic member order; contains

@@ -64,6 +64,17 @@ void AttachStandardProbes(obs::Sampler* sampler, Platform* platform) {
     for (consensus::Engine::LiveGauge& g : node->engine().LiveGauges()) {
       sampler->AddGauge(id, g.name, std::move(g.fn));
     }
+    if (auto* mt = platform->psim()->memtracker()) {
+      // One counter track per subsystem plus the node total — the live
+      // footprint timeline next to chain.height / pool.depth.
+      for (uint8_t s = 0; s < obs::mem::kNumSubsystems; ++s) {
+        sampler->AddGauge(id, obs::mem::TrackName(s), [mt, id, s] {
+          return double(mt->current(id, obs::mem::Subsystem(s)));
+        });
+      }
+      sampler->AddGauge(id, "mem.total",
+                        [mt, id] { return double(mt->node_current(id)); });
+    }
   }
   if (auto* sharded = dynamic_cast<ShardedPlatform*>(platform)) {
     uint32_t id = uint32_t(sharded->coordinator_id());

@@ -130,6 +130,10 @@ class ExecutionLayer {
   virtual Status Invoke(const std::string& name, const vm::TxContext& ctx,
                         vm::HostInterface* host, ExecOutcome* out) = 0;
 
+  /// Logical bytes held by deployed artifacts (assembled EVM bytecode,
+  /// instantiated chaincode) — the mem-observability vm subsystem.
+  virtual uint64_t footprint_bytes() const { return 0; }
+
   /// Builds the engine selected by options.stack.exec_engine.
   static std::unique_ptr<ExecutionLayer> Make(const PlatformOptions& options);
 };
@@ -149,6 +153,14 @@ class EvmExecution : public ExecutionLayer {
   }
   Status Invoke(const std::string& name, const vm::TxContext& ctx,
                 vm::HostInterface* host, ExecOutcome* out) override;
+
+  uint64_t footprint_bytes() const override {
+    uint64_t b = 0;
+    for (const auto& [name, program] : programs_) {
+      b += obs::mem::kMapEntryBytes + name.size() + program.CodeSize();
+    }
+    return b;
+  }
 
  private:
   vm::Interpreter interpreter_;
@@ -170,6 +182,13 @@ class NativeExecution : public ExecutionLayer {
   }
   Status Invoke(const std::string& name, const vm::TxContext& ctx,
                 vm::HostInterface* host, ExecOutcome* out) override;
+
+  /// Chaincode is native C++ — no bytecode to weigh, so each instance
+  /// is costed as one registry entry.
+  uint64_t footprint_bytes() const override {
+    return chaincodes_.size() *
+           (obs::mem::kMapEntryBytes + obs::mem::kSetEntryBytes);
+  }
 
  private:
   vm::NativeRuntime runtime_;

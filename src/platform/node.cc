@@ -29,6 +29,16 @@ PlatformNode::PlatformNode(sim::NodeId id, sim::Network* network,
   if (options_.consensus_channel_capacity > 0) {
     SetInboxClassLimit("pbft_", options_.consensus_channel_capacity);
   }
+  if (auto* mt = sim()->memtracker()) {
+    const auto nid = uint32_t(id);
+    mem_pool_ = {mt, nid, obs::mem::kPoolSlots};
+    mem_consensus_ = {mt, nid, obs::mem::kConsensus};
+    mem_chain_ = {mt, nid, obs::mem::kChainBlocks};
+    mem_vm_ = {mt, nid, obs::mem::kVm};
+    mem_obs_ = {mt, nid, obs::mem::kObsSelf};
+    stack_->data().store().set_mem_gauge({mt, nid, obs::mem::kStorageState});
+    SyncMemGauges();
+  }
 }
 
 PlatformNode::~PlatformNode() = default;
@@ -67,10 +77,14 @@ Status PlatformNode::DirectCommit(const std::vector<chain::Transaction>& txs) {
   if (!CommitBlock(std::make_shared<const chain::Block>(std::move(b)), &cpu)) {
     return Status::Internal("direct commit failed");
   }
+  SyncMemGauges();
   return Status::Ok();
 }
 
-void PlatformNode::Start() { engine().Start(this); }
+void PlatformNode::Start() {
+  engine().Start(this);
+  SyncMemGauges();
+}
 
 void PlatformNode::OnCrash() { engine().OnCrash(); }
 
@@ -93,12 +107,33 @@ bool PlatformNode::HostSend(sim::NodeId to, const std::string& type,
 }
 
 double PlatformNode::HandleMessage(const sim::Message& msg) {
+  double cpu = DispatchMessage(msg);
+  // Every layer mutation happens on some message (or a Start/DirectCommit
+  // call, which sync themselves), so this epilogue is the deterministic
+  // re-sync point for the O(1) byte counters.
+  SyncMemGauges();
+  return cpu;
+}
+
+double PlatformNode::DispatchMessage(const sim::Message& msg) {
   double cpu = 0;
   if (engine().HandleMessage(msg, &cpu)) return cpu;
   if (msg.type == "client_tx") return HandleClientTx(msg);
   if (msg.type == "gossip_tx") return HandleGossipTx(msg);
   if (msg.type.starts_with("rpc_")) return HandleRpc(msg);
   return 0;
+}
+
+void PlatformNode::SyncMemGauges() {
+  if (!mem_pool_) return;
+  mem_pool_.Set(pool_.slot_bytes());
+  mem_consensus_.Set(stack_->consensus().engine().BookkeepingBytes());
+  mem_chain_.Set(chain().stored_bytes());
+  mem_vm_.Set(stack_->execution().footprint_bytes());
+  if (const auto* rec = sim()->recorder()) {
+    mem_obs_.Set(uint64_t(rec->ring_size(uint32_t(id()))) *
+                 sizeof(obs::FlightRecorder::Record));
+  }
 }
 
 double PlatformNode::HandleClientTx(const sim::Message& msg) {

@@ -113,9 +113,14 @@ class PlatformNode : public sim::Node, public consensus::ConsensusHost {
                                   const vm::Args& args, double* cpu);
 
  private:
+  double DispatchMessage(const sim::Message& msg);
   double HandleClientTx(const sim::Message& msg);
   double HandleGossipTx(const sim::Message& msg);
   double HandleRpc(const sim::Message& msg);
+
+  /// Re-reads the O(1) byte counters of every layer into the attached
+  /// MemTracker (no-op when none is attached — one branch).
+  void SyncMemGauges();
 
   /// Executes one transaction against current state; returns CPU cost.
   /// *gas_out (optional) receives the gas consumed (EVM engine only).
@@ -132,6 +137,14 @@ class PlatformNode : public sim::Node, public consensus::ConsensusHost {
 
   chain::TxPool pool_;
   std::unique_ptr<LayerStack> stack_;
+
+  /// Sync-style memory gauges, bound in the constructor when the
+  /// simulation has a MemTracker attached; disabled (null) otherwise.
+  obs::mem::Gauge mem_pool_;
+  obs::mem::Gauge mem_consensus_;
+  obs::mem::Gauge mem_chain_;
+  obs::mem::Gauge mem_vm_;
+  obs::mem::Gauge mem_obs_;
 
   /// Height of the block currently being executed (for TxContext).
   uint64_t executing_height_ = 0;

@@ -30,14 +30,35 @@ constexpr double kResubmitDelay = 1.0;
 
 ShardCoordinator::ShardCoordinator(sim::NodeId id, sim::Network* network,
                                    ShardedPlatform* platform)
-    : sim::Node(id, network), platform_(platform) {}
+    : sim::Node(id, network), platform_(platform) {
+  if (auto* mt = sim()->memtracker()) {
+    mem_entries_ = {mt, uint32_t(id), obs::mem::kConsensus};
+  }
+}
 
 double ShardCoordinator::HandleMessage(const sim::Message& msg) {
   BB_PROF_SCOPE("consensus.xs_coordinator");
-  if (msg.type == "xs_client_tx") return HandleClientTx(msg);
-  if (msg.type == "xs_sealed") return HandleSealed(msg);
-  if (msg.type == "client_tx_reject") return HandleReject(msg);
-  return 0;
+  double cpu = 0;
+  if (msg.type == "xs_client_tx") {
+    cpu = HandleClientTx(msg);
+  } else if (msg.type == "xs_sealed") {
+    cpu = HandleSealed(msg);
+  } else if (msg.type == "client_tx_reject") {
+    cpu = HandleReject(msg);
+  }
+  SyncMemGauge();
+  return cpu;
+}
+
+void ShardCoordinator::SyncMemGauge() {
+  if (!mem_entries_) return;
+  uint64_t b = 0;
+  for (const auto& [base_id, e] : entries_) {
+    b += obs::mem::kMapEntryBytes + sizeof(Entry) + e.tx.SizeBytes() +
+         e.shards.size() * sizeof(uint32_t) +
+         e.prepared.size() * obs::mem::kSetEntryBytes;
+  }
+  mem_entries_.Set(b);
 }
 
 chain::Transaction ShardCoordinator::MakeRecord(const Entry& e,
@@ -130,6 +151,8 @@ void ShardCoordinator::OnPrepareTimeout(uint64_t base_id) {
     rec->Timer(uint32_t(id()), Now(), "xs.prepare_timeout", base_id);
   }
   Decide(base_id, /*commit=*/false);
+  // Timeouts fire as scheduled events, outside the HandleMessage epilogue.
+  SyncMemGauge();
 }
 
 void ShardCoordinator::Decide(uint64_t base_id, bool commit) {

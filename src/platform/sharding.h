@@ -77,7 +77,12 @@ class ShardCoordinator : public sim::Node {
   /// Submits a record through `shard`'s normal admission path.
   void SubmitToShard(uint32_t shard, const chain::Transaction& record);
 
+  /// Logical bytes of the in-flight 2PC table (the coordinator's
+  /// consensus.bookkeeping contribution).
+  void SyncMemGauge();
+
   ShardedPlatform* platform_;
+  obs::mem::Gauge mem_entries_;
   /// Ordered map: deterministic iteration under the (time, seq) contract.
   std::map<uint64_t, Entry> entries_;
   bool break_atomicity_ = false;

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "obs/memtrack.h"
 #include "obs/profiler.h"
 #include "obs/recorder.h"
 #include "obs/trace.h"
@@ -82,7 +83,18 @@ bool Network::Send(Message msg) {
   if (auto* tr = sim_->tracer()) {
     tr->FlowBegin(msg.from, "net", "net.send", sim_->Now(), msg.seq);
   }
+  // In-flight bytes are charged to the *receiver*: that is the node
+  // whose inbound queue the scale campaign will see balloon under
+  // quorum broadcast, and the attribution the mem gates reason about.
+  if (auto* mt = sim_->memtracker()) {
+    mt->Track(uint32_t(to), obs::mem::kNetInflight, msg.size_bytes);
+  }
   sim_->After(latency, [this, to, m = std::move(msg)]() mutable {
+    // Every in-flight outcome (delivery or either drop) releases the
+    // receiver's in-flight bytes.
+    if (auto* mt = sim_->memtracker()) {
+      mt->Untrack(uint32_t(to), obs::mem::kNetInflight, m.size_bytes);
+    }
     // Re-check fault state at delivery time.
     if (crashed_[to] || !SameSide(m.from, to)) {
       ++messages_dropped_;

@@ -3,11 +3,19 @@
 #include <algorithm>
 #include <cassert>
 
-// Header-only hot path: bb_sim stays link-independent of bb_obs.
+// Header-only hot paths: bb_sim stays link-independent of bb_obs.
+#include "obs/memtrack.h"
 #include "obs/profiler.h"
 
 namespace bb::sim {
 namespace {
+
+// Logical cost of one scheduled event: the 24-byte ordering handle plus
+// the slab slot holding the (possibly heap-spilled, but we charge the
+// inline footprint) callable. Deliberately a constant: slot recycling
+// means real growth is HWM-shaped, which is exactly what this measures.
+constexpr uint64_t kEventSlotBytes =
+    sizeof(EventFn) + 3 * sizeof(uint64_t);  // Handle is private: 24 bytes
 
 // Near-term window restarted around the next event when the queue goes
 // idle; ~10 ms covers the network-latency scale most events live on.
@@ -121,12 +129,20 @@ void Simulation::Dispatch() {
   free_.push_back(h.slot);
   now_ = h.time;
   ++events_executed_;
+  if (memtracker_ != nullptr) {
+    memtracker_->Untrack(obs::MemTracker::kGlobalNode, obs::mem::kSimEvents,
+                         kEventSlotBytes);
+  }
   fn();
 }
 
 void Simulation::At(SimTime t, EventFn fn) {
   assert(t >= now_ && "cannot schedule in the past");
   Push(Handle{t, next_seq_++, AllocSlot(std::move(fn))});
+  if (memtracker_ != nullptr) {
+    memtracker_->Track(obs::MemTracker::kGlobalNode, obs::mem::kSimEvents,
+                       kEventSlotBytes);
+  }
 }
 
 void Simulation::After(SimTime delay, EventFn fn) {
@@ -156,6 +172,11 @@ void Simulation::RunToCompletion() {
 }
 
 void Simulation::Clear() {
+  if (memtracker_ != nullptr && pending_events() > 0) {
+    uint64_t n = pending_events();
+    memtracker_->Untrack(obs::MemTracker::kGlobalNode, obs::mem::kSimEvents,
+                         n * kEventSlotBytes, n);
+  }
   // Destroying the slab releases every pending closure; a closure
   // calling Clear() from inside Dispatch() is safe because the running
   // callable was detached from its slot before being invoked.
@@ -164,6 +185,11 @@ void Simulation::Clear() {
   slab_.clear();
   free_.clear();
   horizon_ = now_;
+}
+
+void Simulation::set_memtracker(obs::MemTracker* memtracker) {
+  memtracker_ = memtracker;
+  if (memtracker_ != nullptr) memtracker_->BindSim(this);
 }
 
 }  // namespace bb::sim

@@ -37,6 +37,7 @@ namespace bb::obs {
 class Tracer;
 class MetricsRegistry;
 class FlightRecorder;
+class MemTracker;
 }  // namespace bb::obs
 
 namespace bb::sim {
@@ -172,6 +173,10 @@ class Simulation {
   obs::MetricsRegistry* metrics() const { return metrics_; }
   void set_recorder(obs::FlightRecorder* recorder) { recorder_ = recorder; }
   obs::FlightRecorder* recorder() const { return recorder_; }
+  /// Out-of-line (simulation.cc) so it can bind the virtual clock into
+  /// the tracker for high-water-mark timestamps.
+  void set_memtracker(obs::MemTracker* memtracker);
+  obs::MemTracker* memtracker() const { return memtracker_; }
 
   /// Stops the run loop after the currently dispatching event returns —
   /// the replay-breakpoint mechanism (bbench --until=TIME,SEQ). One-shot:
@@ -228,6 +233,7 @@ class Simulation {
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::FlightRecorder* recorder_ = nullptr;
+  obs::MemTracker* memtracker_ = nullptr;
   bool stop_requested_ = false;
 };
 

@@ -136,6 +136,7 @@ Status DiskKv::Put(Slice key, Slice value) {
   live_bytes_ += value.size();
   live_record_bytes_ += entry.record_len;
   MaybeCompact();
+  SyncMemGauge();
   return Status::Ok();
 }
 
@@ -163,6 +164,7 @@ Status DiskKv::Delete(Slice key) {
   live_record_bytes_ -= it->second.record_len;
   index_.erase(it);
   MaybeCompact();
+  SyncMemGauge();
   return Status::Ok();
 }
 
@@ -229,6 +231,7 @@ Status DiskKv::Compact() {
   log_bytes_ = new_log_bytes;
   live_record_bytes_ = new_log_bytes;
   ++compactions_run_;
+  SyncMemGauge();
   return Status::Ok();
 }
 

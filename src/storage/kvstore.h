@@ -13,6 +13,9 @@
 #include <memory>
 #include <string>
 
+// Header-only hot path (mem::Gauge): bb_storage stays link-independent
+// of bb_obs; the gauge is inert until a MemTracker is attached.
+#include "obs/memtrack.h"
 #include "util/slice.h"
 #include "util/status.h"
 
@@ -41,6 +44,23 @@ class KvStore {
   virtual uint64_t size_bytes() const = 0;
   /// Bytes of live key+value data.
   virtual uint64_t live_bytes() const = 0;
+
+  /// Mem observability: when bound, every mutation re-syncs the
+  /// storage.state gauge from size_bytes(). Disabled cost is one branch
+  /// per mutation.
+  void set_mem_gauge(obs::mem::Gauge gauge) {
+    mem_gauge_ = gauge;
+    SyncMemGauge();
+  }
+
+ protected:
+  /// Concrete stores call this at the end of every mutating operation.
+  void SyncMemGauge() {
+    if (mem_gauge_) mem_gauge_.Set(size_bytes());
+  }
+
+ private:
+  obs::mem::Gauge mem_gauge_;
 };
 
 }  // namespace bb::storage

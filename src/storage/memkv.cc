@@ -29,6 +29,7 @@ Status MemKv::Put(Slice key, Slice value) {
     map_.emplace(key.ToString(), value.ToString());
   }
   live_bytes_ = new_live;
+  SyncMemGauge();
   return Status::Ok();
 }
 
@@ -44,6 +45,7 @@ Status MemKv::Delete(Slice key) {
   if (it == map_.end()) return Status::NotFound();
   live_bytes_ -= it->first.size() + it->second.size();
   map_.erase(it);
+  SyncMemGauge();
   return Status::Ok();
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "bench/common.h"
+#include "obs/metrics.h"
 #include "obs/recorder.h"
 #include "sim/network.h"
 #include "sim/simulation.h"
@@ -82,6 +83,22 @@ TEST(FlightRecorder, InternsNamesOnce) {
   for (int i = 0; i < 100; ++i) rec.Phase(0, double(i), "pbft.prepare");
   rec.Phase(1, 100.0, "pbft.commit");
   EXPECT_EQ(rec.num_names(), 2u);
+}
+
+TEST(FlightRecorder, ExportMetricsPublishesRingPressure) {
+  FlightRecorder rec(4);
+  for (int i = 0; i < 10; ++i) rec.Phase(0, double(i), "tick", uint64_t(i));
+  rec.Phase(1, 0.0, "tick", 0);
+
+  MetricsRegistry reg;
+  rec.ExportMetrics(&reg);
+  EXPECT_DOUBLE_EQ(reg.GaugeValue("recorder.ring_capacity", {}), 4.0);
+  Labels n0{{"node", "0"}}, n1{{"node", "1"}};
+  EXPECT_DOUBLE_EQ(reg.GaugeValue("recorder.ring_size", n0), 4.0);
+  EXPECT_EQ(reg.CounterValue("recorder.recorded", n0), 10u);
+  EXPECT_EQ(reg.CounterValue("recorder.evicted", n0), 6u);
+  EXPECT_DOUBLE_EQ(reg.GaugeValue("recorder.ring_size", n1), 1.0);
+  EXPECT_EQ(reg.CounterValue("recorder.evicted", n1), 0u);
 }
 
 // --- RunSpec round-trip ------------------------------------------------------

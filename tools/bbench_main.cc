@@ -24,6 +24,10 @@
 //                         stacks to PATH.folded (prof_report reads both)
 //   --metrics[=PATH]      print the per-node metrics table; with =PATH,
 //                         also write the registry as JSON to PATH
+//   --mem=PATH            per-subsystem memory accounting (logical bytes
+//                         on virtual time): prints the attribution table
+//                         and writes a blockbench-mem-v1 dump to PATH
+//                         (mem_report validates / diffs / gates it)
 //   --blackbox=PATH       arm the flight recorder and dump the
 //                         blockbench-blackbox-v1 black box to PATH after
 //                         the run; with --audit, a violation dumps to
@@ -46,6 +50,7 @@
 
 #include "core/driver.h"
 #include "obs/auditor.h"
+#include "obs/memtrack.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/recorder.h"
@@ -92,6 +97,7 @@ struct Args {
   std::string trace_path;
   bool metrics = false;
   std::string metrics_path;
+  std::string mem_path;
   std::string profile_path;
   double sample = 0;
   std::string audit_path;
@@ -126,6 +132,9 @@ void Usage() {
                   to PATH, folded stacks to PATH.folded; see prof_report)
   --metrics[=PATH] (print the per-node metrics table after the run; with
                     =PATH also write the registry as JSON to PATH)
+  --mem=PATH (account per-subsystem memory — logical bytes on virtual
+              time; prints the attribution table and writes a
+              blockbench-mem-v1 dump to PATH for mem_report)
   --blackbox=PATH (arm the flight recorder; dump blockbench-blackbox-v1
                    JSON to PATH after the run. --audit alone also arms it
                    and dumps to AUDIT_PATH.blackbox.json on a violation)
@@ -150,7 +159,7 @@ bool Parse(int argc, char** argv, Args* a) {
                             "--partition",       "--trace",    "--sample",
                             "--audit",           "--shards",   "--cross-shard",
                             "--profile",         "--metrics",  "--blackbox",
-                            "--replay",          "--until"};
+                            "--replay",          "--until",    "--mem"};
   for (int i = 1; i < argc; ++i) {
     std::string s = argv[i];
     if (s == "--timeline" || s == "--list-platforms" || s == "--metrics") {
@@ -212,6 +221,7 @@ examples: pbft+trie+evm   tendermint+bucket+native   pbft+trie+evm@shards=4
   a->metrics_path = util::FlagValue(argc, argv, "--metrics").value_or("");
   a->metrics =
       util::HasFlag(argc, argv, "--metrics") || !a->metrics_path.empty();
+  a->mem_path = util::FlagValue(argc, argv, "--mem").value_or("");
   a->profile_path = util::FlagValue(argc, argv, "--profile").value_or("");
   a->sample = util::FlagDouble(argc, argv, "--sample", a->sample);
   a->audit_path = util::FlagValue(argc, argv, "--audit").value_or("");
@@ -407,6 +417,14 @@ int main(int argc, char** argv) {
     sim.set_recorder(recorder.get());
   }
 
+  // --mem: attached before platform construction so every node binds its
+  // layer gauges at build time.
+  std::unique_ptr<obs::MemTracker> memtracker;
+  if (!a.mem_path.empty()) {
+    memtracker = std::make_unique<obs::MemTracker>();
+    sim.set_memtracker(memtracker.get());
+  }
+
   // --profile: the window opens here (before platform construction) and
   // closes right after Driver::Run, so setup and the event loop are the
   // whole profile; output writing below is deliberately outside it.
@@ -594,6 +612,20 @@ int main(int argc, char** argv) {
   if (sampler != nullptr) {
     std::printf("\nsampler: %zu gauges x %zu ticks (period %.2f s)\n",
                 sampler->num_gauges(), sampler->num_ticks(), a.sample);
+  }
+
+  if (memtracker != nullptr) {
+    memtracker->set_committed(uint64_t(r.committed));
+    Status ms = memtracker->WriteJson(a.mem_path);
+    if (!ms.ok()) {
+      std::fprintf(stderr, "mem dump write failed: %s\n",
+                   ms.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nmemory attribution (logical bytes, virtual time):\n%s",
+                obs::RenderMemAttribution(memtracker->ToJson()).c_str());
+    std::printf("mem -> %s (mem_report validates / diffs / gates)\n",
+                a.mem_path.c_str());
   }
 
   bool audit_violated = false;

@@ -64,91 +64,16 @@ bb::Status ValidateSweep(const Json& doc, const std::string& path) {
   return bb::Status::Ok();
 }
 
-struct GateRatio {
-  std::string num, den;
-  double max = 0;
-};
-
-bool ParseGateRatio(const std::string& v, GateRatio* g) {
-  // Benchmark names may themselves contain '/' (google-benchmark args,
-  // e.g. BM_DigestBatch/64), so split at the '/' that starts the
-  // denominator's "BM_" prefix; fall back to the first '/' for names
-  // that don't follow the convention.
-  size_t slash = v.rfind("/BM_");
-  if (slash == std::string::npos) slash = v.find('/');
-  size_t colon = v.rfind(':');
-  if (slash == std::string::npos || colon == std::string::npos ||
-      colon < slash || slash == 0) {
-    return false;
-  }
-  g->num = v.substr(0, slash);
-  g->den = v.substr(slash + 1, colon - slash - 1);
-  g->max = std::atof(v.substr(colon + 1).c_str());
-  return !g->num.empty() && !g->den.empty() && g->max > 0;
-}
-
-struct GateEventsRatio {
-  std::string bench;
-  std::string num_sel, den_sel;  // "key=value" row selectors
-  double min = 0;
-};
-
-bool ParseGateEventsRatio(const std::string& v, GateEventsRatio* g) {
-  size_t first_colon = v.find(':');
-  size_t last_colon = v.rfind(':');
-  if (first_colon == std::string::npos || last_colon == first_colon) {
-    return false;
-  }
-  g->bench = v.substr(0, first_colon);
-  std::string pair = v.substr(first_colon + 1, last_colon - first_colon - 1);
-  size_t slash = pair.find('/');
-  if (slash == std::string::npos) return false;
-  g->num_sel = pair.substr(0, slash);
-  g->den_sel = pair.substr(slash + 1);
-  g->min = std::atof(v.substr(last_colon + 1).c_str());
-  return !g->bench.empty() && !g->num_sel.empty() && !g->den_sel.empty() &&
-         g->min > 0;
-}
-
-struct GateEventsBaseline {
-  std::string file;
-  std::string sel;
-  double min = 0;
-};
-
-bool ParseGateEventsBaseline(const std::string& v, GateEventsBaseline* g) {
-  size_t last_colon = v.rfind(':');
-  if (last_colon == std::string::npos) return false;
-  g->min = std::atof(v.substr(last_colon + 1).c_str());
-  std::string rest = v.substr(0, last_colon);
-  size_t sel_colon = rest.rfind(':');
-  if (sel_colon == std::string::npos) return false;
-  g->file = rest.substr(0, sel_colon);
-  g->sel = rest.substr(sel_colon + 1);
-  return !g->file.empty() && !g->sel.empty() && g->min > 0;
-}
-
-/// True when the row's labels object contains the "key=value" selector.
-bool RowMatches(const Json& row, const std::string& sel) {
-  size_t eq = sel.find('=');
-  if (eq == std::string::npos) return false;
-  const Json* labels = row.Get("labels");
-  if (labels == nullptr) return false;
-  const Json* v = labels->Get(sel.substr(0, eq));
-  return v != nullptr && v->is_string() && v->AsString() == sel.substr(eq + 1);
-}
+// Spec grammar and selector matching live in report_common.h, shared
+// with prof_report and mem_report.
+using bb::tools::BaselineGateSpec;
+using bb::tools::RatioGateSpec;
+using bb::tools::SelectorRatioGateSpec;
 
 /// sim.events_per_sec of the first row in `rows` matching the selector;
 /// negative when absent.
 double EventsPerSecOf(const Json& rows, const std::string& sel) {
-  for (const Json& row : rows.items()) {
-    if (!RowMatches(row, sel)) continue;
-    const Json* sim = row.Get("sim");
-    if (sim == nullptr) continue;
-    const Json* eps = sim->Get("events_per_sec");
-    if (eps != nullptr && eps->is_number()) return eps->AsDouble();
-  }
-  return -1;
+  return bb::tools::SweepRowMetric(rows, sel, "sim", "events_per_sec");
 }
 
 bb::Status ValidateMicro(const Json& doc, const std::string& path) {
@@ -175,15 +100,16 @@ int main(int argc, char** argv) {
       "[--gate-events-ratio=BENCH:K=V1/K=V2:MIN]... "
       "[--gate-events-vs-baseline=FILE:K=V:MIN]... FILE.json...\n";
   std::vector<std::string> inputs;
-  std::vector<GateRatio> gates;
-  std::vector<GateEventsRatio> events_gates;
-  std::vector<GateEventsBaseline> baseline_gates;
+  std::vector<RatioGateSpec> gates;
+  std::vector<SelectorRatioGateSpec> events_gates;
+  std::vector<BaselineGateSpec> baseline_gates;
   for (int i = 1; i < argc; ++i) {
     std::string s = argv[i];
     if (s.rfind("--", 0) == 0) {
       if (s.rfind("--gate-ratio=", 0) == 0) {
-        GateRatio g;
-        if (!ParseGateRatio(s.substr(sizeof("--gate-ratio=") - 1), &g)) {
+        RatioGateSpec g;
+        if (!bb::tools::ParseRatioGateSpec(
+                s.substr(sizeof("--gate-ratio=") - 1), &g)) {
           std::fprintf(stderr, "bench_report: bad gate spec %s\n", s.c_str());
           std::fprintf(stderr, "%s", usage);
           return 2;
@@ -192,9 +118,9 @@ int main(int argc, char** argv) {
         continue;
       }
       if (s.rfind("--gate-events-ratio=", 0) == 0) {
-        GateEventsRatio g;
-        if (!ParseGateEventsRatio(s.substr(sizeof("--gate-events-ratio=") - 1),
-                                  &g)) {
+        SelectorRatioGateSpec g;
+        if (!bb::tools::ParseSelectorRatioGateSpec(
+                s.substr(sizeof("--gate-events-ratio=") - 1), &g)) {
           std::fprintf(stderr, "bench_report: bad gate spec %s\n", s.c_str());
           std::fprintf(stderr, "%s", usage);
           return 2;
@@ -203,8 +129,8 @@ int main(int argc, char** argv) {
         continue;
       }
       if (s.rfind("--gate-events-vs-baseline=", 0) == 0) {
-        GateEventsBaseline g;
-        if (!ParseGateEventsBaseline(
+        BaselineGateSpec g;
+        if (!bb::tools::ParseBaselineGateSpec(
                 s.substr(sizeof("--gate-events-vs-baseline=") - 1), &g)) {
           std::fprintf(stderr, "bench_report: bad gate spec %s\n", s.c_str());
           std::fprintf(stderr, "%s", usage);
@@ -288,7 +214,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  for (const GateRatio& g : gates) {
+  for (const RatioGateSpec& g : gates) {
     auto num = bench_cpu.find(g.num);
     auto den = bench_cpu.find(g.den);
     if (num == bench_cpu.end() || den == bench_cpu.end()) {
@@ -301,23 +227,18 @@ int main(int argc, char** argv) {
                    g.den.c_str());
       return 1;
     }
-    double ratio = num->second / den->second;
-    std::printf("bench_report: gate %s/%s = %.4f (max %.4f)\n", g.num.c_str(),
-                g.den.c_str(), ratio, g.max);
-    if (ratio > g.max) {
-      std::fprintf(stderr,
-                   "bench_report: gate FAILED: %s/%s = %.4f exceeds %.4f\n",
-                   g.num.c_str(), g.den.c_str(), ratio, g.max);
+    if (!bb::tools::CheckGate("bench_report", g.num + "/" + g.den,
+                              num->second / den->second, g.bound)) {
       return 1;
     }
   }
 
-  for (const GateEventsRatio& g : events_gates) {
+  for (const SelectorRatioGateSpec& g : events_gates) {
     double num = -1, den = -1;
     for (const Json& entry : macro.items()) {
       const Json* bench = entry.Get("bench");
       if (bench == nullptr || !bench->is_string() ||
-          bench->AsString() != g.bench) {
+          bench->AsString() != g.name) {
         continue;
       }
       const Json* rows = entry.Get("rows");
@@ -328,24 +249,18 @@ int main(int argc, char** argv) {
     if (num < 0 || den <= 0) {
       std::fprintf(stderr,
                    "bench_report: gate rows missing: %s (%s / %s)\n",
-                   g.bench.c_str(), g.num_sel.c_str(), g.den_sel.c_str());
+                   g.name.c_str(), g.num_sel.c_str(), g.den_sel.c_str());
       return 1;
     }
-    double ratio = num / den;
-    std::printf("bench_report: events gate %s %s/%s = %.2fx (min %.2fx)\n",
-                g.bench.c_str(), g.num_sel.c_str(), g.den_sel.c_str(), ratio,
-                g.min);
-    if (ratio < g.min) {
-      std::fprintf(stderr,
-                   "bench_report: events gate FAILED: %s %s/%s = %.2fx "
-                   "below %.2fx\n",
-                   g.bench.c_str(), g.num_sel.c_str(), g.den_sel.c_str(),
-                   ratio, g.min);
+    if (!bb::tools::CheckGate(
+            "bench_report",
+            "events " + g.name + " " + g.num_sel + "/" + g.den_sel, num / den,
+            g.bound, /*is_floor=*/true)) {
       return 1;
     }
   }
 
-  for (const GateEventsBaseline& g : baseline_gates) {
+  for (const BaselineGateSpec& g : baseline_gates) {
     auto doc = bb::tools::LoadJson(g.file);
     if (!doc.ok()) {
       std::fprintf(stderr, "bench_report: baseline: %s\n",
@@ -371,16 +286,11 @@ int main(int argc, char** argv) {
                    g.sel.c_str(), g.file.c_str());
       return 1;
     }
-    double ratio = current / baseline;
-    std::printf(
-        "bench_report: baseline gate %s = %.0f vs %.0f ev/s = %.2fx "
-        "(min %.2fx)\n",
-        g.sel.c_str(), current, baseline, ratio, g.min);
-    if (ratio < g.min) {
-      std::fprintf(stderr,
-                   "bench_report: baseline gate FAILED: %s = %.2fx below "
-                   "%.2fx of %s\n",
-                   g.sel.c_str(), ratio, g.min, g.file.c_str());
+    if (!bb::tools::CheckGate("bench_report",
+                              "events-vs-baseline " + g.sel + " (" + g.file +
+                                  ")",
+                              current / baseline, g.bound,
+                              /*is_floor=*/true)) {
       return 1;
     }
   }

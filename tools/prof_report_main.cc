@@ -61,8 +61,9 @@ int main(int argc, char** argv) {
     if (s == "--diff") {
       diff = true;
     } else if (s.rfind("--min-attributed=", 0) == 0) {
-      min_attributed = std::atof(s.c_str() + 17);
-      if (min_attributed <= 0 || min_attributed > 100) {
+      if (!bb::tools::ParsePositiveDouble(
+              s.substr(sizeof("--min-attributed=") - 1), &min_attributed) ||
+          min_attributed > 100) {
         std::fprintf(stderr, "prof_report: bad --min-attributed value %s\n",
                      s.c_str());
         return Usage();
@@ -109,15 +110,10 @@ int main(int argc, char** argv) {
     std::fputs(bb::obs::RenderProfileAttribution(*doc).c_str(), stdout);
     if (min_attributed > 0) {
       double pct = 100.0 * bb::obs::AttributedFraction(*doc);
-      if (pct < min_attributed) {
-        std::fprintf(stderr,
-                     "prof_report: FAIL %s: %.1f%% of wall time attributed "
-                     "to named subsystems, need >= %.1f%%\n",
-                     path.c_str(), pct, min_attributed);
+      if (!bb::tools::CheckGate("prof_report", path + " attributed%", pct,
+                                min_attributed, /*is_floor=*/true)) {
         return 1;
       }
-      std::printf("attribution gate: %.1f%% >= %.1f%% OK\n", pct,
-                  min_attributed);
     }
     std::printf("\n");
   }
